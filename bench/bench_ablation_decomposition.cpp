@@ -1,0 +1,71 @@
+// §2.1 "Parallelization Alternatives" ablation: replicated-data (Opal's
+// choice) vs space decomposition vs force decomposition, on a fast and a
+// slow network, with and without the cut-off.  Quantifies the trade-off the
+// paper only names: RD ships O(n p) coordinate bytes, FD O(n (a+b)), SD
+// O(n + ghosts) — at the price of balance (FD diagonal blocks) and
+// re-assignment work (SD).
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/decomp.hpp"
+
+namespace {
+using namespace opalsim;
+}
+
+int main() {
+  bench::banner("Ablation — parallelization methods RD vs SD vs FD (§2.1)",
+                "Taufer & Stricker 1998, §2.1 'Parallelization Alternatives'");
+
+  const opal::Method methods[] = {
+      opal::Method::ReplicatedData,
+      opal::Method::SpaceDecomposition,
+      opal::Method::ForceDecomposition,
+  };
+
+  struct Scenario {
+    const char* label;
+    mach::PlatformSpec platform;
+    double cutoff;
+  };
+  const Scenario scenarios[] = {
+      {"slow CoPs (Ethernet), cut-off 10 A", mach::slow_cops(), 10.0},
+      {"fast CoPs (Myrinet), cut-off 10 A", mach::fast_cops(), 10.0},
+      {"fast CoPs (Myrinet), no cut-off", mach::fast_cops(), -1.0},
+  };
+
+  for (const auto& sc : scenarios) {
+    std::cout << "--- " << sc.label << " (medium molecule) ---\n";
+    util::Table t({"method", "servers", "par comp [s]", "comm [s]",
+                   "idle [s]", "wall [s]"});
+    for (const auto method : methods) {
+      for (int p : {2, 4, 7}) {
+        opal::SimulationConfig cfg;
+        cfg.steps = bench::steps();
+        cfg.cutoff = sc.cutoff;
+        cfg.update_every = 10;
+        cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+        const auto r = opal::run_with_method(method, sc.platform,
+                                             bench::medium_complex(), p, cfg);
+        t.row()
+            .add(opal::to_string(method))
+            .add(p)
+            .add(r.metrics.tot_par_comp(), 3)
+            .add(r.metrics.tot_comm(), 3)
+            .add(r.metrics.idle, 3)
+            .add(r.metrics.wall, 3);
+      }
+    }
+    bench::emit(t, std::string("ablation_decomp_") +
+                       (sc.cutoff > 0 ? "cut_" : "nocut_") +
+                       (sc.platform.name == "Slow CoPs" ? "slow" : "fast"));
+  }
+
+  std::cout
+      << "Expected: with a cut-off on the slow network, SD ships far fewer\n"
+      << "coordinate bytes and wins the communication column; FD sits\n"
+      << "between RD and SD for p > 4 but pays idle time for its\n"
+      << "imbalanced diagonal blocks.  Without a cut-off the three methods\n"
+      << "do the same computation and RD's simplicity costs only the\n"
+      << "larger coordinate broadcast.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §2.4 ablation: the even-server-count load-imbalance anomaly ("to the
+// surprise of the Opal implementors, our instrumentation reveals a load
+// balancing problem for runs with an even number of processors") across
+// pair-distribution strategies, measured as idle time and per-server busy
+// spread on the fast CoPs platform (compute-dominated regime).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+
+namespace {
+using namespace opalsim;
+}
+
+int main() {
+  bench::banner("Ablation — pair-distribution strategies and the even-p "
+                "imbalance anomaly (§2.4)",
+                "Taufer & Stricker 1998, Figure 1 discussion");
+
+  const opal::DistributionStrategy strategies[] = {
+      opal::DistributionStrategy::PseudoRandomHistorical,
+      opal::DistributionStrategy::PseudoRandomUniform,
+      opal::DistributionStrategy::RowCyclic,
+      opal::DistributionStrategy::Folded,
+      opal::DistributionStrategy::EvenMultiplierBug,
+  };
+
+  for (const auto strategy : strategies) {
+    std::cout << "--- strategy: " << opal::to_string(strategy) << " ---\n";
+    util::Table t({"servers", "par comp [s]", "idle [s]", "idle/par [%]",
+                   "busy max/mean"});
+    for (int p = 1; p <= 7; ++p) {
+      opal::SimulationConfig cfg;
+      cfg.steps = bench::steps();
+      cfg.strategy = strategy;
+      // Medium molecule, no cut-off: compute-dominated on fast CoPs.
+      opal::ParallelOpal run(mach::fast_cops(), bench::medium_complex(), p,
+                             cfg);
+      const auto r = run.run();
+      double busy_max = 0.0, busy_sum = 0.0;
+      for (double b : r.server_busy) {
+        busy_max = std::max(busy_max, b);
+        busy_sum += b;
+      }
+      const double busy_mean = busy_sum / static_cast<double>(p);
+      t.row()
+          .add(p)
+          .add(r.metrics.tot_par_comp(), 3)
+          .add(r.metrics.idle, 3)
+          .add(100.0 * r.metrics.idle / r.metrics.tot_par_comp(), 1)
+          .add(busy_mean > 0.0 ? busy_max / busy_mean : 0.0, 3);
+    }
+    const char* tag =
+        strategy == opal::DistributionStrategy::PseudoRandomHistorical
+            ? "ablation_dist_historical"
+        : strategy == opal::DistributionStrategy::PseudoRandomUniform
+            ? "ablation_dist_uniform"
+        : strategy == opal::DistributionStrategy::RowCyclic
+            ? "ablation_dist_rowcyclic"
+        : strategy == opal::DistributionStrategy::Folded
+            ? "ablation_dist_folded"
+            : "ablation_dist_evenbug";
+    bench::emit(t, tag);
+  }
+
+  std::cout
+      << "Expected: the historical pseudo-random strategy shows ~10-13%\n"
+      << "idle at even p and none at odd p (the paper's anomaly); the\n"
+      << "uniform/folded strategies are flat; the even-multiplier bug\n"
+      << "variant starves odd-ranked servers entirely at even p.\n"
+      << "Note: at p = 1 the full-size pair list (~74 MB) exceeds the\n"
+      << "Pentium nodes' core memory, so par comp includes the 4x\n"
+      << "out-of-core slowdown of §2.6 — an emergent effect of the memory\n"
+      << "hierarchy model, gone once the list splits across servers.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// §3.3 ablation: overlap of communication and computation vs the paper's
+// barrier-separated accounting mode.  The paper accepts the barriers' small
+// slowdown ("less than 5%") in exchange for exact per-phase accounting;
+// this bench measures both the slowdown and the accounting fidelity.
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+
+namespace {
+using namespace opalsim;
+}
+
+int main() {
+  bench::banner("Ablation — overlap vs barrier-separated accounting (§3.3)",
+                "Taufer & Stricker 1998, §3.3 (<5% slowdown claim)");
+
+  util::Table t({"platform", "servers", "cut-off", "overlap wall [s]",
+                 "barrier wall [s]", "slowdown [%]",
+                 "accounted/wall (barrier)"});
+
+  for (const auto& spec :
+       {mach::cray_j90(), mach::fast_cops(), mach::slow_cops()}) {
+    for (int p : {3, 7}) {
+      for (double cutoff : {-1.0, 10.0}) {
+        auto run_mode = [&](bool barrier) {
+          opal::SimulationConfig cfg;
+          cfg.steps = bench::steps();
+          cfg.cutoff = cutoff;
+          opal::ParallelOpal run(spec, bench::medium_complex(), p, cfg,
+                                 sciddle::Options{.barrier_mode = barrier});
+          return run.run();
+        };
+        const auto overlapped = run_mode(false);
+        const auto barriered = run_mode(true);
+        t.row()
+            .add(spec.name)
+            .add(p)
+            .add(cutoff > 0 ? "10 A" : "none")
+            .add(overlapped.metrics.wall, 3)
+            .add(barriered.metrics.wall, 3)
+            .add(100.0 * (barriered.metrics.wall - overlapped.metrics.wall) /
+                     overlapped.metrics.wall,
+                 2)
+            .add(barriered.metrics.accounted() / barriered.metrics.wall, 3);
+      }
+    }
+  }
+  bench::emit(t, "ablation_sync");
+
+  std::cout
+      << "Expected: barrier-mode accounting attributes ~100% of the wall\n"
+      << "clock in every configuration.  Its slowdown tracks how much\n"
+      << "reply transfer overlap could have hidden behind server compute:\n"
+      << "a few percent (the paper's \"less than 5%\") where computation\n"
+      << "dominates or the network is fast, rising toward ~10-20% in the\n"
+      << "corners where communication rivals computation — exactly the\n"
+      << "accuracy-vs-overlap trade-off §3.3 discusses.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the table/figure bench binaries: banner printing, CSV
+// emission and environment knobs.
+//
+// Knobs (all optional):
+//   OPALSIM_STEPS    — simulation steps per measured run (default 10, as in
+//                      the paper).
+//   OPALSIM_SCALE    — percentage of the paper's molecule sizes to use
+//                      (default 100); smaller values give quick smoke runs.
+//   OPALSIM_CSV=1    — also write each printed table as CSV into
+//                      OPALSIM_CSV_DIR (default ./bench_out).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "opal/complex.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace opalsim::bench {
+
+inline int steps() {
+  return static_cast<int>(util::env_long("OPALSIM_STEPS", 10));
+}
+
+inline double scale() {
+  return static_cast<double>(util::env_long("OPALSIM_SCALE", 100)) / 100.0;
+}
+
+inline std::size_t scaled(std::size_t count) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(count) * scale());
+  return s < 2 ? 2 : s;
+}
+
+/// The paper's complexes, optionally scaled down via OPALSIM_SCALE.
+inline opal::MolecularComplex scaled_complex(std::size_t n_solute,
+                                             std::size_t n_water,
+                                             const std::string& name) {
+  opal::SyntheticSpec spec;
+  spec.name = name;
+  spec.n_solute = scaled(n_solute);
+  spec.n_water = scaled(n_water);
+  return opal::make_synthetic_complex(spec);
+}
+
+inline opal::MolecularComplex medium_complex() {
+  return scaled_complex(1575, 2714, "medium");
+}
+inline opal::MolecularComplex large_complex() {
+  return scaled_complex(1655, 4634, "large");
+}
+inline opal::MolecularComplex small_complex() {
+  return scaled_complex(504, 996, "small");
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n";
+  if (scale() != 1.0) {
+    std::cout << "NOTE: OPALSIM_SCALE=" << static_cast<int>(scale() * 100)
+              << "% — molecule sizes reduced from the paper's.\n";
+  }
+  std::cout << "==================================================\n";
+}
+
+/// Prints the table and, when OPALSIM_CSV is set, writes it as
+/// <dir>/<name>.csv.
+inline void emit(const util::Table& table, const std::string& name) {
+  table.print(std::cout);
+  std::cout << "\n";
+  if (auto dir = util::csv_output_dir()) {
+    const std::string path = *dir + "/" + name + ".csv";
+    if (util::write_csv_file(path, table)) {
+      std::cout << "[csv] wrote " << path << "\n";
+    }
+  }
+}
+
+}  // namespace opalsim::bench

@@ -1,0 +1,10 @@
+// Figure 1: detailed breakdown of the measured execution times for 10
+// iterations of an Opal simulation with the medium molecule (4289 mass
+// centers) on the simulated Cray J90.
+#include "bench_breakdown.hpp"
+
+int main() {
+  return opalsim::bench::run_breakdown_figure(
+      [] { return opalsim::bench::medium_complex(); }, "medium", "fig1",
+      "Taufer & Stricker 1998, Figures 1a-1d");
+}

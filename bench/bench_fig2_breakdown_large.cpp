@@ -1,0 +1,10 @@
+// Figure 2: detailed breakdown of the measured execution times for 10
+// iterations of an Opal simulation with the large molecule (6289 mass
+// centers) on the simulated Cray J90.
+#include "bench_breakdown.hpp"
+
+int main() {
+  return opalsim::bench::run_breakdown_figure(
+      [] { return opalsim::bench::large_complex(); }, "large", "fig2",
+      "Taufer & Stricker 1998, Figures 2a-2d");
+}

@@ -1,0 +1,174 @@
+// Figure 4 (and Figure 3's parameter space): calibration of the analytic
+// model against measurements on the simulated Cray J90.
+//
+// Runs the paper's full factorial design — 7 server counts x 3 problem
+// sizes x 2 cut-off settings x 2 update frequencies = 84 experiments
+// (§2.3, §2.5) — fits the model parameters by least squares, prints the
+// fitted constants and fit quality, and then prints the reduced
+// 7 * 2^(3-1) presentation set (measured vs model vs difference) the paper
+// shows in Figures 4a-4d.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "doe/design.hpp"
+#include "mach/platforms_db.hpp"
+#include "model/calibrate.hpp"
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+struct Case {
+  int p;
+  std::string size;  // "small" | "medium" | "large"
+  bool cutoff;
+  bool partial_update;
+};
+
+opal::MolecularComplex molecule(const std::string& size) {
+  if (size == "small") return bench::small_complex();
+  if (size == "medium") return bench::medium_complex();
+  return bench::large_complex();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 4 — model calibration on the simulated Cray J90 "
+      "(full factorial, Jain ch.16)",
+      "Taufer & Stricker 1998, Figures 3 and 4a-4d");
+
+  // ---- Figure 3: the parameter space ------------------------------------
+  doe::FullFactorial space({{"servers", {"1", "2", "3", "4", "5", "6", "7"}},
+                            {"size", {"small", "medium", "large"}},
+                            {"cutoff", {"none", "10A"}},
+                            {"update", {"full", "partial"}}});
+  std::cout << "Parameter space (Figure 3): " << space.num_runs()
+            << " experiments\n\n";
+
+  // ---- run the full factorial -------------------------------------------
+  std::vector<model::Observation> obs;
+  std::vector<Case> cases;
+  for (std::size_t run = 0; run < space.num_runs(); ++run) {
+    Case c;
+    c.p = std::stoi(space.level_name(run, 0));
+    c.size = space.level_name(run, 1);
+    c.cutoff = space.level_name(run, 2) == "10A";
+    c.partial_update = space.level_name(run, 3) == "partial";
+    cases.push_back(c);
+
+    auto mc = molecule(c.size);
+    opal::SimulationConfig cfg;
+    cfg.steps = bench::steps();
+    cfg.cutoff = c.cutoff ? 10.0 : -1.0;
+    cfg.update_every = c.partial_update ? 10 : 1;
+
+    model::Observation o;
+    o.app = model::app_params_for(mc, cfg, c.p);
+    opal::ParallelOpal par(mach::cray_j90(), std::move(mc), c.p, cfg);
+    o.measured = par.run().metrics;
+    obs.push_back(std::move(o));
+    std::cout << "." << std::flush;
+  }
+  std::cout << " " << obs.size() << " runs done\n\n";
+
+  // ---- least-squares fit --------------------------------------------------
+  const auto fit = model::calibrate(obs, model::UpdateVariant::Consistent);
+  const auto fit_lit = model::calibrate(obs, model::UpdateVariant::PaperLiteral);
+
+  util::Table params({"parameter", "fitted (consistent)", "fitted (paper-literal)",
+                      "theoretical (datasheet)"});
+  const auto theo = model::theoretical_params(mach::cray_j90());
+  auto prow = [&](const std::string& name, double a, double b, double c) {
+    params.row().add(name).add(a, 9).add(b, 9).add(c, 9);
+  };
+  prow("a1 [MB/s]", fit.params.a1 / 1e6, fit_lit.params.a1 / 1e6,
+       theo.a1 / 1e6);
+  prow("b1 [s]", fit.params.b1, fit_lit.params.b1, theo.b1);
+  prow("a2 [s/pair]", fit.params.a2, fit_lit.params.a2, theo.a2);
+  prow("a3 [s/pair]", fit.params.a3, fit_lit.params.a3, theo.a3);
+  prow("a4 [s/center]", fit.params.a4, fit_lit.params.a4, theo.a4);
+  prow("b5 [s]", fit.params.b5, fit_lit.params.b5, theo.b5);
+  bench::emit(params, "fig4_fitted_params");
+
+  util::Table quality({"component", "mean |rel err|", "max |rel err|", "R^2"});
+  auto qrow = [&](const std::string& name, const util::FitQuality& q) {
+    quality.row().add(name).add(q.mean_abs_rel_err, 4).add(q.max_abs_rel_err, 4)
+        .add(q.r_squared, 5);
+  };
+  qrow("par update", fit.fit_update);
+  qrow("par nbint", fit.fit_nbint);
+  qrow("seq comp", fit.fit_seq);
+  qrow("communication", fit.fit_comm);
+  qrow("synchronization", fit.fit_sync);
+  qrow("TOTAL wall", fit.fit_total);
+  bench::emit(quality, "fig4_fit_quality");
+
+  // ---- Figure 4 panels: the reduced 7 * 2^(3-1) presentation set ---------
+  // Half fraction over (size in {medium,large}) x (cutoff) x (update) with
+  // I = size*cutoff*update, as the paper presents only 4 of the 8 cells.
+  auto frac = doe::TwoLevelDesign::fractional(
+      {"cutoff", "update"}, {{"size", {"cutoff", "update"}}});
+  std::cout << "Reduced presentation set: 7 * 2^(3-1) = "
+            << 7 * frac.num_runs() << " cases (of the "
+            << space.num_runs() << " run)\n\n";
+
+  for (std::size_t cell = 0; cell < frac.num_runs(); ++cell) {
+    const bool cutoff = frac.sign(cell, "cutoff") > 0;
+    const bool partial = frac.sign(cell, "update") > 0;
+    const std::string size = frac.sign(cell, "size") > 0 ? "large" : "medium";
+    std::cout << "--- Panel: " << size << ", "
+              << (cutoff ? "cut-off 10 A" : "no cut-off") << ", "
+              << (partial ? "partial update" : "full update") << " ---\n";
+    util::Table t({"servers", "measured [s]", "model [s]", "diff [s]",
+                   "diff [%]"});
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      const Case& c = cases[i];
+      if (c.size != size || c.cutoff != cutoff ||
+          c.partial_update != partial) {
+        continue;
+      }
+      const double measured = obs[i].measured.wall;
+      const double predicted = model::predict_total(fit.params, obs[i].app);
+      t.row()
+          .add(c.p)
+          .add(measured, 3)
+          .add(predicted, 3)
+          .add(predicted - measured, 3)
+          .add(100.0 * (predicted - measured) / measured, 1);
+    }
+    bench::emit(t, "fig4_panel_" + std::string(1, 'a' + cell));
+  }
+
+  // ---- allocation of variation (Jain ch.17/18 analysis) ------------------
+  // Which factors drive total execution time?  2^3 over (size, cutoff,
+  // update) at p=7.
+  auto d3 = doe::TwoLevelDesign::full({"size", "cutoff", "update"});
+  std::vector<double> y(d3.num_runs());
+  for (std::size_t r = 0; r < d3.num_runs(); ++r) {
+    const std::string size = d3.sign(r, "size") > 0 ? "large" : "medium";
+    const bool cutoff = d3.sign(r, "cutoff") > 0;
+    const bool partial = d3.sign(r, "update") > 0;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      if (cases[i].p == 7 && cases[i].size == size &&
+          cases[i].cutoff == cutoff && cases[i].partial_update == partial) {
+        y[r] = obs[i].measured.wall;
+      }
+    }
+  }
+  util::Table alloc({"effect", "q coefficient [s]", "% of variation"});
+  for (const auto& a : d3.allocation_of_variation(y, 3)) {
+    alloc.row().add(a.label).add(a.effect, 3).add(100.0 * a.fraction, 1);
+  }
+  std::cout << "Allocation of variation of total wall time at p = 7:\n";
+  bench::emit(alloc, "fig4_allocation");
+
+  std::cout << "Paper: \"the overall fit of the model to the measurement is "
+               "excellent\" — compare mean |rel err| of TOTAL above.\n";
+  return 0;
+}

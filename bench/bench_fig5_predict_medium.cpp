@@ -1,0 +1,9 @@
+// Figure 5: predicted execution time and speed-up for an Opal simulation of
+// the medium problem size molecule on T3E-900, J90, slow/SMP/fast CoPs.
+#include "bench_predict.hpp"
+
+int main() {
+  return opalsim::bench::run_prediction_figure(
+      [] { return opalsim::bench::medium_complex(); }, "medium", "fig5",
+      "Taufer & Stricker 1998, Figures 5a-5d");
+}

@@ -1,0 +1,9 @@
+// Figure 6: predicted execution time and speed-up for an Opal simulation of
+// the large problem size molecule on T3E-900, J90, slow/SMP/fast CoPs.
+#include "bench_predict.hpp"
+
+int main() {
+  return opalsim::bench::run_prediction_figure(
+      [] { return opalsim::bench::large_complex(); }, "large", "fig6",
+      "Taufer & Stricker 1998, Figures 6a-6d");
+}

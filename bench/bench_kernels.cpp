@@ -1,0 +1,86 @@
+// Host-side kernel throughput (google-benchmark): the real execution speed
+// of this implementation's dominant loops — nonbonded pair evaluation, the
+// update distance sweep, bonded terms and pair-domain construction.  These
+// are supporting numbers (the paper's figures use *virtual* time); they
+// document the cost of running the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "opal/complex.hpp"
+#include "opal/forcefield.hpp"
+#include "opal/pairs.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+opal::MolecularComplex& bench_complex() {
+  static opal::MolecularComplex mc = [] {
+    opal::SyntheticSpec s;
+    s.n_solute = 504;
+    s.n_water = 996;
+    return opal::make_synthetic_complex(s);
+  }();
+  return mc;
+}
+
+void BM_NonbondedPairKernel(benchmark::State& state) {
+  const auto& mc = bench_complex();
+  const auto pairs = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto kr = opal::nbint_kernel(mc, pairs);
+    benchmark::DoNotOptimize(kr.evdw);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_NonbondedPairKernel)->Arg(100000)->Arg(1000000);
+
+void BM_UpdateSweep(benchmark::State& state) {
+  const auto& mc = bench_complex();
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::Folded, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dom.update(mc, 10.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dom.domain_size()));
+}
+BENCHMARK(BM_UpdateSweep);
+
+void BM_BondedTerms(benchmark::State& state) {
+  const auto& mc = bench_complex();
+  std::vector<opal::Vec3> grad(mc.n());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), opal::Vec3{});
+    auto e = opal::evaluate_bonded(mc, grad);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_BondedTerms);
+
+void BM_BuildDomains(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(bench_complex().n());
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto d = opal::build_domains(
+        n, p, opal::DistributionStrategy::PseudoRandomUniform, 1);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_BuildDomains)->Arg(1)->Arg(7);
+
+void BM_SerialStep(benchmark::State& state) {
+  for (auto _ : state) {
+    opal::SimulationConfig cfg;
+    cfg.steps = 1;
+    opal::SerialOpal eng(bench_complex(), cfg);
+    benchmark::DoNotOptimize(eng.run());
+  }
+}
+BENCHMARK(BM_SerialStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

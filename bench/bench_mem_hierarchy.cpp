@@ -1,0 +1,72 @@
+// §2.6 memory-hierarchy table: computational rate of the dominant loop
+// (comp_nbint) on a Pentium 200 with in-cache (50 KB), in-core (8 MB) and
+// out-of-core (120 MB) working sets, plus the J90 vectorization-off study
+// the paper mentions as the vector-machine analogue.
+#include "bench_common.hpp"
+#include "mach/cpu.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/serial.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+using namespace opalsim;
+}
+
+int main() {
+  bench::banner("Section 2.6 — memory-hierarchy performance of comp_nbint",
+                "Taufer & Stricker 1998, §2.6 second table");
+
+  const auto mc = bench::small_complex();
+  const opal::KernelResult kr = opal::nbint_kernel(mc, 2'000'000);
+
+  const auto pentium = mach::pentium200();
+  struct WorkingSet {
+    const char* label;
+    std::size_t bytes;
+  };
+  const WorkingSet sets[] = {
+      {"in cache", 50 * 1024},
+      {"in core", 8 * 1024 * 1024},
+      {"out of core", 120 * 1024 * 1024},
+  };
+
+  // Reference: the in-core rate (the paper normalizes to it).
+  sim::Engine ref_engine;
+  mach::Cpu ref_cpu(ref_engine, pentium.cpu);
+  const double t_core = ref_cpu.charge(kr.ops, 8 * 1024 * 1024);
+  const double rate_core =
+      ref_cpu.counter().counted_mflop(pentium.cpu.intrinsics) / t_core;
+
+  util::Table t({"working set", "MByte", "rate [MFlop/s]", "relative"});
+  for (const auto& ws : sets) {
+    sim::Engine engine;
+    mach::Cpu cpu(engine, pentium.cpu);
+    const double dt = cpu.charge(kr.ops, ws.bytes);
+    const double rate =
+        cpu.counter().counted_mflop(pentium.cpu.intrinsics) / dt;
+    t.row()
+        .add(ws.label)
+        .add(static_cast<double>(ws.bytes) / 1e6, 2)
+        .add(rate, 0)
+        .add(rate / rate_core, 2);
+  }
+  bench::emit(t, "mem_hierarchy");
+  std::cout << "Paper values (Pentium 200): in cache 35 MFlop/s (1.09), "
+               "in core 32 (1.00), out of core 8 (0.25).\n\n";
+
+  // The J90 study: vectorization on/off (the paper notes it would be the
+  // analogous experiment on a vector machine, and that turning it off would
+  // be pointless in production).
+  const auto j90 = mach::cray_j90();
+  util::Table t2({"J90 vectorization", "rate [MFlop/s]", "relative"});
+  for (bool vec : {true, false}) {
+    sim::Engine engine;
+    mach::Cpu cpu(engine, j90.cpu);
+    cpu.set_vectorized(vec);
+    const double dt = cpu.charge(kr.ops, 8 * 1024 * 1024);
+    const double rate = cpu.counter().counted_mflop(j90.cpu.intrinsics) / dt;
+    t2.row().add(vec ? "on" : "off").add(rate, 0).add(vec ? 1.0 : 0.1, 2);
+  }
+  bench::emit(t2, "mem_hierarchy_j90");
+  return 0;
+}

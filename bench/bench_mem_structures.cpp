@@ -1,0 +1,68 @@
+// §2.6 space-complexity table: size of the Opal data structures as a
+// function of problem size, evaluated for the large example (6289/6290 mass
+// centers as in the paper's table).
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "opal/pairs.hpp"
+
+namespace {
+using namespace opalsim;
+}
+
+int main() {
+  bench::banner("Section 2.6 — data-structure sizes (space model)",
+                "Taufer & Stricker 1998, §2.6 first table");
+
+  auto mc = bench::large_complex();
+  const auto n = static_cast<double>(mc.n());
+  const double gamma = mc.gamma();
+
+  // Actual pair-list bytes: build the single-server domain and materialize
+  // the full (no cut-off) list once.
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::Folded, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  dom.update(mc, 1e9);  // effectively no cut-off but materialized
+
+  util::Table t({"structure", "order", "constant [bytes]",
+                 "model size [bytes]", "actual [bytes]"});
+  // Pair list: paper writes c (1-2 gamma) n^2 with c = 2*4; the actually
+  // allocated full list is n(n-1)/2 entries of 8 bytes.
+  t.row()
+      .add("pair list")
+      .add("c n(n-1)/2")
+      .add(static_cast<int>(sizeof(opal::PairIdx)))
+      .add(8.0 * n * (n - 1.0) / 2.0, 0)
+      .add(static_cast<unsigned long>(dom.list_bytes()));
+  t.row()
+      .add("atom coordinates")
+      .add("c n")
+      .add(24)
+      .add(24.0 * n, 0)
+      .add(static_cast<unsigned long>(mc.flat_coordinates().size() * 8));
+  t.row()
+      .add("atom gradients")
+      .add("c n")
+      .add(24)
+      .add(24.0 * n, 0)
+      .add(static_cast<unsigned long>(3 * mc.n() * 8));
+  // Interaction parameters are replicated per mass centre (charge + c12 +
+  // c6 as 3 doubles in our layout; the paper counts 2*8 per solute-ish n).
+  t.row()
+      .add("atom interactions")
+      .add("c (1-gamma-ish) n")
+      .add(16)
+      .add(16.0 * (1.0 - gamma) * n + 16.0 * gamma * n, 0)
+      .add(static_cast<unsigned long>(mc.n() * 3 * 8));
+  t.row().add("energy values").add("c").add(16).add(16.0, 0).add(16);
+  bench::emit(t, "mem_structures");
+
+  std::cout << "Paper values (6290 mass centers): pair list 160'000'000, "
+               "coordinates 1'000'000, gradients 1'000'000,\n"
+            << "interactions 3'000'000, energies 16 bytes.  Our full pair "
+               "list is n(n-1)/2*8 = "
+            << util::format_number(8.0 * n * (n - 1.0) / 2.0, 0)
+            << " bytes — the same 1.6e8 order.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared driver for the Figure 5/6 benches: predicted execution time and
+// relative speed-up of an Opal simulation on the five §4 platforms, from
+// the analytic model calibrated on the simulated Cray J90.
+//
+// Panels (as in the paper):
+//   a) execution time, no cut-off     b) speed-up, no cut-off
+//   c) execution time, cut-off 10 A   d) speed-up, cut-off 10 A
+// The cut-off panels use full updates (u = 1), the regime in which the
+// paper's qualitative claims (J90/slow-CoPs slow-down past p~3, T3E best
+// speed-up yet behind fast/SMP CoPs at p=7) all hold; see EXPERIMENTS.md.
+#pragma once
+
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "model/calibrate.hpp"
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+
+namespace opalsim::bench {
+
+/// Calibrates the model on a small factorial over the simulated J90 (cheap:
+/// scaled-down molecules are fine since the fit recovers per-pair constants).
+inline model::ModelParams calibrate_reference_on_j90() {
+  std::vector<model::Observation> obs;
+  for (int p : {1, 3, 5, 7}) {
+    for (int solute : {150, 300}) {
+      for (int upd : {1, 10}) {
+        for (double cutoff : {-1.0, 10.0}) {
+          opal::SyntheticSpec s;
+          s.n_solute = solute;
+          s.n_water = 2 * solute;
+          auto mc = opal::make_synthetic_complex(s);
+          opal::SimulationConfig cfg;
+          cfg.steps = 5;
+          cfg.update_every = upd;
+          cfg.cutoff = cutoff;
+          cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+          model::Observation o;
+          o.app = model::app_params_for(mc, cfg, p);
+          opal::ParallelOpal run(mach::cray_j90(), std::move(mc), p, cfg);
+          o.measured = run.run().metrics;
+          obs.push_back(std::move(o));
+        }
+      }
+    }
+  }
+  return model::calibrate(obs).params;
+}
+
+inline int run_prediction_figure(
+    const std::function<opal::MolecularComplex()>& make_mc,
+    const std::string& molecule_label, const std::string& figure_name,
+    const std::string& paper_ref) {
+  banner("Predicted execution time and speed-up, " + molecule_label +
+             " molecule, five platforms",
+         paper_ref);
+
+  const auto mc = make_mc();
+  std::cout << "molecule: n = " << mc.n() << ", gamma = "
+            << util::format_number(mc.gamma(), 3)
+            << ", density = " << util::format_number(mc.density(), 4)
+            << " /A^3, steps = " << steps() << "\n"
+            << "calibrating reference model on the simulated J90...\n\n";
+
+  const model::ModelParams ref = calibrate_reference_on_j90();
+  const auto platforms = mach::prediction_platforms();
+  const auto j90 = mach::cray_j90();
+
+  struct PanelCfg {
+    std::string label;
+    double cutoff;
+    int update_every;
+    bool speedup;
+  };
+  const PanelCfg panels[] = {
+      {"a) predicted execution time [s], no cut-off", -1.0, 1, false},
+      {"b) predicted relative speed-up, no cut-off", -1.0, 1, true},
+      {"c) predicted execution time [s], cut-off 10 A", 10.0, 1, false},
+      {"d) predicted relative speed-up, cut-off 10 A", 10.0, 1, true},
+  };
+
+  int panel_idx = 0;
+  for (const auto& panel : panels) {
+    std::cout << "--- Panel " << panel.label << " ---\n";
+    std::vector<std::string> headers{"servers"};
+    for (const auto& spec : platforms) headers.push_back(spec.name);
+    util::Table t(std::move(headers));
+    for (int p = 1; p <= 7; ++p) {
+      t.row().add(p);
+      for (const auto& spec : platforms) {
+        opal::SimulationConfig cfg;
+        cfg.steps = steps();
+        cfg.cutoff = panel.cutoff;
+        cfg.update_every = panel.update_every;
+        model::AppParams app = model::app_params_for(mc, cfg, p);
+        const model::ModelParams params =
+            model::derive_platform_params(ref, j90, spec);
+        if (panel.speedup) {
+          t.add(model::predict_speedup(params, app, p), 2);
+        } else {
+          t.add(model::predict_total(params, app), 2);
+        }
+      }
+    }
+    emit(t, figure_name + "_panel_" + std::string(1, 'a' + panel_idx));
+    ++panel_idx;
+  }
+
+  std::cout
+      << "Paper observations to compare against (see EXPERIMENTS.md):\n"
+      << " - a/b: compute-bound; time ordered by adjusted compute rate\n"
+      << "   (SMP/fast CoPs < J90 < slow CoPs ~ T3E); good speed-up "
+         "everywhere.\n"
+      << " - c: J90 and slow CoPs stop improving past ~3 servers (their\n"
+      << "   execution time turns upward); T3E catches up at higher p.\n"
+      << " - d: J90/slow-CoPs speed-up curves flatten or turn into\n"
+      << "   slow-down; T3E has the best speed-up yet remains behind fast\n"
+      << "   and SMP CoPs in absolute time at p = 7.\n";
+  return 0;
+}
+
+}  // namespace opalsim::bench

@@ -1,0 +1,95 @@
+// Table 2: communication speed parameters for performance prediction.
+//
+// Runs a ping-pong microbenchmark through each platform's simulated network
+// (PVM send/recv between two nodes) and reports hardware peak, observed
+// bandwidth (from a large-message ping-pong) and observed latency (from an
+// empty-message ping-pong) — the quantities feeding the model's a1 and b1.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "pvm/pvm_system.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+struct PingPongResult {
+  double bandwidth_MBps;
+  double latency_s;
+};
+
+PingPongResult ping_pong(const mach::PlatformSpec& spec) {
+  constexpr std::size_t kBigBytes = 4 << 20;  // 4 MB payload
+  constexpr int kRounds = 4;
+
+  auto run_roundtrips = [&](std::size_t payload_doubles) {
+    sim::Engine engine;
+    mach::Machine machine(engine, spec, 2);
+    pvm::PvmSystem pvm(machine);
+    pvm.spawn(0, [&](pvm::PvmTask& t) -> sim::Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        pvm::PackBuffer b;
+        b.pack_f64_array(std::vector<double>(payload_doubles, 1.0));
+        co_await t.send(1, 1, std::move(b));
+        (void)co_await t.recv(1, 2);
+      }
+    });
+    pvm.spawn(1, [&](pvm::PvmTask& t) -> sim::Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        pvm::Message m = co_await t.recv(0, 1);
+        pvm::PackBuffer reply;
+        reply.pack_f64_array(m.body.unpack_f64_array());
+        co_await t.send(0, 2, std::move(reply));
+      }
+    });
+    engine.run();
+    return engine.now();
+  };
+
+  const double t_big = run_roundtrips(kBigBytes / 8);
+  const double t_small = run_roundtrips(0);
+
+  PingPongResult r;
+  // One-way latency from the empty ping-pong: 2*rounds messages.
+  r.latency_s = t_small / (2.0 * kRounds);
+  // Bandwidth from the payload-dominated portion.
+  const double per_msg = (t_big - t_small) / (2.0 * kRounds);
+  r.bandwidth_MBps = static_cast<double>(kBigBytes) / per_msg / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 — communication speed parameters",
+                "Taufer & Stricker 1998, Table 2");
+
+  util::Table t({"MPP node type", "network", "hw peak [MB/s]",
+                 "observed [MB/s]", "observed latency"});
+  for (const auto& spec : mach::prediction_platforms()) {
+    const PingPongResult r = ping_pong(spec);
+    std::string lat;
+    if (r.latency_s >= 1e-3) {
+      lat = util::format_number(r.latency_s * 1e3, 0) + " ms";
+    } else {
+      lat = util::format_number(r.latency_s * 1e6, 0) + " us";
+    }
+    t.row()
+        .add(spec.name)
+        .add(spec.net.name)
+        .add(spec.net.hw_peak_MBps, 0)
+        .add(r.bandwidth_MBps, 1)
+        .add(lat);
+  }
+  bench::emit(t, "table2_comm");
+
+  std::cout << "Paper values for comparison:\n"
+            << "  T3E-900 (MPI):       peak 350, observed 100 MB/s, 12 us\n"
+            << "  J90 (PVM/Sciddle):   peak 2000, observed 3 MB/s, 10 ms\n"
+            << "  Slow CoPs (Ethernet): peak 10, observed 3 MB/s, 10 ms\n"
+            << "  SMP CoPs (SCI):      peak 50, observed 15 MB/s, 25 us\n"
+            << "  Fast CoPs (Myrinet): peak 125, observed 30 MB/s, 15 us\n";
+  return 0;
+}

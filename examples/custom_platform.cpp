@@ -1,0 +1,64 @@
+// Define your own platform: a hypothetical gigabit Beowulf cluster that is
+// not in the paper, run the real (simulated) Opal on it, and check the
+// analytic model's prediction against the measurement — the workflow a
+// procurement study would follow for a new candidate machine.
+//
+//   ./examples/custom_platform
+#include <iostream>
+
+#include "mach/platforms_db.hpp"
+#include "model/calibrate.hpp"
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+#include "sim/time.hpp"
+#include "util/table.hpp"
+
+using namespace opalsim;
+
+int main() {
+  // 1. The candidate platform: 500 MHz nodes (~128 adjusted MFlop/s) on
+  //    switched gigabit Ethernet (observed ~60 MB/s, 40 us latency).
+  mach::PlatformSpec beowulf;
+  beowulf.name = "Gigabit Beowulf (hypothetical)";
+  beowulf.cpu.name = "P-III 500";
+  beowulf.cpu.clock_mhz = 500.0;
+  beowulf.cpu.adjusted_mflops = 128.0;
+  beowulf.cpu.intrinsics = mach::slow_cops().cpu.intrinsics;
+  beowulf.cpu.memory = mach::slow_cops().cpu.memory;
+  beowulf.net.kind = mach::NetSpec::Kind::Switched;
+  beowulf.net.name = "switched gigabit Ethernet";
+  beowulf.net.hw_peak_MBps = 125.0;
+  beowulf.net.observed_MBps = 60.0;
+  beowulf.net.latency_s = sim::microseconds(40);
+  beowulf.sync_time_s = sim::microseconds(60);
+
+  // 2. A workload: mid-size complex, 10 A cut-off, partial updates.
+  opal::SyntheticSpec s;
+  s.n_solute = 500;
+  s.n_water = 1000;
+  auto mc = opal::make_synthetic_complex(s);
+  opal::SimulationConfig cfg;
+  cfg.steps = 10;
+  cfg.cutoff = 10.0;
+  cfg.update_every = 10;
+
+  // 3. Measure on the simulated platform AND predict from its datasheet.
+  const model::ModelParams params = model::theoretical_params(beowulf);
+  util::Table t({"servers", "measured [s]", "predicted [s]", "diff [%]"});
+  for (int p = 1; p <= 7; ++p) {
+    opal::ParallelOpal run(beowulf, mc, p, cfg);
+    const double measured = run.run().metrics.wall;
+    model::AppParams app = model::app_params_for(mc, cfg, p);
+    const double predicted = model::predict_total(params, app);
+    t.row().add(p).add(measured, 3).add(predicted, 3).add(
+        100.0 * (predicted - measured) / measured, 1);
+  }
+  std::cout << "Platform: " << beowulf.name << "\n"
+            << "Workload: n = " << mc.n() << ", cut-off 10 A, partial "
+               "updates, 10 steps\n\n";
+  t.print(std::cout);
+  std::cout << "\nThe datasheet-only prediction lands within a few percent\n"
+               "of the measured (simulated) runs — the paper's §4 workflow\n"
+               "applied to a machine that did not exist in 1998.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Systematic experimental design on the simulator (the paper's §2.3
+// methodology as a reusable workflow): a replicated 2^3 factorial over
+// (problem size, cut-off, update frequency) at fixed p, analyzed with
+// effect confidence intervals and allocation of variation (Jain ch. 17-18).
+//
+//   ./examples/doe_analysis
+#include <iostream>
+#include <vector>
+
+#include "doe/design.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace opalsim;
+
+int main() {
+  auto design = doe::TwoLevelDesign::full({"size", "cutoff", "update"});
+  constexpr int kServers = 5;
+  constexpr std::size_t kReplications = 2;
+
+  std::cout << "2^3 factorial with " << kReplications
+            << " replications on the simulated Cray J90, p = " << kServers
+            << "\nfactors: size (360/720 centers), cutoff (none/9 A), "
+               "update (every step / every 5)\n\n";
+
+  std::vector<double> wall;
+  for (std::size_t run = 0; run < design.num_runs(); ++run) {
+    const bool big = design.sign(run, "size") > 0;
+    const bool cut = design.sign(run, "cutoff") > 0;
+    const bool partial = design.sign(run, "update") > 0;
+    for (std::size_t rep = 0; rep < kReplications; ++rep) {
+      opal::SyntheticSpec s;
+      s.n_solute = big ? 240 : 120;
+      s.n_water = 2 * s.n_solute;
+      s.seed = 42 + rep;  // replication = different synthetic instance
+      auto mc = opal::make_synthetic_complex(s);
+      opal::SimulationConfig cfg;
+      cfg.steps = 5;
+      cfg.cutoff = cut ? 9.0 : -1.0;
+      cfg.update_every = partial ? 5 : 1;
+      cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+      opal::ParallelOpal par(mach::cray_j90(), std::move(mc), kServers, cfg);
+      wall.push_back(par.run().metrics.wall);
+    }
+  }
+
+  util::Table effects({"effect", "q [s]", "95% CI [s]", "significant"});
+  for (const auto& e : design.effects_with_ci(wall, kReplications, 3)) {
+    effects.row()
+        .add(e.label)
+        .add(e.effect, 4)
+        .add(e.ci95, 4)
+        .add(e.significant ? "yes" : "no");
+  }
+  effects.print(std::cout);
+
+  // Allocation of variation over the per-run means.
+  std::vector<double> means(design.num_runs());
+  for (std::size_t run = 0; run < design.num_runs(); ++run) {
+    for (std::size_t rep = 0; rep < kReplications; ++rep) {
+      means[run] += wall[run * kReplications + rep];
+    }
+    means[run] /= kReplications;
+  }
+  std::cout << "\nallocation of variation:\n";
+  util::Table alloc({"effect", "% of variation"});
+  for (const auto& a : design.allocation_of_variation(means, 3)) {
+    alloc.row().add(a.label).add(100.0 * a.fraction, 1);
+  }
+  alloc.print(std::cout);
+  std::cout << "\nReading: size and cutoff (and their interaction) drive the\n"
+               "execution time; the update factor matters mainly in the\n"
+               "cut-off half of the design — the same conclusion §2.4 draws\n"
+               "from Figures 1c/1d.\n";
+  return 0;
+}

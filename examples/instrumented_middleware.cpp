@@ -1,0 +1,96 @@
+// Instrumented middleware in action (paper §3): drive the Sciddle RPC layer
+// directly — register a custom remote procedure, call it from a client with
+// per-phase accounting, and show what barrier-separated instrumentation
+// reveals that overlapped execution hides.
+//
+//   ./examples/instrumented_middleware
+#include <iostream>
+#include <vector>
+
+#include "hpm/op_counts.hpp"
+#include "mach/platforms_db.hpp"
+#include "pvm/pvm_system.hpp"
+#include "sciddle/perf_monitor.hpp"
+#include "sciddle/rpc.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+
+using namespace opalsim;
+
+namespace {
+
+// A toy remote procedure: "integrate a slab" — charges CPU work proportional
+// to the slab size it receives and returns a partial sum.
+sim::Task<pvm::PackBuffer> integrate_slab(pvm::PackBuffer args,
+                                          sciddle::ServerContext& ctx) {
+  const auto elements = static_cast<std::uint64_t>(args.unpack_u64());
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < elements; ++i) {
+    sum += 1.0 / static_cast<double>((ctx.server_index + 1) + i);
+  }
+  // ~4 flops per element, charged to the node's CPU model.
+  co_await ctx.task.cpu().compute(
+      hpm::OpCounts{2 * elements, elements, elements, 0, 0, 0}, 64 * 1024);
+  pvm::PackBuffer out;
+  out.pack_f64(sum);
+  co_return out;
+}
+
+void run_mode(bool barrier_mode) {
+  std::cout << (barrier_mode ? "--- barrier-separated accounting (the "
+                               "paper's modified Sciddle) ---\n"
+                             : "--- overlapped execution (original "
+                               "Sciddle) ---\n");
+  sim::Engine engine;
+  mach::Machine machine(engine, mach::fast_cops(), 4);
+  pvm::PvmSystem pvm(machine);
+  sciddle::Rpc rpc(pvm, /*servers=*/3,
+                   sciddle::Options{.barrier_mode = barrier_mode});
+  rpc.register_proc("integrate", integrate_slab);
+  rpc.start();
+
+  sciddle::PerfMonitor monitor(engine);
+  sciddle::CallAllStats last;
+
+  pvm.spawn(0, [&](pvm::PvmTask& client) -> sim::Task<void> {
+    monitor.start("setup");
+    for (int round = 0; round < 3; ++round) {
+      monitor.set_phase("rpc");
+      std::vector<pvm::PackBuffer> args(3);
+      for (int s = 0; s < 3; ++s) {
+        args[s].pack_u64(2'000'000 * (s + 1));  // deliberately imbalanced
+      }
+      last = co_await rpc.call_all(client, "integrate", std::move(args),
+                                   nullptr);
+      monitor.set_phase("postprocess");
+      co_await client.cpu().compute(hpm::OpCounts{1000, 0, 0, 0, 0, 0}, 1024);
+    }
+    monitor.stop();
+    co_await rpc.shutdown(client);
+  });
+  engine.run();
+
+  util::Table t({"metric", "value"});
+  t.row().add("call time [ms]").add(last.call_time * 1e3, 3);
+  t.row().add("compute wall [ms]").add(last.compute_wall * 1e3, 3);
+  t.row().add("return time [ms]").add(last.return_time * 1e3, 3);
+  t.row().add("sync time [ms]").add(last.sync_time * 1e3, 3);
+  t.row().add("mean server busy [ms]").add(last.par_time() * 1e3, 3);
+  t.row().add("idle = imbalance [ms]").add(last.idle_time() * 1e3, 3);
+  t.print(std::cout);
+  std::cout << "per-server busy [ms]:";
+  for (double b : last.server_busy) std::cout << " " << b * 1e3;
+  std::cout << "\nwall clock: " << engine.now() << " s (virtual)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Three rounds of a deliberately imbalanced 3-server RPC on a\n"
+               "simulated Myrinet cluster.  Note how barrier mode separates\n"
+               "compute from reply transfer and exposes the imbalance as\n"
+               "idle time, while overlap mode lumps everything together.\n\n";
+  run_mode(false);
+  run_mode(true);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// opalsim_cli — run a single Opal experiment from the command line.
+//
+//   ./examples/opalsim_cli --platform fast-cops --servers 4 --size medium
+//       --steps 10 --cutoff 10 --update-every 10 --method rd [--trace]
+//       [--minimize] [--overlap] [--strategy uniform] [--predict]
+//
+// Platforms: t3e | j90 | slow-cops | smp-cops | fast-cops | hippi-j90
+// Sizes:     small | medium | large   (or --solute N --water M)
+// Methods:   rd | sd | fd
+#include <iostream>
+
+#include "mach/platforms_db.hpp"
+#include "model/prediction.hpp"
+#include "opal/decomp.hpp"
+#include "sciddle/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace opalsim;
+
+namespace {
+
+int usage(const char* prog) {
+  std::cerr
+      << "usage: " << prog
+      << " [--platform P] [--servers N] [--size S] [--steps K]\n"
+         "       [--cutoff A] [--update-every U] [--method rd|sd|fd]\n"
+         "       [--strategy historical|uniform|rowcyclic|folded]\n"
+         "       [--minimize] [--overlap] [--trace] [--predict]\n"
+         "       [--solute N --water M] [--seed X]\n"
+         "platforms: t3e j90 slow-cops smp-cops fast-cops hippi-j90\n";
+  return 2;
+}
+
+std::optional<mach::PlatformSpec> platform_by_name(const std::string& name) {
+  if (name == "t3e") return mach::cray_t3e900();
+  if (name == "j90") return mach::cray_j90();
+  if (name == "slow-cops") return mach::slow_cops();
+  if (name == "smp-cops") return mach::smp_cops();
+  if (name == "fast-cops") return mach::fast_cops();
+  if (name == "hippi-j90") return mach::hippi_j90_cluster();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  if (args.get_flag("help")) return usage(argv[0]);
+
+  const auto platform = platform_by_name(args.get_or("platform", "j90"));
+  if (!platform) {
+    std::cerr << "unknown platform\n";
+    return usage(argv[0]);
+  }
+
+  // Molecule.
+  opal::MolecularComplex mc;
+  const std::string size = args.get_or("size", "medium");
+  if (args.has("solute")) {
+    opal::SyntheticSpec s;
+    s.n_solute = static_cast<std::size_t>(args.get_long("solute", 200));
+    s.n_water = static_cast<std::size_t>(args.get_long("water", 400));
+    s.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+    mc = opal::make_synthetic_complex(s);
+  } else if (size == "small") {
+    mc = opal::make_small_complex();
+  } else if (size == "large") {
+    mc = opal::make_large_complex();
+  } else {
+    mc = opal::make_medium_complex();
+  }
+
+  // Configuration.
+  opal::SimulationConfig cfg;
+  cfg.steps = static_cast<int>(args.get_long("steps", 10));
+  cfg.cutoff = args.get_double("cutoff", -1.0);
+  cfg.update_every = static_cast<int>(args.get_long("update-every", 1));
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  if (args.get_flag("minimize")) cfg.mode = opal::RunMode::Minimization;
+  const std::string strat = args.get_or("strategy", "historical");
+  cfg.strategy =
+      strat == "uniform" ? opal::DistributionStrategy::PseudoRandomUniform
+      : strat == "rowcyclic" ? opal::DistributionStrategy::RowCyclic
+      : strat == "folded" ? opal::DistributionStrategy::Folded
+                          : opal::DistributionStrategy::PseudoRandomHistorical;
+
+  const std::string method_name = args.get_or("method", "rd");
+  const opal::Method method =
+      method_name == "sd" ? opal::Method::SpaceDecomposition
+      : method_name == "fd" ? opal::Method::ForceDecomposition
+                            : opal::Method::ReplicatedData;
+
+  const int servers = static_cast<int>(args.get_long("servers", 4));
+
+  sciddle::Tracer tracer;
+  sciddle::Options mw;
+  mw.barrier_mode = !args.get_flag("overlap");
+  if (args.get_flag("trace")) mw.tracer = &tracer;
+
+  for (const auto& k : args.unused()) {
+    std::cerr << "warning: unknown option --" << k << "\n";
+  }
+
+  std::cout << "platform: " << platform->name << ", method "
+            << opal::to_string(method) << ", p = " << servers
+            << ", n = " << mc.n() << ", steps = " << cfg.steps
+            << (cfg.has_cutoff()
+                    ? ", cut-off " + std::to_string(cfg.cutoff) + " A"
+                    : ", no cut-off")
+            << ", update every " << cfg.update_every << "\n\n";
+
+  const auto r = opal::run_with_method(method, *platform, mc, servers, cfg, mw);
+
+  util::Table phys({"observable", "value"});
+  phys.row().add("vdW energy").add(r.physics.evdw, 3);
+  phys.row().add("Coulomb energy").add(r.physics.ecoul, 3);
+  phys.row().add("bonded energy").add(r.physics.bonded.total(), 3);
+  phys.row().add("temperature [K]").add(r.physics.temperature, 3);
+  phys.row().add("pressure").add(r.physics.pressure, 6);
+  phys.row().add("volume [A^3]").add(r.physics.volume, 0);
+  phys.print(std::cout);
+  std::cout << "\n";
+
+  util::Table brk({"component", "seconds"});
+  const auto& m = r.metrics;
+  brk.row().add("parallel computation").add(m.tot_par_comp(), 4);
+  brk.row().add("sequential computation").add(m.seq_comp, 4);
+  brk.row().add("comm: call update").add(m.call_upd, 4);
+  brk.row().add("comm: return update").add(m.return_upd, 4);
+  brk.row().add("comm: call nbint").add(m.call_nbi, 4);
+  brk.row().add("comm: return nbint").add(m.return_nbi, 4);
+  brk.row().add("synchronization").add(m.sync, 4);
+  brk.row().add("idle (imbalance)").add(m.idle, 4);
+  brk.row().add("TOTAL wall (virtual)").add(m.wall, 4);
+  brk.print(std::cout);
+
+  if (args.get_flag("predict")) {
+    const auto params = model::theoretical_params(*platform);
+    const auto app = model::app_params_for(mc, cfg, servers);
+    std::cout << "\nanalytic model prediction: "
+              << model::predict_total(params, app) << " s (datasheet-only)\n";
+  }
+
+  if (args.get_flag("trace")) {
+    std::cout << "\n" << tracer.render_timeline(76);
+  }
+  return 0;
+}

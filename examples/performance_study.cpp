@@ -1,0 +1,27 @@
+// The paper's complete workflow as one call: calibrate on the J90, predict
+// and rank all five §4 platforms (plus the HIPPI cluster) for the medium
+// molecule with the 10 A cut-off, and emit a Markdown report.
+//
+//   ./examples/performance_study [> report.md]
+#include <iostream>
+
+#include "mach/platforms_db.hpp"
+#include "model/report.hpp"
+
+using namespace opalsim;
+
+int main() {
+  model::StudyConfig cfg;
+  cfg.reference = mach::cray_j90();
+  cfg.candidates = mach::prediction_platforms();
+  cfg.candidates.push_back(mach::hippi_j90_cluster());
+  cfg.workload = opal::make_medium_complex();
+  cfg.workload_cfg.steps = 10;
+  cfg.workload_cfg.cutoff = 10.0;
+  cfg.workload_cfg.update_every = 1;
+  cfg.p_max = 16;
+
+  const model::StudyResult result = model::run_performance_study(cfg);
+  std::cout << result.report_markdown;
+  return 0;
+}

@@ -1,0 +1,293 @@
+#include "doe/design.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace opalsim::doe {
+
+FullFactorial::FullFactorial(std::vector<Factor> factors)
+    : factors_(std::move(factors)) {
+  if (factors_.empty())
+    throw std::invalid_argument("FullFactorial: no factors");
+  for (const auto& f : factors_) {
+    if (f.levels.empty())
+      throw std::invalid_argument("FullFactorial: factor without levels: " +
+                                  f.name);
+    runs_ *= f.levels.size();
+  }
+}
+
+std::vector<std::size_t> FullFactorial::levels_of(std::size_t run) const {
+  if (run >= runs_) throw std::out_of_range("FullFactorial: run out of range");
+  std::vector<std::size_t> idx(factors_.size());
+  for (std::size_t f = 0; f < factors_.size(); ++f) {
+    idx[f] = run % factors_[f].levels.size();
+    run /= factors_[f].levels.size();
+  }
+  return idx;
+}
+
+const std::string& FullFactorial::level_name(std::size_t run,
+                                             std::size_t factor) const {
+  return factors_.at(factor).levels.at(levels_of(run)[factor]);
+}
+
+TwoLevelDesign TwoLevelDesign::full(std::vector<std::string> factors) {
+  if (factors.empty() || factors.size() > 20)
+    throw std::invalid_argument("TwoLevelDesign: 1..20 factors");
+  TwoLevelDesign d;
+  d.base_ = factors.size();
+  d.names_ = std::move(factors);
+  for (std::size_t i = 0; i < d.names_.size(); ++i)
+    d.masks_.push_back(std::uint32_t{1} << i);
+  return d;
+}
+
+TwoLevelDesign TwoLevelDesign::fractional(std::vector<std::string> base,
+                                          std::vector<Generator> generators) {
+  TwoLevelDesign d = full(std::move(base));
+  for (const auto& g : generators) {
+    std::uint32_t mask = 0;
+    for (const auto& from : g.from) mask ^= d.mask_of(from);
+    if (mask == 0)
+      throw std::invalid_argument("TwoLevelDesign: degenerate generator for " +
+                                  g.factor);
+    d.names_.push_back(g.factor);
+    d.masks_.push_back(mask);
+  }
+  return d;
+}
+
+std::uint32_t TwoLevelDesign::mask_of(const std::string& factor) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == factor) return masks_[i];
+  }
+  throw std::invalid_argument("TwoLevelDesign: unknown factor " + factor);
+}
+
+std::uint32_t TwoLevelDesign::combined_mask(
+    std::span<const std::string> factors) const {
+  std::uint32_t m = 0;
+  for (const auto& f : factors) m ^= mask_of(f);
+  return m;
+}
+
+int TwoLevelDesign::sign(std::size_t run, const std::string& factor) const {
+  if (run >= num_runs()) throw std::out_of_range("TwoLevelDesign: run");
+  // A factor's column is the product of its base columns, where base column
+  // b is +1 when run bit b is set: sign = prod (-1)^(1 + bit_b)
+  //      = (-1)^(popcount(mask) + popcount(mask & run)).
+  const std::uint32_t mask = mask_of(factor);
+  const auto parity =
+      std::popcount(mask) + std::popcount(mask & static_cast<std::uint32_t>(run));
+  return parity % 2 == 0 ? +1 : -1;
+}
+
+int TwoLevelDesign::interaction_sign(
+    std::size_t run, std::span<const std::string> factors) const {
+  if (run >= num_runs()) throw std::out_of_range("TwoLevelDesign: run");
+  int s = 1;
+  for (const auto& f : factors) s *= sign(run, f);
+  return s;
+}
+
+double TwoLevelDesign::effect(std::span<const std::string> factors,
+                              std::span<const double> y) const {
+  if (y.size() != num_runs())
+    throw std::invalid_argument("TwoLevelDesign: response size mismatch");
+  double sum = 0.0;
+  for (std::size_t r = 0; r < num_runs(); ++r)
+    sum += interaction_sign(r, factors) * y[r];
+  return sum / static_cast<double>(num_runs());
+}
+
+double TwoLevelDesign::mean_response(std::span<const double> y) const {
+  if (y.size() != num_runs())
+    throw std::invalid_argument("TwoLevelDesign: response size mismatch");
+  double sum = 0.0;
+  for (double v : y) sum += v;
+  return sum / static_cast<double>(num_runs());
+}
+
+namespace {
+
+// Enumerates all non-empty subsets of {0..n-1} with <= max_order elements.
+void for_each_subset(std::size_t n, int max_order,
+                     const std::function<void(const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> subset;
+  // Iterative bitmask enumeration (n <= 24 in practice).
+  for (std::uint32_t bits = 1; bits < (std::uint32_t{1} << n); ++bits) {
+    if (std::popcount(bits) > max_order) continue;
+    subset.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (bits & (std::uint32_t{1} << i)) subset.push_back(i);
+    fn(subset);
+  }
+}
+
+std::string subset_label(const std::vector<std::string>& names,
+                         const std::vector<std::size_t>& subset) {
+  std::string label;
+  for (std::size_t i : subset) {
+    if (!label.empty()) label += "*";
+    label += names[i];
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<TwoLevelDesign::Allocation>
+TwoLevelDesign::allocation_of_variation(std::span<const double> y,
+                                        int max_order) const {
+  const double mean = mean_response(y);
+  double sst = 0.0;
+  for (double v : y) sst += (v - mean) * (v - mean);
+
+  // Group factor subsets by their combined mask (aliased terms share one).
+  // The constant sign of a column is (-1)^(sum of factor-mask popcounts);
+  // aliased subsets may differ in it, so we keep the first subset's parity.
+  struct Group {
+    std::vector<std::string> labels;
+    int parity = 0;
+  };
+  std::map<std::uint32_t, Group> groups;
+  for_each_subset(names_.size(), max_order,
+                  [&](const std::vector<std::size_t>& subset) {
+                    std::vector<std::string> fs;
+                    int parity = 0;
+                    for (std::size_t i : subset) {
+                      fs.push_back(names_[i]);
+                      parity += std::popcount(masks_[i]);
+                    }
+                    const std::uint32_t m = combined_mask(fs);
+                    if (m == 0) return;  // aliased with the mean
+                    auto& g = groups[m];
+                    if (g.labels.empty()) g.parity = parity;
+                    g.labels.push_back(subset_label(names_, subset));
+                  });
+
+  std::vector<Allocation> out;
+  for (const auto& [mask, group] : groups) {
+    const auto& labels = group.labels;
+    // Effect of the shared column.
+    double sum = 0.0;
+    for (std::size_t r = 0; r < num_runs(); ++r) {
+      const auto bits = group.parity +
+                        std::popcount(mask & static_cast<std::uint32_t>(r));
+      const int s = bits % 2 == 0 ? +1 : -1;
+      sum += s * y[r];
+    }
+    const double q = sum / static_cast<double>(num_runs());
+    Allocation a;
+    a.label = labels.front();
+    for (std::size_t i = 1; i < labels.size(); ++i)
+      a.label += " (=" + labels[i] + ")";
+    a.effect = q;
+    a.fraction =
+        sst > 0.0 ? static_cast<double>(num_runs()) * q * q / sst : 0.0;
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(), [](const Allocation& a,
+                                       const Allocation& b) {
+    return a.fraction > b.fraction;
+  });
+  return out;
+}
+
+namespace {
+
+/// Two-sided 97.5% Student-t quantile; exact-ish table for small df, z
+/// beyond.
+double t_975(std::size_t df) {
+  static constexpr double table[] = {
+      0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262, 2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101, 2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052, 2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df];
+  return 1.96;
+}
+
+}  // namespace
+
+std::vector<TwoLevelDesign::EffectCI> TwoLevelDesign::effects_with_ci(
+    std::span<const double> y, std::size_t replications,
+    int max_order) const {
+  if (replications < 2)
+    throw std::invalid_argument(
+        "effects_with_ci: need at least two replications");
+  const std::size_t runs = num_runs();
+  if (y.size() != runs * replications)
+    throw std::invalid_argument("effects_with_ci: response size mismatch");
+
+  // Per-run means and the within-run (experimental) error SSE.
+  std::vector<double> means(runs, 0.0);
+  double sse = 0.0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      means[run] += y[run * replications + rep];
+    }
+    means[run] /= static_cast<double>(replications);
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      const double d = y[run * replications + rep] - means[run];
+      sse += d * d;
+    }
+  }
+  const std::size_t df = runs * (replications - 1);
+  const double s_e2 = sse / static_cast<double>(df);
+  // Standard deviation of an effect coefficient: s_e / sqrt(N r).
+  const double s_q =
+      std::sqrt(s_e2 / static_cast<double>(runs * replications));
+  const double half = t_975(df) * s_q;
+
+  std::vector<EffectCI> out;
+  for_each_subset(names_.size(), max_order,
+                  [&](const std::vector<std::size_t>& subset) {
+                    std::vector<std::string> fs;
+                    for (std::size_t i : subset) fs.push_back(names_[i]);
+                    if (combined_mask(fs) == 0) return;
+                    EffectCI e;
+                    e.label = subset_label(names_, subset);
+                    e.effect = effect(fs, means);
+                    e.ci95 = half;
+                    e.significant = std::abs(e.effect) > half;
+                    out.push_back(std::move(e));
+                  });
+  std::sort(out.begin(), out.end(),
+            [](const EffectCI& a, const EffectCI& b) {
+              return std::abs(a.effect) > std::abs(b.effect);
+            });
+  return out;
+}
+
+std::vector<std::string> TwoLevelDesign::aliases_of(
+    std::span<const std::string> factors, int max_order) const {
+  const std::uint32_t target = combined_mask(factors);
+  const std::string self =
+      subset_label(names_, [&] {
+        std::vector<std::size_t> idx;
+        for (const auto& f : factors) {
+          for (std::size_t i = 0; i < names_.size(); ++i)
+            if (names_[i] == f) idx.push_back(i);
+        }
+        return idx;
+      }());
+  std::vector<std::string> out;
+  for_each_subset(names_.size(), max_order,
+                  [&](const std::vector<std::size_t>& subset) {
+                    std::vector<std::string> fs;
+                    for (std::size_t i : subset) fs.push_back(names_[i]);
+                    if (combined_mask(fs) != target) return;
+                    const std::string label = subset_label(names_, subset);
+                    if (label != self) out.push_back(label);
+                  });
+  return out;
+}
+
+}  // namespace opalsim::doe

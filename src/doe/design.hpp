@@ -1,0 +1,132 @@
+// Systematic experimental design per Jain, "The Art of Computer Systems
+// Performance Analysis", ch. 16-19 — the methodology the paper follows for
+// its 84-experiment full factorial and the reduced 7*2^(3-1) presentation
+// set (§2.3, §2.5).
+//
+// Two design families:
+//  - FullFactorial: arbitrary-level factors, mixed-radix enumeration.
+//  - TwoLevelDesign: 2^k full and 2^(k-p) fractional factorials with
+//    generators, sign tables, effect estimation, allocation of variation
+//    and alias (confounding) analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace opalsim::doe {
+
+/// A factor and its levels (arbitrary count, named).
+struct Factor {
+  std::string name;
+  std::vector<std::string> levels;
+};
+
+/// Mixed-radix full factorial over arbitrary-level factors.
+class FullFactorial {
+ public:
+  explicit FullFactorial(std::vector<Factor> factors);
+
+  std::size_t num_runs() const noexcept { return runs_; }
+  std::size_t num_factors() const noexcept { return factors_.size(); }
+  const std::vector<Factor>& factors() const noexcept { return factors_; }
+
+  /// Level index of each factor for run r (row-major, first factor fastest).
+  std::vector<std::size_t> levels_of(std::size_t run) const;
+
+  /// Level name of factor f in run r.
+  const std::string& level_name(std::size_t run, std::size_t factor) const;
+
+ private:
+  std::vector<Factor> factors_;
+  std::size_t runs_ = 1;
+};
+
+/// Two-level (+1/-1) full or fractional factorial design.
+class TwoLevelDesign {
+ public:
+  /// 2^k full factorial over the named factors.
+  static TwoLevelDesign full(std::vector<std::string> factors);
+
+  /// A generated factor defined as the product (confounding generator) of
+  /// base factors, e.g. {"C", {"A","B"}} encodes I = ABC.
+  struct Generator {
+    std::string factor;
+    std::vector<std::string> from;
+  };
+
+  /// 2^(k-p) fractional factorial: `base` independent factors plus one
+  /// generated factor per generator.
+  static TwoLevelDesign fractional(std::vector<std::string> base,
+                                   std::vector<Generator> generators);
+
+  std::size_t num_runs() const noexcept { return std::size_t{1} << base_; }
+  std::size_t num_factors() const noexcept { return names_.size(); }
+  const std::vector<std::string>& factor_names() const noexcept {
+    return names_;
+  }
+  bool is_fractional() const noexcept { return names_.size() > base_; }
+
+  /// Sign (+1/-1) of a factor in a run.
+  int sign(std::size_t run, const std::string& factor) const;
+
+  /// Sign of an interaction (product of factor columns).
+  int interaction_sign(std::size_t run,
+                       std::span<const std::string> factors) const;
+
+  /// Effect coefficient q = (1/N) sum_i sign_i y_i (Jain's notation; the
+  /// conventional "effect" is 2q).
+  double effect(std::span<const std::string> factors,
+                std::span<const double> y) const;
+
+  /// Grand mean q0.
+  double mean_response(std::span<const double> y) const;
+
+  /// One row of the allocation-of-variation table.
+  struct Allocation {
+    std::string label;    ///< e.g. "A", "A*B", or "A (=B*C)" when aliased
+    double effect;        ///< q coefficient
+    double fraction;      ///< share of total variation (0..1)
+  };
+
+  /// Allocation of variation over all distinct (non-aliased-duplicate)
+  /// effects up to interactions of `max_order` factors, sorted by
+  /// descending fraction.
+  std::vector<Allocation> allocation_of_variation(std::span<const double> y,
+                                                  int max_order = 2) const;
+
+  /// For fractional designs: the set of factor-subsets (as labels, up to
+  /// `max_order`) aliased with the given term.  The term itself is
+  /// excluded.  Empty for full designs.
+  std::vector<std::string> aliases_of(std::span<const std::string> factors,
+                                      int max_order = 2) const;
+
+  /// One effect estimate with its confidence interval from a replicated
+  /// design (Jain ch. 18: 2^k r design).
+  struct EffectCI {
+    std::string label;
+    double effect = 0.0;   ///< q coefficient (mean of the column)
+    double ci95 = 0.0;     ///< half-width of the 95% CI
+    bool significant = false;  ///< CI excludes zero
+  };
+
+  /// Effects with confidence intervals from `replications` >= 2 responses
+  /// per run.  `y` is run-major: y[run * replications + rep].  The
+  /// experimental error is estimated from the within-run spread; the CI
+  /// uses Student's t with N(r-1) degrees of freedom.
+  std::vector<EffectCI> effects_with_ci(std::span<const double> y,
+                                        std::size_t replications,
+                                        int max_order = 2) const;
+
+ private:
+  TwoLevelDesign() = default;
+  std::uint32_t mask_of(const std::string& factor) const;
+  std::uint32_t combined_mask(std::span<const std::string> factors) const;
+
+  std::size_t base_ = 0;  ///< number of independent (run-index) bits
+  std::vector<std::string> names_;
+  std::vector<std::uint32_t> masks_;  ///< per factor: subset of base bits
+};
+
+}  // namespace opalsim::doe

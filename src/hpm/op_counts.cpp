@@ -1,0 +1,54 @@
+#include "hpm/op_counts.hpp"
+
+#include <sstream>
+
+namespace opalsim::hpm {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) noexcept {
+  add += o.add;
+  mul += o.mul;
+  div += o.div;
+  sqrt += o.sqrt;
+  exp += o.exp;
+  cmp += o.cmp;
+  return *this;
+}
+
+OpCounts operator*(OpCounts a, std::uint64_t k) noexcept {
+  a.add *= k;
+  a.mul *= k;
+  a.div *= k;
+  a.sqrt *= k;
+  a.exp *= k;
+  a.cmp *= k;
+  return a;
+}
+
+double IntrinsicCostTable::counted_flops(const OpCounts& ops) const noexcept {
+  const double base = add * static_cast<double>(ops.add) +
+                      mul * static_cast<double>(ops.mul) +
+                      div * static_cast<double>(ops.div) +
+                      sqrt * static_cast<double>(ops.sqrt) +
+                      exp * static_cast<double>(ops.exp) +
+                      cmp * static_cast<double>(ops.cmp);
+  return base * vector_overhead;
+}
+
+const IntrinsicCostTable& canonical_cost_table() noexcept {
+  // The Cray J90 counting (see mach/platforms_db.cpp); duplicated here so the
+  // work measure is fixed even if platform tables are tuned.
+  static const IntrinsicCostTable table{
+      /*add=*/1.0, /*mul=*/1.0, /*div=*/3.0,
+      /*sqrt=*/8.0, /*exp=*/10.0, /*cmp=*/0.0,
+      /*vector_overhead=*/1.10};
+  return table;
+}
+
+std::string to_string(const OpCounts& ops) {
+  std::ostringstream oss;
+  oss << "add=" << ops.add << " mul=" << ops.mul << " div=" << ops.div
+      << " sqrt=" << ops.sqrt << " exp=" << ops.exp << " cmp=" << ops.cmp;
+  return oss.str();
+}
+
+}  // namespace opalsim::hpm

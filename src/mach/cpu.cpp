@@ -1,0 +1,17 @@
+#include "mach/cpu.hpp"
+
+namespace opalsim::mach {
+
+sim::Task<void> Cpu::compute(hpm::OpCounts ops,
+                             std::size_t working_set_bytes) {
+  const double dt = charge(ops, working_set_bytes);
+  co_await engine_->delay(dt);
+}
+
+double Cpu::charge(const hpm::OpCounts& ops, std::size_t working_set_bytes) {
+  const double dt = spec_.seconds_for(ops, working_set_bytes, vectorized_);
+  counter_.charge(ops, dt, spec_.clock_hz());
+  return dt;
+}
+
+}  // namespace opalsim::mach

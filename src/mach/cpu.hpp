@@ -1,0 +1,97 @@
+// CPU and memory-hierarchy models.
+//
+// A CpuSpec describes a node processor by its *adjusted computation rate*
+// (Table 1, last column: canonical J90-counted MFlop divided by node time),
+// its clock, its intrinsic-cost table (what its monitor counts, Table 1
+// column 3) and its memory hierarchy (the §2.6 in-cache/in-core/out-of-core
+// rate factors).  A Cpu is a CpuSpec bound to a simulation engine: awaiting
+// Cpu::compute() advances virtual time by the work's duration and charges the
+// node's HPM counter.
+#pragma once
+
+#include <string>
+
+#include "hpm/op_counts.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace opalsim::mach {
+
+/// Piecewise memory-hierarchy model: the computation rate is scaled by a
+/// factor chosen from the working-set size (paper §2.6: 50 KB in cache
+/// -> 1.09, 8 MB in core -> 1.00, 120 MB out of core -> 0.25).
+struct MemoryHierarchy {
+  std::size_t cache_bytes = 512 * 1024;          ///< largest in-cache set
+  std::size_t core_bytes = 64 * 1024 * 1024;     ///< largest in-core set
+  double in_cache_factor = 1.0;
+  double in_core_factor = 1.0;
+  double out_of_core_factor = 1.0;
+
+  double factor(std::size_t working_set_bytes) const noexcept {
+    if (working_set_bytes <= cache_bytes) return in_cache_factor;
+    if (working_set_bytes <= core_bytes) return in_core_factor;
+    return out_of_core_factor;
+  }
+
+  /// A flat hierarchy (vector machines: no cache sensitivity).
+  static MemoryHierarchy flat() noexcept {
+    return MemoryHierarchy{0, 0, 1.0, 1.0, 1.0};
+  }
+};
+
+/// Static description of a node processor.
+struct CpuSpec {
+  std::string name;
+  double clock_mhz = 0.0;
+  /// Canonical (J90-counted) MFlop/s this processor sustains on the Opal
+  /// kernel — Table 1 "Adjusted Computation Rate".
+  double adjusted_mflops = 0.0;
+  hpm::IntrinsicCostTable intrinsics;
+  MemoryHierarchy memory;
+  /// Vector machines can disable vectorization (paper §2.6 notes the J90
+  /// study would toggle it); scalar fallback runs at this fraction of the
+  /// vector rate.
+  double scalar_fraction = 1.0;
+
+  double clock_hz() const noexcept { return clock_mhz * 1e6; }
+
+  /// Seconds to execute `ops` with the given working set.
+  double seconds_for(const hpm::OpCounts& ops, std::size_t working_set_bytes,
+                     bool vectorized = true) const noexcept {
+    const double canonical =
+        hpm::canonical_cost_table().counted_flops(ops);
+    double rate = adjusted_mflops * 1e6 * memory.factor(working_set_bytes);
+    if (!vectorized) rate *= scalar_fraction;
+    return canonical / rate;
+  }
+};
+
+/// A CpuSpec bound to an Engine and an HPM counter — one per node.
+class Cpu {
+ public:
+  Cpu(sim::Engine& engine, CpuSpec spec)
+      : engine_(&engine), spec_(std::move(spec)) {}
+
+  const CpuSpec& spec() const noexcept { return spec_; }
+  hpm::HpmCounter& counter() noexcept { return counter_; }
+  const hpm::HpmCounter& counter() const noexcept { return counter_; }
+
+  void set_vectorized(bool v) noexcept { vectorized_ = v; }
+  bool vectorized() const noexcept { return vectorized_; }
+
+  /// Awaitable: executes `ops` on this CPU, advancing virtual time and
+  /// charging the HPM counter.
+  sim::Task<void> compute(hpm::OpCounts ops, std::size_t working_set_bytes);
+
+  /// Non-coroutine variant for callers that account time themselves:
+  /// returns the duration and charges the counter.
+  double charge(const hpm::OpCounts& ops, std::size_t working_set_bytes);
+
+ private:
+  sim::Engine* engine_;
+  CpuSpec spec_;
+  hpm::HpmCounter counter_;
+  bool vectorized_ = true;
+};
+
+}  // namespace opalsim::mach

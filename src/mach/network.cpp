@@ -1,0 +1,99 @@
+#include "mach/network.hpp"
+
+#include <cassert>
+#include <algorithm>
+#include <stdexcept>
+
+namespace opalsim::mach {
+
+SwitchedNetwork::SwitchedNetwork(sim::Engine& engine, NetSpec spec, int nodes)
+    : NetworkModel(std::move(spec)), engine_(&engine) {
+  assert(nodes > 0);
+  send_links_.reserve(nodes);
+  recv_links_.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    send_links_.push_back(std::make_unique<sim::Resource>(engine, 1));
+    recv_links_.push_back(std::make_unique<sim::Resource>(engine, 1));
+  }
+}
+
+sim::Task<void> SwitchedNetwork::transfer(int src, int dst,
+                                          std::size_t bytes) {
+  assert(src >= 0 && src < static_cast<int>(send_links_.size()));
+  assert(dst >= 0 && dst < static_cast<int>(recv_links_.size()));
+  account(bytes);
+  auto send_lock = co_await send_links_[src]->scoped_acquire();
+  auto recv_lock = co_await recv_links_[dst]->scoped_acquire();
+  co_await engine_->delay(unloaded_time(bytes));
+}
+
+SharedBusNetwork::SharedBusNetwork(sim::Engine& engine, NetSpec spec)
+    : NetworkModel(std::move(spec)), engine_(&engine), bus_(engine, 1) {}
+
+sim::Task<void> SharedBusNetwork::transfer(int /*src*/, int /*dst*/,
+                                           std::size_t bytes) {
+  account(bytes);
+  auto lock = co_await bus_.scoped_acquire();
+  co_await engine_->delay(unloaded_time(bytes));
+}
+
+DaemonNetwork::DaemonNetwork(sim::Engine& engine, NetSpec spec)
+    : NetworkModel(std::move(spec)), engine_(&engine), daemon_(engine, 1) {}
+
+sim::Task<void> DaemonNetwork::transfer(int /*src*/, int /*dst*/,
+                                        std::size_t bytes) {
+  account(bytes);
+  auto lock = co_await daemon_.scoped_acquire();
+  co_await engine_->delay(unloaded_time(bytes));
+}
+
+HierarchicalNetwork::HierarchicalNetwork(sim::Engine& engine, NetSpec spec,
+                                         int nodes)
+    : NetworkModel(std::move(spec)), engine_(&engine) {
+  assert(nodes > 0);
+  if (this->spec().box_size <= 0)
+    throw std::invalid_argument("HierarchicalNetwork: box_size must be > 0");
+  const int boxes =
+      (nodes + this->spec().box_size - 1) / this->spec().box_size;
+  for (int b = 0; b < boxes; ++b) {
+    buses_.push_back(std::make_unique<sim::Resource>(engine, 1));
+    gateways_.push_back(std::make_unique<sim::Resource>(engine, 1));
+  }
+}
+
+sim::Task<void> HierarchicalNetwork::transfer(int src, int dst,
+                                              std::size_t bytes) {
+  account(bytes);
+  const int sb = box_of(src);
+  const int db = box_of(dst);
+  if (sb == db) {
+    auto bus = co_await buses_[sb]->scoped_acquire();
+    co_await engine_->delay(intra_unloaded_time(bytes));
+    co_return;
+  }
+  // Acquire both gateways in box order to avoid deadlock between opposing
+  // inter-box transfers.
+  const int first = std::min(sb, db);
+  const int second = std::max(sb, db);
+  auto g1 = co_await gateways_[first]->scoped_acquire();
+  auto g2 = co_await gateways_[second]->scoped_acquire();
+  co_await engine_->delay(unloaded_time(bytes));
+}
+
+std::unique_ptr<NetworkModel> make_network(sim::Engine& engine, NetSpec spec,
+                                           int nodes) {
+  switch (spec.kind) {
+    case NetSpec::Kind::Switched:
+      return std::make_unique<SwitchedNetwork>(engine, std::move(spec), nodes);
+    case NetSpec::Kind::SharedBus:
+      return std::make_unique<SharedBusNetwork>(engine, std::move(spec));
+    case NetSpec::Kind::Daemon:
+      return std::make_unique<DaemonNetwork>(engine, std::move(spec));
+    case NetSpec::Kind::Hierarchical:
+      return std::make_unique<HierarchicalNetwork>(engine, std::move(spec),
+                                                   nodes);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace opalsim::mach

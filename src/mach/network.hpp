@@ -1,0 +1,147 @@
+// Network models.  A transfer of B bytes costs b1 + B/a1 (the model's
+// communication terms), but *where* that cost is paid differs per
+// architecture and is what makes the prediction figures bend:
+//
+//  - SwitchedNetwork   (T3E torus, Myrinet, SCI): full-duplex per-node links;
+//                      disjoint pairs transfer concurrently.
+//  - SharedBusNetwork  (shared Ethernet): one message on the medium at a
+//                      time — the whole cost serializes on a single bus.
+//  - DaemonNetwork     (J90 PVM/Sciddle path): every message is shepherded by
+//                      a single PVM daemon; structurally a serializing hub
+//                      with the disastrous observed 3 MB/s despite a GB/s
+//                      crossbar underneath (paper §3.1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace opalsim::mach {
+
+/// Static description of an interconnect.
+struct NetSpec {
+  enum class Kind { Switched, SharedBus, Daemon, Hierarchical };
+  Kind kind = Kind::Switched;
+  std::string name;
+  double hw_peak_MBps = 0.0;    ///< Table 2 "hw peak"
+  double observed_MBps = 0.0;   ///< Table 2 "observed" — the model's a1
+  double latency_s = 0.0;       ///< Table 2 "observed latency" — the model's b1
+
+  // Hierarchical (cluster-of-SMPs) parameters: nodes are grouped into boxes
+  // of `box_size`; transfers within a box use the intra_* figures (shared
+  // memory), transfers between boxes the observed_MBps/latency_s figures
+  // through per-box gateway adapters.
+  int box_size = 0;  ///< 0 = flat topology (ignored by flat kinds)
+  double intra_observed_MBps = 0.0;
+  double intra_latency_s = 0.0;
+
+  double bytes_per_second() const noexcept { return observed_MBps * 1e6; }
+  double intra_bytes_per_second() const noexcept {
+    return intra_observed_MBps * 1e6;
+  }
+};
+
+/// Abstract transport bound to an Engine.
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetSpec spec) : spec_(std::move(spec)) {}
+  virtual ~NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  const NetSpec& spec() const noexcept { return spec_; }
+
+  /// Unloaded time for one message (used by the analytic model): b1 + B/a1.
+  double unloaded_time(std::size_t bytes) const noexcept {
+    return spec_.latency_s +
+           static_cast<double>(bytes) / spec_.bytes_per_second();
+  }
+
+  /// Awaitable point-to-point transfer; completes when the message is
+  /// delivered at `dst`.  Contention per the concrete topology.
+  virtual sim::Task<void> transfer(int src, int dst, std::size_t bytes) = 0;
+
+  std::uint64_t messages_sent() const noexcept { return messages_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_total_; }
+
+ protected:
+  void account(std::size_t bytes) noexcept {
+    ++messages_;
+    bytes_total_ += bytes;
+  }
+
+ private:
+  NetSpec spec_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_total_ = 0;
+};
+
+/// Full-duplex switched fabric: each node has one send and one receive link;
+/// a transfer holds src's send link and dst's receive link for its duration.
+class SwitchedNetwork final : public NetworkModel {
+ public:
+  SwitchedNetwork(sim::Engine& engine, NetSpec spec, int nodes);
+  sim::Task<void> transfer(int src, int dst, std::size_t bytes) override;
+
+ private:
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<sim::Resource>> send_links_;
+  std::vector<std::unique_ptr<sim::Resource>> recv_links_;
+};
+
+/// Single shared medium: the full per-message cost is paid while holding the
+/// bus, so concurrent senders serialize completely.
+class SharedBusNetwork final : public NetworkModel {
+ public:
+  SharedBusNetwork(sim::Engine& engine, NetSpec spec);
+  sim::Task<void> transfer(int src, int dst, std::size_t bytes) override;
+
+ private:
+  sim::Engine* engine_;
+  sim::Resource bus_;
+};
+
+/// All messages serialized through one middleware daemon process.
+class DaemonNetwork final : public NetworkModel {
+ public:
+  DaemonNetwork(sim::Engine& engine, NetSpec spec);
+  sim::Task<void> transfer(int src, int dst, std::size_t bytes) override;
+
+ private:
+  sim::Engine* engine_;
+  sim::Resource daemon_;
+};
+
+/// Cluster of SMP boxes: intra-box transfers share the box's memory bus;
+/// inter-box transfers pass through both boxes' gateway adapters (HIPPI
+/// cards) at the slower inter-box rate.
+class HierarchicalNetwork final : public NetworkModel {
+ public:
+  HierarchicalNetwork(sim::Engine& engine, NetSpec spec, int nodes);
+  sim::Task<void> transfer(int src, int dst, std::size_t bytes) override;
+
+  int box_of(int node) const noexcept { return node / spec().box_size; }
+  int num_boxes() const noexcept {
+    return static_cast<int>(buses_.size());
+  }
+  /// Unloaded time for an intra-box message.
+  double intra_unloaded_time(std::size_t bytes) const noexcept {
+    return spec().intra_latency_s +
+           static_cast<double>(bytes) / spec().intra_bytes_per_second();
+  }
+
+ private:
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<sim::Resource>> buses_;     ///< per box
+  std::vector<std::unique_ptr<sim::Resource>> gateways_;  ///< per box
+};
+
+/// Factory dispatching on spec.kind.
+std::unique_ptr<NetworkModel> make_network(sim::Engine& engine, NetSpec spec,
+                                           int nodes);
+
+}  // namespace opalsim::mach

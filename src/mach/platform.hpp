@@ -1,0 +1,56 @@
+// Platform description and its engine-bound instantiation (Machine).
+//
+// A PlatformSpec is the static datasheet of a parallel machine: node CPU,
+// interconnect, and SMP width.  A Machine binds a spec to a simulation
+// Engine with a concrete node count; node 0 conventionally hosts the Opal
+// client and nodes 1..p the servers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mach/cpu.hpp"
+#include "mach/network.hpp"
+#include "sim/engine.hpp"
+
+namespace opalsim::mach {
+
+struct PlatformSpec {
+  std::string name;
+  CpuSpec cpu;
+  NetSpec net;
+  /// Processors per node (2 for the twin-Pentium SMP CoPs).  Informational:
+  /// the adjusted rate of `cpu` already reflects the node's throughput.
+  int smp_width = 1;
+  /// Time for a bare synchronization message exchange — the model's b5.
+  double sync_time_s = 0.0;
+};
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const PlatformSpec& spec, int nodes);
+
+  const PlatformSpec& spec() const noexcept { return spec_; }
+  sim::Engine& engine() noexcept { return *engine_; }
+  int num_nodes() const noexcept { return static_cast<int>(cpus_.size()); }
+
+  Cpu& cpu(int node) { return *cpus_.at(node); }
+  const Cpu& cpu(int node) const { return *cpus_.at(node); }
+
+  NetworkModel& network() noexcept { return *network_; }
+  const NetworkModel& network() const noexcept { return *network_; }
+
+  /// Awaitable message transfer between nodes (contention included).
+  sim::Task<void> transfer(int src, int dst, std::size_t bytes) {
+    return network_->transfer(src, dst, bytes);
+  }
+
+ private:
+  sim::Engine* engine_;
+  PlatformSpec spec_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::unique_ptr<NetworkModel> network_;
+};
+
+}  // namespace opalsim::mach

@@ -1,0 +1,75 @@
+#include "model/analytic.hpp"
+
+#include <algorithm>
+
+namespace opalsim::model {
+
+double update_pairs(const AppParams& app, UpdateVariant variant) {
+  const double n = app.n;
+  if (variant == UpdateVariant::Consistent) {
+    return n * (n - 1.0) / 2.0;
+  }
+  // Eq. (3) literal: ((1-2 gamma)^2 n^2 - (1-2 gamma) n) / 2.
+  const double f = 1.0 - 2.0 * app.gamma;
+  return (f * f * n * n - f * n) / 2.0;
+}
+
+double nbint_pairs(const AppParams& app, UpdateVariant variant) {
+  const double n = app.n;
+  const double all = n * (n - 1.0) / 2.0;
+  if (!app.has_cutoff()) return all;
+  if (variant == UpdateVariant::Consistent) {
+    return std::min(all, app.ntilde * n / 2.0);
+  }
+  return app.ntilde * n;  // eq. (4) literal when n > ntilde
+}
+
+double predict_update(const ModelParams& m, const AppParams& app,
+                      UpdateVariant v) {
+  return m.a2 * app.s * app.u / app.p * update_pairs(app, v);
+}
+
+double predict_nbint(const ModelParams& m, const AppParams& app,
+                     UpdateVariant v) {
+  return m.a3 * app.s / app.p * nbint_pairs(app, v);
+}
+
+double predict_seq(const ModelParams& m, const AppParams& app) {
+  return m.a4 * app.s * app.n;  // eq. (5)
+}
+
+double predict_comm(const ModelParams& m, const AppParams& app) {
+  // Eq. (6'): s ( p alpha/a1 (u+2) n + 2 p b1 (u+1) ).
+  return app.s * (app.p * m.alpha / m.a1 * (app.u + 2.0) * app.n +
+                  2.0 * app.p * m.b1 * (app.u + 1.0));
+}
+
+double predict_sync(const ModelParams& m, const AppParams& app) {
+  return 2.0 * app.s * (app.u + 1.0) * m.b5;  // eq. (10)
+}
+
+ModelBreakdown predict(const ModelParams& m, const AppParams& app,
+                       UpdateVariant v) {
+  ModelBreakdown b;
+  b.update = predict_update(m, app, v);
+  b.nbint = predict_nbint(m, app, v);
+  b.seq = predict_seq(m, app);
+  b.comm = predict_comm(m, app);
+  b.sync = predict_sync(m, app);
+  return b;
+}
+
+double predict_total(const ModelParams& m, const AppParams& app,
+                     UpdateVariant v) {
+  return predict(m, app, v).total();
+}
+
+double predict_speedup(const ModelParams& m, AppParams app, double p,
+                       UpdateVariant v) {
+  AppParams one = app;
+  one.p = 1.0;
+  app.p = p;
+  return predict_total(m, one, v) / predict_total(m, app, v);
+}
+
+}  // namespace opalsim::model

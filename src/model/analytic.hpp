@@ -1,0 +1,61 @@
+// The analytic execution-time model of §2.2:
+//
+//   t_OPAL = t_tot_par_comp + t_tot_seq_comp + t_tot_comm + t_tot_sync
+//
+// with the component formulas of eqs. (3)-(10).  Two variants of the update
+// term are provided (see DESIGN.md "Model-formula note"):
+//
+//  - Consistent (default): the update sweep costs a2 per pair actually
+//    generated, i.e. s*u/p * n(n-1)/2; the energy term costs a3 per pair
+//    actually evaluated, i.e. s/p * min(n(n-1)/2, n*ntilde/2).
+//  - PaperLiteral: eq. (3)/(4) verbatim, including the (1-2 gamma) factors
+//    and the un-halved ntilde*n term.
+#pragma once
+
+#include "model/params.hpp"
+
+namespace opalsim::model {
+
+enum class UpdateVariant { Consistent, PaperLiteral };
+
+/// Predicted wall-clock decomposition in seconds.
+struct ModelBreakdown {
+  double update = 0.0;  ///< list-update computation (parallel)
+  double nbint = 0.0;   ///< nonbonded energy computation (parallel)
+  double seq = 0.0;     ///< client sequential computation
+  double comm = 0.0;    ///< all four communication components
+  double sync = 0.0;    ///< synchronization
+
+  double par_comp() const noexcept { return update + nbint; }
+  double total() const noexcept {
+    return update + nbint + seq + comm + sync;
+  }
+};
+
+/// Number of pairs one update sweep generates (model's work measure).
+double update_pairs(const AppParams& app, UpdateVariant variant);
+
+/// Number of pairs one energy evaluation processes.
+double nbint_pairs(const AppParams& app, UpdateVariant variant);
+
+/// Component predictions (eqs. 3, 4, 5, 6', 10).
+double predict_update(const ModelParams& m, const AppParams& app,
+                      UpdateVariant v = UpdateVariant::Consistent);
+double predict_nbint(const ModelParams& m, const AppParams& app,
+                     UpdateVariant v = UpdateVariant::Consistent);
+double predict_seq(const ModelParams& m, const AppParams& app);
+double predict_comm(const ModelParams& m, const AppParams& app);
+double predict_sync(const ModelParams& m, const AppParams& app);
+
+ModelBreakdown predict(const ModelParams& m, const AppParams& app,
+                       UpdateVariant v = UpdateVariant::Consistent);
+
+/// Predicted total execution time.
+double predict_total(const ModelParams& m, const AppParams& app,
+                     UpdateVariant v = UpdateVariant::Consistent);
+
+/// Relative speed-up S(p) = T(1 server) / T(p servers) on one platform.
+double predict_speedup(const ModelParams& m, AppParams app, double p,
+                       UpdateVariant v = UpdateVariant::Consistent);
+
+}  // namespace opalsim::model

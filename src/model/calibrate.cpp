@@ -1,0 +1,139 @@
+#include "model/calibrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/linalg.hpp"
+
+namespace opalsim::model {
+
+CalibrationResult calibrate(std::span<const Observation> obs,
+                            UpdateVariant variant, double alpha_bytes) {
+  if (obs.size() < 2)
+    throw std::invalid_argument("calibrate: need at least two observations");
+
+  const std::size_t m = obs.size();
+  CalibrationResult out;
+  out.variant = variant;
+  out.params.alpha = alpha_bytes;
+
+  // --- a2, a3, a4, b5: one-parameter through-origin fits ----------------
+  std::vector<double> x(m), y(m);
+  auto fit1 = [&](auto xf, auto yf) {
+    for (std::size_t i = 0; i < m; ++i) {
+      x[i] = xf(obs[i]);
+      y[i] = yf(obs[i]);
+    }
+    return fit_through_origin_with_stderr(x, y);
+  };
+
+  {
+    const SlopeFit f = fit1(
+        [&](const Observation& o) {
+          return o.app.s * o.app.u / o.app.p * update_pairs(o.app, variant);
+        },
+        [](const Observation& o) { return o.measured.par_update; });
+    out.params.a2 = f.slope;
+    out.std_errors.a2 = f.std_error;
+  }
+  {
+    const SlopeFit f = fit1(
+        [&](const Observation& o) {
+          return o.app.s / o.app.p * nbint_pairs(o.app, variant);
+        },
+        [](const Observation& o) { return o.measured.par_nbint; });
+    out.params.a3 = f.slope;
+    out.std_errors.a3 = f.std_error;
+  }
+  {
+    const SlopeFit f =
+        fit1([](const Observation& o) { return o.app.s * o.app.n; },
+             [](const Observation& o) { return o.measured.seq_comp; });
+    out.params.a4 = f.slope;
+    out.std_errors.a4 = f.std_error;
+  }
+  {
+    const SlopeFit f = fit1(
+        [](const Observation& o) { return 2.0 * o.app.s * (o.app.u + 1.0); },
+        [](const Observation& o) { return o.measured.sync; });
+    out.params.b5 = f.slope;
+    out.std_errors.b5 = f.std_error;
+  }
+
+  // --- a1, b1: joint two-parameter fit over total communication ---------
+  {
+    Matrix design(m, 2);
+    std::vector<double> rhs(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const AppParams& a = obs[i].app;
+      design(i, 0) = a.s * a.p * alpha_bytes * (a.u + 2.0) * a.n;  // * 1/a1
+      design(i, 1) = 2.0 * a.s * a.p * (a.u + 1.0);                // * b1
+      rhs[i] = obs[i].measured.tot_comm();
+    }
+    const std::vector<double> sol = solve_least_squares(design, rhs);
+    const double inv_a1 = sol[0];
+    out.params.a1 = inv_a1 > 0.0 ? 1.0 / inv_a1 : 0.0;
+    out.params.b1 = sol[1];
+
+    // Residual-based parameter covariance: sigma^2 (A^T A)^-1 (2x2).
+    if (m > 2) {
+      double ss_res = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double r = design(i, 0) * sol[0] + design(i, 1) * sol[1] -
+                         rhs[i];
+        ss_res += r * r;
+      }
+      const double sigma2 = ss_res / static_cast<double>(m - 2);
+      double s00 = 0.0, s01 = 0.0, s11 = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        s00 += design(i, 0) * design(i, 0);
+        s01 += design(i, 0) * design(i, 1);
+        s11 += design(i, 1) * design(i, 1);
+      }
+      const double det = s00 * s11 - s01 * s01;
+      if (det > 0.0) {
+        const double var_inv_a1 = sigma2 * s11 / det;
+        const double var_b1 = sigma2 * s00 / det;
+        // Delta method: sd(a1) = sd(1/a1) / (1/a1)^2.
+        if (inv_a1 > 0.0) {
+          out.std_errors.a1 = std::sqrt(var_inv_a1) / (inv_a1 * inv_a1);
+        }
+        out.std_errors.b1 = std::sqrt(var_b1);
+      }
+    }
+  }
+
+  // --- fit quality -------------------------------------------------------
+  std::vector<double> meas(m), pred(m);
+  auto quality = [&](auto mf, auto pf) {
+    for (std::size_t i = 0; i < m; ++i) {
+      meas[i] = mf(obs[i]);
+      pred[i] = pf(obs[i]);
+    }
+    return util::fit_quality(meas, pred);
+  };
+  const ModelParams& prm = out.params;
+  out.fit_update = quality(
+      [](const Observation& o) { return o.measured.par_update; },
+      [&](const Observation& o) { return predict_update(prm, o.app, variant); });
+  out.fit_nbint = quality(
+      [](const Observation& o) { return o.measured.par_nbint; },
+      [&](const Observation& o) { return predict_nbint(prm, o.app, variant); });
+  out.fit_seq = quality(
+      [](const Observation& o) { return o.measured.seq_comp; },
+      [&](const Observation& o) { return predict_seq(prm, o.app); });
+  out.fit_comm = quality(
+      [](const Observation& o) { return o.measured.tot_comm(); },
+      [&](const Observation& o) { return predict_comm(prm, o.app); });
+  out.fit_sync = quality(
+      [](const Observation& o) { return o.measured.sync; },
+      [&](const Observation& o) { return predict_sync(prm, o.app); });
+  out.fit_total = quality(
+      [](const Observation& o) { return o.measured.wall; },
+      [&](const Observation& o) {
+        return predict_total(prm, o.app, variant);
+      });
+  return out;
+}
+
+}  // namespace opalsim::model

@@ -1,0 +1,53 @@
+// Calibration of the analytic model against measured runs (paper §2.5):
+// each component is linear in its parameters, so the fit decomposes into
+// small least-squares problems:
+//
+//   par_update  =  a2 * (s u / p) * update_pairs          -> a2
+//   par_nbint   =  a3 * (s / p)   * nbint_pairs           -> a3
+//   seq_comp    =  a4 * s * n                              -> a4
+//   comm        =  (1/a1) * [s p alpha (u+2) n] + b1 * [2 s p (u+1)]
+//                                                          -> a1, b1 jointly
+//   sync        =  b5 * [2 s (u+1)]                        -> b5
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/analytic.hpp"
+#include "model/params.hpp"
+#include "opal/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace opalsim::model {
+
+/// One calibration case: the application parameters of a run and its
+/// measured component times.
+struct Observation {
+  AppParams app;
+  opal::RunMetrics measured;
+};
+
+/// Result of a calibration: fitted parameters plus per-component and total
+/// fit quality over the observations.
+struct CalibrationResult {
+  ModelParams params;
+  /// Residual-based standard errors of the fitted parameters (same fields
+  /// as `params`; alpha carries no error).  a1's error is propagated from
+  /// the fitted 1/a1 by the delta method.
+  ModelParams std_errors;
+  UpdateVariant variant = UpdateVariant::Consistent;
+  util::FitQuality fit_update;
+  util::FitQuality fit_nbint;
+  util::FitQuality fit_seq;
+  util::FitQuality fit_comm;
+  util::FitQuality fit_sync;
+  util::FitQuality fit_total;  ///< predicted vs measured wall clock
+};
+
+/// Least-squares fit of all model parameters from measured runs.
+/// Requires at least two observations with differing (p, n, u).
+CalibrationResult calibrate(std::span<const Observation> obs,
+                            UpdateVariant variant = UpdateVariant::Consistent,
+                            double alpha_bytes = 24.0);
+
+}  // namespace opalsim::model

@@ -1,0 +1,133 @@
+#include "model/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opalsim::model {
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("Matrix multiply: dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {
+  if (a.cols() != x.size())
+    throw std::invalid_argument("matvec: dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("cholesky_solve: dimension mismatch");
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0)
+          throw std::runtime_error("cholesky_solve: matrix not SPD");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b) {
+  if (a.rows() < a.cols())
+    throw std::invalid_argument("solve_least_squares: underdetermined");
+  if (a.rows() != b.size())
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  // Column equilibration: scale each column to unit norm so wildly
+  // different magnitudes (e.g. bandwidth vs latency designs) stay
+  // well-conditioned; rescale the solution afterwards.
+  Matrix scaled = a;
+  std::vector<double> col_norm(a.cols(), 0.0);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+    col_norm[j] = s > 0.0 ? std::sqrt(s) : 1.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      scaled(i, j) = a(i, j) / col_norm[j];
+  }
+  const Matrix at = scaled.transpose();
+  Matrix ata = at * scaled;
+  // Tiny per-diagonal ridge keeps near-collinear designs solvable.
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += 1e-12;
+  std::vector<double> x = cholesky_solve(ata, matvec(at, b));
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] /= col_norm[j];
+  return x;
+}
+
+double fit_through_origin(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  return fit_through_origin_with_stderr(x, y).slope;
+}
+
+SlopeFit fit_through_origin_with_stderr(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit_through_origin: size mismatch");
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  SlopeFit out;
+  if (sxx <= 0.0) return out;
+  out.slope = sxy / sxx;
+  if (x.size() < 2) return out;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - out.slope * x[i];
+    ss_res += r * r;
+  }
+  out.std_error =
+      std::sqrt(ss_res / static_cast<double>(x.size() - 1) / sxx);
+  return out;
+}
+
+}  // namespace opalsim::model

@@ -1,0 +1,65 @@
+// Small dense linear algebra for the least-squares calibration: just enough
+// (row-major Matrix, Cholesky factorization, normal-equation solver) and no
+// more.  Sizes are a handful of parameters by a few dozen observations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opalsim::model {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+
+  /// Matrix product (dimensions must agree; throws otherwise).
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix-vector product.
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);
+
+/// Solves the symmetric positive-definite system A x = b via Cholesky.
+/// Throws std::runtime_error when A is not (numerically) SPD.
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b);
+
+/// Solves min_x ||A x - b||_2 via the normal equations (A^T A) x = A^T b
+/// with a tiny ridge for numerical safety.  A must have rows >= cols.
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b);
+
+/// One-parameter least squares through the origin: min_k ||k x - y||.
+/// Returns 0 when all x are 0.
+double fit_through_origin(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Through-origin fit with the residual-based standard error of the slope:
+/// s_k = sqrt( sum r^2 / (n-1) / sum x^2 ).  stderr is 0 for n < 2 or a
+/// degenerate design.
+struct SlopeFit {
+  double slope = 0.0;
+  double std_error = 0.0;
+};
+SlopeFit fit_through_origin_with_stderr(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+}  // namespace opalsim::model

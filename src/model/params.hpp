@@ -1,0 +1,45 @@
+// Parameter sets of the analytic time-complexity model (paper §2.2).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace opalsim::model {
+
+/// Application parameters — intrinsic to the Opal run, invariant across
+/// machines (§2.2 "Model parameters").
+struct AppParams {
+  double s = 10;      ///< simulation steps
+  double p = 1;       ///< number of servers
+  double u = 1.0;     ///< list-update frequency in (0,1]: 1 = every step
+  double n = 0;       ///< mass centers (atoms + waters)
+  double gamma = 0;   ///< waters / n
+  double ntilde = 0;  ///< average neighbours within the cut-off; >= n or
+                      ///< <= 0 means no cut-off (fully quadratic)
+
+  bool has_cutoff() const noexcept { return ntilde > 0.0 && ntilde < n; }
+};
+
+/// Platform parameters — the machine-dependent constants (Tables 1-2).
+struct ModelParams {
+  double a1 = 0;     ///< communication rate, bytes/second
+  double b1 = 0;     ///< per-message communication overhead, seconds
+  double a2 = 0;     ///< time to generate a pair + distance check, seconds
+  double a3 = 0;     ///< time per nonbonded pair energy evaluation, seconds
+  double a4 = 0;     ///< per-center sequential (bonded) time, seconds
+  double b5 = 0;     ///< time per synchronization, seconds
+  double alpha = 24; ///< bytes per atom coordinate record (3 x f64)
+};
+
+/// Average number of neighbours within cut-off radius c (Angstrom) for a
+/// complex of number density rho (1/A^3): ntilde = rho * 4/3 pi c^3, capped
+/// at n.
+inline double ntilde_from_cutoff(double density, double cutoff, double n) {
+  if (cutoff <= 0.0) return n;  // no cut-off: every centre neighbours all
+  const double nt =
+      density * (4.0 / 3.0) * std::numbers::pi * cutoff * cutoff * cutoff;
+  return std::min(nt, n);
+}
+
+}  // namespace opalsim::model

@@ -1,0 +1,139 @@
+#include "model/report.hpp"
+
+#include <sstream>
+
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+#include "util/table.hpp"
+
+namespace opalsim::model {
+
+namespace {
+
+std::string markdown_table(const util::Table& t) {
+  std::ostringstream oss;
+  oss << "|";
+  for (const auto& h : t.headers()) oss << " " << h << " |";
+  oss << "\n|";
+  for (std::size_t i = 0; i < t.headers().size(); ++i) oss << "---|";
+  oss << "\n";
+  for (const auto& row : t.rows()) {
+    oss << "|";
+    for (std::size_t c = 0; c < t.headers().size(); ++c) {
+      oss << " " << (c < row.size() ? row[c] : "") << " |";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+StudyResult run_performance_study(const StudyConfig& config) {
+  StudyResult out;
+
+  // --- 1. calibration measurements on the reference platform -------------
+  for (int p : config.calib_servers) {
+    for (int solute : config.calib_solutes) {
+      for (double cutoff : config.calib_cutoffs) {
+        for (int upd : config.calib_updates) {
+          opal::SyntheticSpec s;
+          s.n_solute = static_cast<std::size_t>(solute);
+          s.n_water = 2 * static_cast<std::size_t>(solute);
+          auto mc = opal::make_synthetic_complex(s);
+          opal::SimulationConfig cfg;
+          cfg.steps = config.calib_steps;
+          cfg.cutoff = cutoff;
+          cfg.update_every = upd;
+          cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+          Observation o;
+          o.app = app_params_for(mc, cfg, p);
+          opal::ParallelOpal run(config.reference, std::move(mc), p, cfg);
+          o.measured = run.run().metrics;
+          out.observations.push_back(std::move(o));
+        }
+      }
+    }
+  }
+  out.calibration = calibrate(out.observations);
+  const ModelParams& ref = out.calibration.params;
+
+  // --- 2. prediction + scalability per candidate --------------------------
+  for (const auto& cand : config.candidates) {
+    const ModelParams params =
+        derive_platform_params(ref, config.reference, cand);
+    AppParams app =
+        app_params_for(config.workload, config.workload_cfg, 1);
+    out.scalability.push_back(
+        analyze_scalability(params, app, config.p_max));
+  }
+
+  // --- 3. render -----------------------------------------------------------
+  std::ostringstream md;
+  md << "# Performance study: " << config.workload.name << "\n\n"
+     << "Methodology per Taufer & Stricker (1998): measure on the reference "
+        "platform, fit the\nanalytic model by least squares, predict "
+        "candidates from their datasheets.\n\n"
+     << "## Calibration (reference: " << config.reference.name << ", "
+     << out.observations.size() << " runs)\n\n";
+
+  util::Table params_t({"parameter", "fitted", "stderr"});
+  auto prow = [&](const char* name, double v, double se) {
+    params_t.row().add(name).add(v, 9).add(se, 9);
+  };
+  prow("a1 [MB/s]", ref.a1 / 1e6, out.calibration.std_errors.a1 / 1e6);
+  prow("b1 [s]", ref.b1, out.calibration.std_errors.b1);
+  prow("a2 [s/pair]", ref.a2, out.calibration.std_errors.a2);
+  prow("a3 [s/pair]", ref.a3, out.calibration.std_errors.a3);
+  prow("a4 [s/center]", ref.a4, out.calibration.std_errors.a4);
+  prow("b5 [s]", ref.b5, out.calibration.std_errors.b5);
+  md << markdown_table(params_t) << "\n"
+     << "Total-wall fit: mean |rel err| = "
+     << util::format_number(
+            100.0 * out.calibration.fit_total.mean_abs_rel_err, 2)
+     << "%, R^2 = "
+     << util::format_number(out.calibration.fit_total.r_squared, 5)
+     << "\n\n## Workload\n\n"
+     << "n = " << config.workload.n() << " mass centers, gamma = "
+     << util::format_number(config.workload.gamma(), 3) << ", "
+     << (config.workload_cfg.has_cutoff()
+             ? "cut-off " +
+                   util::format_number(config.workload_cfg.cutoff, 1) + " A"
+             : std::string("no cut-off"))
+     << ", s = " << config.workload_cfg.steps << " steps, u = "
+     << util::format_number(config.workload_cfg.u(), 2) << "\n\n"
+     << "## Predictions\n\n";
+
+  util::Table pred({"platform", "T(1) [s]", "best p", "best T [s]",
+                    "saturation p", "speedup@best", "slows down"});
+  for (std::size_t i = 0; i < config.candidates.size(); ++i) {
+    const auto& a = out.scalability[i];
+    pred.row()
+        .add(config.candidates[i].name)
+        .add(a.curve.front().time, 2)
+        .add(a.best_p, 0)
+        .add(a.best_time, 2)
+        .add(a.saturation_p, 0)
+        .add(a.curve.front().time / a.best_time, 2)
+        .add(a.slows_down ? "yes" : "no");
+  }
+  md << markdown_table(pred) << "\n## Recommendation\n\n";
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < out.scalability.size(); ++i) {
+    if (out.scalability[i].best_time < out.scalability[best].best_time) {
+      best = i;
+    }
+  }
+  if (!config.candidates.empty()) {
+    md << "**" << config.candidates[best].name << "** at p = "
+       << util::format_number(out.scalability[best].best_p, 0) << " ("
+       << util::format_number(out.scalability[best].best_time, 2)
+       << " s per " << config.workload_cfg.steps << "-step simulation).\n";
+  }
+
+  out.report_markdown = md.str();
+  return out;
+}
+
+}  // namespace opalsim::model

@@ -1,0 +1,49 @@
+// Performance-study report generator: runs the paper's complete workflow —
+// factorial measurement on a reference platform, least-squares calibration,
+// cross-platform prediction and scalability analysis — and renders a
+// self-contained Markdown report.  This is the "integrated approach to
+// performance evaluation, modeling and prediction" of the title, packaged
+// as one call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mach/platform.hpp"
+#include "model/calibrate.hpp"
+#include "model/scalability.hpp"
+#include "opal/complex.hpp"
+#include "opal/config.hpp"
+
+namespace opalsim::model {
+
+struct StudyConfig {
+  /// Reference platform the calibration runs execute on.
+  mach::PlatformSpec reference;
+  /// Candidate platforms to predict for.
+  std::vector<mach::PlatformSpec> candidates;
+  /// The production workload to predict.
+  opal::MolecularComplex workload;
+  opal::SimulationConfig workload_cfg;
+  /// Calibration design: solute sizes (waters = 2x), server counts.
+  std::vector<int> calib_solutes{100, 200};
+  std::vector<int> calib_servers{1, 3, 7};
+  std::vector<double> calib_cutoffs{-1.0, 10.0};
+  std::vector<int> calib_updates{1, 10};
+  int calib_steps = 5;
+  int p_max = 16;  ///< scalability horizon
+};
+
+struct StudyResult {
+  CalibrationResult calibration;
+  std::vector<Observation> observations;
+  /// One scalability analysis per candidate, in candidate order.
+  std::vector<ScalabilityAnalysis> scalability;
+  std::string report_markdown;
+};
+
+/// Runs the whole study (measurements happen on the simulated reference
+/// platform) and renders the report.
+StudyResult run_performance_study(const StudyConfig& config);
+
+}  // namespace opalsim::model

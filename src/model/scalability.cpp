@@ -1,0 +1,70 @@
+#include "model/scalability.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace opalsim::model {
+
+double optimal_servers_continuous(const ModelParams& m, const AppParams& app,
+                                  UpdateVariant v) {
+  AppParams one = app;
+  one.p = 1.0;
+  // T(p) = C/p + D p + E: C is the p=1 parallel computation, D the p=1
+  // communication (comm is exactly linear in p in eq. 6').
+  const double c = predict_update(m, one, v) + predict_nbint(m, one, v);
+  const double d = predict_comm(m, one);
+  if (d <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(c / d);
+}
+
+ScalabilityAnalysis analyze_scalability(const ModelParams& m, AppParams app,
+                                        int p_max, double gain_eps,
+                                        UpdateVariant v) {
+  if (p_max < 1)
+    throw std::invalid_argument("analyze_scalability: p_max must be >= 1");
+  ScalabilityAnalysis out;
+  out.continuous_optimum = optimal_servers_continuous(m, app, v);
+
+  AppParams a = app;
+  a.p = 1.0;
+  const double t1 = predict_total(m, a, v);
+  out.best_time = t1;
+  out.best_p = 1.0;
+
+  for (int p = 1; p <= p_max; ++p) {
+    a.p = p;
+    const double t = predict_total(m, a, v);
+    ScalabilityPoint pt;
+    pt.p = p;
+    pt.time = t;
+    pt.speedup = t1 / t;
+    pt.efficiency = pt.speedup / p;
+    out.curve.push_back(pt);
+    if (t < out.best_time) {
+      out.best_time = t;
+      out.best_p = p;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < out.curve.size(); ++i) {
+    if (out.curve[i + 1].time > out.curve[i].time &&
+        out.curve[i].p >= out.best_p) {
+      out.slows_down = true;
+      break;
+    }
+  }
+  // Saturation: first p where the next server's relative gain drops below
+  // gain_eps (or the curve worsens).
+  out.saturation_p = out.curve.back().p;
+  for (std::size_t i = 0; i + 1 < out.curve.size(); ++i) {
+    const double gain =
+        (out.curve[i].time - out.curve[i + 1].time) / out.curve[i].time;
+    if (gain < gain_eps) {
+      out.saturation_p = out.curve[i].p;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace opalsim::model

@@ -1,0 +1,45 @@
+// Scalability analysis on top of the analytic model (paper §4.2: "with a
+// larger number of processors we would probably encounter the same
+// saturation point at which adding processors would stop to increase
+// performance").
+//
+// The model total has the form T(p) = C/p + D p + E, so the continuous
+// optimum is p* = sqrt(C/D); the discrete analysis walks the curve and
+// reports best/saturation points, speed-up and efficiency.
+#pragma once
+
+#include <vector>
+
+#include "model/analytic.hpp"
+
+namespace opalsim::model {
+
+struct ScalabilityPoint {
+  double p = 0.0;
+  double time = 0.0;
+  double speedup = 0.0;     ///< T(1)/T(p)
+  double efficiency = 0.0;  ///< speedup / p
+};
+
+struct ScalabilityAnalysis {
+  std::vector<ScalabilityPoint> curve;  ///< p = 1..p_max
+  double best_p = 1.0;                  ///< argmin time (discrete)
+  double best_time = 0.0;
+  /// Smallest p from which one more server improves time by less than
+  /// `gain_eps` (relative); equals best_p when the curve turns upward.
+  double saturation_p = 1.0;
+  bool slows_down = false;  ///< time increases somewhere past best_p
+  double continuous_optimum = 1.0;  ///< sqrt(C/D), unclamped
+};
+
+/// Continuous optimum p* = sqrt(parallel work / per-server comm cost).
+/// Returns +inf when the communication coefficient is zero.
+double optimal_servers_continuous(const ModelParams& m, const AppParams& app,
+                                  UpdateVariant v = UpdateVariant::Consistent);
+
+/// Walks p = 1..p_max on the model curve.
+ScalabilityAnalysis analyze_scalability(
+    const ModelParams& m, AppParams app, int p_max, double gain_eps = 0.02,
+    UpdateVariant v = UpdateVariant::Consistent);
+
+}  // namespace opalsim::model

@@ -1,0 +1,55 @@
+// Simulation configuration: the paper's application parameters.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "opal/pairs.hpp"
+
+namespace opalsim::opal {
+
+class Trajectory;  // trajectory.hpp
+
+/// What the run computes: molecular dynamics (leapfrog) or energy
+/// minimization (adaptive steepest descent) — Opal supports both (§2.1:
+/// "energy minimization and molecular dynamics").
+enum class RunMode { Dynamics, Minimization };
+
+struct SimulationConfig {
+  /// Number of simulation steps s (the paper times 10-step runs).
+  int steps = 10;
+  /// Lists are rebuilt every `update_every` steps: 1 = full update,
+  /// 10 = partial update.  The model's u = 1/update_every.
+  int update_every = 1;
+  /// Cut-off radius in Angstrom; <= 0 disables the cut-off (all pairs).
+  double cutoff = -1.0;
+  /// Pair-to-server distribution strategy.
+  DistributionStrategy strategy = DistributionStrategy::PseudoRandomHistorical;
+  /// Leapfrog timestep (arbitrary units; small keeps dynamics tame).
+  double dt = 1e-3;
+  /// When false, positions stay fixed (pure energy evaluation) — work is
+  /// identical, results exactly step-independent.  Ignored in
+  /// Minimization mode.
+  bool integrate = true;
+  /// Dynamics (default) or energy minimization.
+  RunMode mode = RunMode::Dynamics;
+  /// Initial steepest-descent step length (Minimization mode).
+  double min_step = 1e-5;
+  /// When non-null, per-step observables are recorded here (not owned).
+  Trajectory* trajectory = nullptr;
+  std::uint64_t seed = 1;
+
+  /// The model's update-frequency parameter u in (0, 1].
+  double u() const noexcept { return 1.0 / update_every; }
+
+  void validate() const {
+    if (steps <= 0) throw std::invalid_argument("steps must be > 0");
+    if (update_every <= 0)
+      throw std::invalid_argument("update_every must be > 0");
+    if (dt <= 0.0) throw std::invalid_argument("dt must be > 0");
+  }
+
+  bool has_cutoff() const noexcept { return cutoff > 0.0; }
+};
+
+}  // namespace opalsim::opal

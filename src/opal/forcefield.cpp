@@ -1,0 +1,153 @@
+#include "opal/forcefield.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace opalsim::opal {
+
+namespace {
+
+/// Wraps an angle difference into [-pi, pi].
+double wrap_angle(double a) {
+  while (a > std::numbers::pi) a -= 2.0 * std::numbers::pi;
+  while (a < -std::numbers::pi) a += 2.0 * std::numbers::pi;
+  return a;
+}
+
+/// Computes the dihedral angle phi over centers (i,j,k,l) and accumulates
+/// dV/dphi * dphi/dr into grad.  Returns phi.
+double dihedral_angle_and_grad(const MolecularComplex& mc, std::uint32_t i,
+                               std::uint32_t j, std::uint32_t k,
+                               std::uint32_t l, double dv_dphi,
+                               std::span<Vec3> grad) {
+  const Vec3& r1 = mc.centers[i].position;
+  const Vec3& r2 = mc.centers[j].position;
+  const Vec3& r3 = mc.centers[k].position;
+  const Vec3& r4 = mc.centers[l].position;
+  const Vec3 b1 = r2 - r1;
+  const Vec3 b2 = r3 - r2;
+  const Vec3 b3 = r4 - r3;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const double b2n = b2.norm();
+  const double phi = std::atan2(b2n * b1.dot(n2), n1.dot(n2));
+
+  const double n1sq = n1.norm2();
+  const double n2sq = n2.norm2();
+  if (n1sq < 1e-12 || n2sq < 1e-12 || b2n < 1e-12) return phi;  // degenerate
+
+  // Analytic gradient of the dihedral angle (verified against central
+  // differences in tests).  With b1 = r2-r1, b2 = r3-r2, b3 = r4-r3:
+  //   grad1 = -|b2|/|n1|^2 n1,     grad4 = +|b2|/|n2|^2 n2,
+  //   grad2 = -(1+ts) grad1 + tt grad4,
+  //   grad3 =  ts grad1 - (1+tt) grad4     (sum of all four vanishes).
+  const Vec3 dphi_dr1 = n1 * (-b2n / n1sq);
+  const Vec3 dphi_dr4 = n2 * (b2n / n2sq);
+  const double ts = b1.dot(b2) / (b2n * b2n);
+  const double tt = b3.dot(b2) / (b2n * b2n);
+  const Vec3 dphi_dr2 = dphi_dr1 * (-1.0 - ts) + dphi_dr4 * tt;
+  const Vec3 dphi_dr3 = dphi_dr1 * ts - dphi_dr4 * (1.0 + tt);
+
+  grad[i] += dphi_dr1 * dv_dphi;
+  grad[j] += dphi_dr2 * dv_dphi;
+  grad[k] += dphi_dr3 * dv_dphi;
+  grad[l] += dphi_dr4 * dv_dphi;
+  return phi;
+}
+
+/// Dihedral angle only (no gradient), for two-pass harmonic terms.
+double dihedral_angle(const MolecularComplex& mc, std::uint32_t i,
+                      std::uint32_t j, std::uint32_t k, std::uint32_t l) {
+  const Vec3 b1 = mc.centers[j].position - mc.centers[i].position;
+  const Vec3 b2 = mc.centers[k].position - mc.centers[j].position;
+  const Vec3 b3 = mc.centers[l].position - mc.centers[k].position;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  return std::atan2(b2.norm() * b1.dot(n2), n1.dot(n2));
+}
+
+}  // namespace
+
+double bond_energy(const MolecularComplex& mc, const Bond& b,
+                   std::span<Vec3> grad) {
+  const Vec3 d = mc.centers[b.i].position - mc.centers[b.j].position;
+  const double r = d.norm();
+  const double dr = r - b.b0;
+  const double e = 0.5 * b.kb * dr * dr;
+  // dV/dr_i = kb (r - b0) * d/r
+  const Vec3 g = d * (b.kb * dr / r);
+  grad[b.i] += g;
+  grad[b.j] -= g;
+  return e;
+}
+
+double angle_energy(const MolecularComplex& mc, const Angle& a,
+                    std::span<Vec3> grad) {
+  const Vec3& ri = mc.centers[a.i].position;
+  const Vec3& rj = mc.centers[a.j].position;
+  const Vec3& rk = mc.centers[a.k].position;
+  const Vec3 u = ri - rj;
+  const Vec3 v = rk - rj;
+  const double nu = u.norm();
+  const double nv = v.norm();
+  double c = u.dot(v) / (nu * nv);
+  c = std::clamp(c, -1.0, 1.0);
+  const double theta = std::acos(c);
+  const double dt = theta - a.theta0;
+  const double e = 0.5 * a.ktheta * dt * dt;
+
+  // dtheta/dcos = -1/sin(theta); guard near-collinear configurations.
+  const double s = std::sqrt(std::max(1.0 - c * c, 1e-12));
+  const double dv_dtheta = a.ktheta * dt;
+  const double coeff = -dv_dtheta / s;
+  // dcos/dri, dcos/drk per the quotient rule.
+  const Vec3 dcos_dri = (v * (1.0 / (nu * nv))) - (u * (c / (nu * nu)));
+  const Vec3 dcos_drk = (u * (1.0 / (nu * nv))) - (v * (c / (nv * nv)));
+  grad[a.i] += dcos_dri * coeff;
+  grad[a.k] += dcos_drk * coeff;
+  grad[a.j] -= (dcos_dri + dcos_drk) * coeff;
+  return e;
+}
+
+double dihedral_energy(const MolecularComplex& mc, const Dihedral& d,
+                       std::span<Vec3> grad) {
+  // V = Kphi (1 + cos(n phi - delta)); dV/dphi = -n Kphi sin(n phi - delta).
+  const double phi0 = dihedral_angle(mc, d.i, d.j, d.k, d.l);
+  const double arg = d.multiplicity * phi0 - d.delta;
+  const double e = d.kphi * (1.0 + std::cos(arg));
+  const double dv_dphi = -d.kphi * d.multiplicity * std::sin(arg);
+  dihedral_angle_and_grad(mc, d.i, d.j, d.k, d.l, dv_dphi, grad);
+  return e;
+}
+
+double improper_energy(const MolecularComplex& mc, const Improper& im,
+                       std::span<Vec3> grad) {
+  // V = 1/2 Kxi (xi - xi0)^2 with the difference wrapped to [-pi, pi].
+  const double xi = dihedral_angle(mc, im.i, im.j, im.k, im.l);
+  const double dx = wrap_angle(xi - im.xi0);
+  const double e = 0.5 * im.kxi * dx * dx;
+  const double dv_dphi = im.kxi * dx;
+  dihedral_angle_and_grad(mc, im.i, im.j, im.k, im.l, dv_dphi, grad);
+  return e;
+}
+
+BondedEnergies evaluate_bonded(const MolecularComplex& mc,
+                               std::span<Vec3> grad, hpm::OpCounts* ops) {
+  BondedEnergies e;
+  for (const auto& b : mc.bonds) e.bond += bond_energy(mc, b, grad);
+  for (const auto& a : mc.angles) e.angle += angle_energy(mc, a, grad);
+  for (const auto& d : mc.dihedrals)
+    e.dihedral += dihedral_energy(mc, d, grad);
+  for (const auto& im : mc.impropers)
+    e.improper += improper_energy(mc, im, grad);
+  if (ops != nullptr) {
+    *ops += OpMixes::bond_term * mc.bonds.size();
+    *ops += OpMixes::angle_term * mc.angles.size();
+    *ops += OpMixes::dihedral_term * mc.dihedrals.size();
+    *ops += OpMixes::improper_term * mc.impropers.size();
+  }
+  return e;
+}
+
+}  // namespace opalsim::opal

@@ -1,0 +1,113 @@
+// The Opal atomic interaction function V (paper §2.1, eq. for V):
+// covalent bond stretching, bond-angle bending, improper (harmonic) and
+// proper (sinusoidal) dihedrals, and the nonbonded van der Waals + Coulomb
+// pair terms.  Energies are real (serial and parallel evaluations must
+// agree); every evaluator also has an architecture-neutral operation mix so
+// the machine models can charge virtual time for the same work.
+#pragma once
+
+#include <span>
+
+#include "hpm/op_counts.hpp"
+#include "opal/complex.hpp"
+#include "opal/vec3.hpp"
+
+namespace opalsim::opal {
+
+/// Coulomb prefactor 1/(4 pi eps0 eps_r) in kcal*A/(mol*e^2), eps_r = 1.
+inline constexpr double kCoulombConstant = 332.0636;
+
+/// Operation mixes per evaluated term, used for virtual-time charging.
+/// The nonbonded pair mix is the paper's dominant kernel (comp_nbint).
+struct OpMixes {
+  static constexpr hpm::OpCounts nbint_pair{/*add=*/11, /*mul=*/15,
+                                            /*div=*/2, /*sqrt=*/1,
+                                            /*exp=*/0, /*cmp=*/0};
+  /// Pair generation + distance check in the list-update sweep.
+  static constexpr hpm::OpCounts update_pair{/*add=*/5, /*mul=*/3,
+                                             /*div=*/0, /*sqrt=*/0,
+                                             /*exp=*/0, /*cmp=*/1};
+  static constexpr hpm::OpCounts bond_term{/*add=*/8, /*mul=*/8,
+                                           /*div=*/1, /*sqrt=*/1,
+                                           /*exp=*/0, /*cmp=*/0};
+  static constexpr hpm::OpCounts angle_term{/*add=*/20, /*mul=*/26,
+                                            /*div=*/3, /*sqrt=*/2,
+                                            /*exp=*/1, /*cmp=*/0};
+  static constexpr hpm::OpCounts dihedral_term{/*add=*/45, /*mul=*/60,
+                                               /*div=*/6, /*sqrt=*/3,
+                                               /*exp=*/2, /*cmp=*/0};
+  static constexpr hpm::OpCounts improper_term{/*add=*/45, /*mul=*/60,
+                                               /*div=*/6, /*sqrt=*/3,
+                                               /*exp=*/1, /*cmp=*/0};
+  /// Per mass center: leapfrog integration step.
+  static constexpr hpm::OpCounts integrate_center{/*add=*/6, /*mul=*/6,
+                                                  /*div=*/0, /*sqrt=*/0,
+                                                  /*exp=*/0, /*cmp=*/0};
+  /// Per mass center per server: client-side gradient reduction.
+  static constexpr hpm::OpCounts reduce_center{/*add=*/3, /*mul=*/0,
+                                               /*div=*/0, /*sqrt=*/0,
+                                               /*exp=*/0, /*cmp=*/0};
+};
+
+/// Evaluates the nonbonded pair term (van der Waals + Coulomb) between mass
+/// centers i and j, accumulating the energies and the gradient of V
+/// (dV/dr, NOT force) into `grad`.  LJ coefficients combine geometrically.
+inline void nonbonded_pair(const MolecularComplex& mc, std::uint32_t i,
+                           std::uint32_t j, double& evdw, double& ecoul,
+                           std::span<Vec3> grad) {
+  const MassCenter& a = mc.centers[i];
+  const MassCenter& b = mc.centers[j];
+  const Vec3 d = a.position - b.position;
+  const double r2 = d.norm2();
+  const double inv_r2 = 1.0 / r2;
+  const double inv_r = std::sqrt(inv_r2);
+  const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+  const double c12 = std::sqrt(a.c12 * b.c12);
+  const double c6 = std::sqrt(a.c6 * b.c6);
+  const double lj = (c12 * inv_r6 - c6) * inv_r6;
+  const double qq = kCoulombConstant * a.charge * b.charge;
+  const double coul = qq * inv_r;
+  evdw += lj;
+  ecoul += coul;
+  // dV/dr scalar over r: (-12 c12 r^-13 + 6 c6 r^-7 - qq r^-2) / r
+  const double dvdr_over_r =
+      (-12.0 * c12 * inv_r6 + 6.0 * c6) * inv_r6 * inv_r2 -
+      coul * inv_r2;
+  const Vec3 g = d * dvdr_over_r;
+  grad[i] += g;
+  grad[j] -= g;
+}
+
+/// Squared-distance check used by the list-update sweep.
+inline bool within_cutoff(const MolecularComplex& mc, std::uint32_t i,
+                          std::uint32_t j, double cutoff2) {
+  const Vec3 d = mc.centers[i].position - mc.centers[j].position;
+  return d.norm2() <= cutoff2;
+}
+
+/// Bonded-term energies (evaluated by the client — the sequential part).
+struct BondedEnergies {
+  double bond = 0.0;
+  double angle = 0.0;
+  double dihedral = 0.0;
+  double improper = 0.0;
+  double total() const noexcept { return bond + angle + dihedral + improper; }
+};
+
+/// Single-term evaluators; each accumulates gradients into `grad`.
+double bond_energy(const MolecularComplex& mc, const Bond& b,
+                   std::span<Vec3> grad);
+double angle_energy(const MolecularComplex& mc, const Angle& a,
+                    std::span<Vec3> grad);
+double dihedral_energy(const MolecularComplex& mc, const Dihedral& d,
+                       std::span<Vec3> grad);
+double improper_energy(const MolecularComplex& mc, const Improper& im,
+                       std::span<Vec3> grad);
+
+/// Evaluates all bonded terms; if `ops` is non-null, adds the corresponding
+/// operation mix.
+BondedEnergies evaluate_bonded(const MolecularComplex& mc,
+                               std::span<Vec3> grad,
+                               hpm::OpCounts* ops = nullptr);
+
+}  // namespace opalsim::opal

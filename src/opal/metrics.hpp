@@ -1,0 +1,64 @@
+// Phase-resolved measurement of one Opal run — the response variables of the
+// paper's experimental design (§2.3): parallel computation, sequential
+// computation, the four communication components, synchronization and idle
+// time, all in (virtual) wall-clock seconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opal/forcefield.hpp"
+
+namespace opalsim::opal {
+
+struct RunMetrics {
+  // Parallel computation (mean over servers, i.e. the ideally-parallel
+  // portion of the client's wait).
+  double par_update = 0.0;
+  double par_nbint = 0.0;
+  // Sequential computation on the client (bonded terms, reductions,
+  // integration).
+  double seq_comp = 0.0;
+  // The four communication components of eq. (6).
+  double call_upd = 0.0;
+  double return_upd = 0.0;
+  double call_nbi = 0.0;
+  double return_nbi = 0.0;
+  // Synchronization (the 2 b5 per RPC of eq. (10)).
+  double sync = 0.0;
+  // Client wait not covered by useful parallel computation (load imbalance).
+  double idle = 0.0;
+  // Total wall clock of the measured section.
+  double wall = 0.0;
+
+  double tot_par_comp() const noexcept { return par_update + par_nbint; }
+  double tot_comm() const noexcept {
+    return call_upd + return_upd + call_nbi + return_nbi;
+  }
+  /// Accounted time: should track `wall` closely in barrier mode.
+  double accounted() const noexcept {
+    return tot_par_comp() + seq_comp + tot_comm() + sync + idle;
+  }
+
+  // Work counters (for space/ops validation).
+  std::uint64_t pairs_checked = 0;   ///< distance checks in update sweeps
+  std::uint64_t pairs_evaluated = 0; ///< nonbonded pair evaluations
+  std::uint64_t list_updates = 0;    ///< number of update RPCs
+};
+
+/// Physics outcome of a run — what the real Opal prints at the end of each
+/// simulation: energies, temperature, pressure, volume.
+struct SimResult {
+  double evdw = 0.0;
+  double ecoul = 0.0;
+  BondedEnergies bonded;
+  double kinetic = 0.0;
+  double temperature = 0.0;
+  double pressure = 0.0;
+  double volume = 0.0;
+
+  double potential() const noexcept { return evdw + ecoul + bonded.total(); }
+  double total_energy() const noexcept { return potential() + kinetic; }
+};
+
+}  // namespace opalsim::opal

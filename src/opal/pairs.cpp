@@ -1,0 +1,92 @@
+#include "opal/pairs.hpp"
+
+#include <stdexcept>
+
+#include "opal/forcefield.hpp"
+#include "util/rng.hpp"
+
+namespace opalsim::opal {
+
+std::string to_string(DistributionStrategy s) {
+  switch (s) {
+    case DistributionStrategy::PseudoRandomHistorical:
+      return "pseudo-random (historical)";
+    case DistributionStrategy::PseudoRandomUniform:
+      return "pseudo-random (uniform)";
+    case DistributionStrategy::RowCyclic:
+      return "row-cyclic";
+    case DistributionStrategy::Folded:
+      return "folded rows";
+    case DistributionStrategy::EvenMultiplierBug:
+      return "even-multiplier bug";
+  }
+  return "?";
+}
+
+int pair_owner(DistributionStrategy strategy, std::uint64_t k,
+               std::uint32_t i, std::uint32_t j, std::uint32_t n, int p,
+               std::uint64_t seed) {
+  (void)j;
+  const auto up = static_cast<std::uint64_t>(p);
+  switch (strategy) {
+    case DistributionStrategy::PseudoRandomHistorical: {
+      const std::uint64_t h = util::splitmix64_hash(k ^ seed);
+      auto server = static_cast<int>(h % up);
+      // Parity correlation of the historical generator: when p is even,
+      // one in eight pairs headed for an odd-ranked server lands on its
+      // even-ranked neighbour instead (~12% systematic imbalance).
+      if (p % 2 == 0 && ((h >> 32) & 7u) == 0) server &= ~1;
+      return server;
+    }
+    case DistributionStrategy::PseudoRandomUniform:
+      return static_cast<int>(util::splitmix64_hash(k ^ seed) % up);
+    case DistributionStrategy::RowCyclic:
+      return static_cast<int>(i % up);
+    case DistributionStrategy::Folded: {
+      const std::uint32_t row = i <= n - 2 - i ? i : n - 2 - i;
+      return static_cast<int>(row % up);
+    }
+    case DistributionStrategy::EvenMultiplierBug:
+      // gcd(multiplier, p) = 2 for even p: odd-ranked servers get nothing.
+      return static_cast<int>((k * 2654435762ull) % up);
+  }
+  return 0;
+}
+
+std::vector<std::vector<PairIdx>> build_domains(std::uint32_t n, int p,
+                                                DistributionStrategy strategy,
+                                                std::uint64_t seed) {
+  if (p <= 0) throw std::invalid_argument("build_domains: p must be > 0");
+  if (n < 2) throw std::invalid_argument("build_domains: need >= 2 centers");
+  std::vector<std::vector<PairIdx>> domains(p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const std::uint64_t per = total / static_cast<std::uint64_t>(p) + 1;
+  for (auto& d : domains) d.reserve(per);
+  std::uint64_t k = 0;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j, ++k) {
+      const int owner = pair_owner(strategy, k, i, j, n, p, seed);
+      domains[owner].push_back(PairIdx{i, j});
+    }
+  }
+  return domains;
+}
+
+std::uint64_t ServerDomain::update(const MolecularComplex& mc,
+                                   double cutoff) {
+  if (cutoff <= 0.0) {
+    materialized_ = false;
+    active_.clear();
+    active_.shrink_to_fit();
+    return domain_.size();
+  }
+  materialized_ = true;
+  active_.clear();
+  const double c2 = cutoff * cutoff;
+  for (const PairIdx& pr : domain_) {
+    if (within_cutoff(mc, pr.i, pr.j, c2)) active_.push_back(pr);
+  }
+  return domain_.size();
+}
+
+}  // namespace opalsim::opal

@@ -1,0 +1,90 @@
+// Pair distribution and cut-off pair lists.
+//
+// The replicated-data parallelization assigns every unordered pair (i,j) of
+// mass centers to exactly one server (paper §2.1: "each server selects a
+// distinct subset of the atom pairs").  The assignment is static for a run;
+// the *active* list on each server is rebuilt in the update phase by
+// distance-checking the assigned pairs against the cut-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "opal/complex.hpp"
+
+namespace opalsim::opal {
+
+struct PairIdx {
+  std::uint32_t i, j;
+  friend bool operator==(const PairIdx&, const PairIdx&) = default;
+};
+
+/// How pairs are distributed among servers.
+enum class DistributionStrategy {
+  /// Opal's historical pseudo-random distribution.  Reproduces the paper's
+  /// anomaly ("load balancing problem for runs with an even number of
+  /// processors"): the historical generator's parity correlation gives
+  /// even-ranked servers ~12% excess work when p is even.  See DESIGN.md.
+  PseudoRandomHistorical,
+  /// Unbiased hash distribution (the fix; balanced for every p).
+  PseudoRandomUniform,
+  /// Row i of the pair triangle goes to server i mod p.
+  RowCyclic,
+  /// Rows i and n-2-i bundled (each bundle has exactly n pairs; balanced).
+  Folded,
+  /// Multiplicative hash with an even constant: for even p only even-ranked
+  /// servers ever receive pairs (the catastrophic version of the bug,
+  /// exercised by bench_ablation_distribution).
+  EvenMultiplierBug,
+};
+
+std::string to_string(DistributionStrategy s);
+
+/// Owner server of pair number `k` = (i,j) under the given strategy.
+int pair_owner(DistributionStrategy strategy, std::uint64_t k,
+               std::uint32_t i, std::uint32_t j, std::uint32_t n, int p,
+               std::uint64_t seed);
+
+/// Enumerates all n(n-1)/2 pairs once and builds each server's static
+/// domain.  Deterministic in (n, p, strategy, seed).
+std::vector<std::vector<PairIdx>> build_domains(std::uint32_t n, int p,
+                                                DistributionStrategy strategy,
+                                                std::uint64_t seed);
+
+/// A server's share of the pair work: the static domain plus the active
+/// cut-off list rebuilt by update().
+class ServerDomain {
+ public:
+  ServerDomain() = default;
+  explicit ServerDomain(std::vector<PairIdx> domain)
+      : domain_(std::move(domain)) {}
+
+  /// Rebuilds the active list: pairs within `cutoff` (Angstrom); a
+  /// non-positive cutoff means no cut-off (all pairs active, list not
+  /// materialized).  Returns the number of pairs checked (== domain size).
+  std::uint64_t update(const MolecularComplex& mc, double cutoff);
+
+  /// Pairs the energy evaluation must process.
+  std::span<const PairIdx> active() const noexcept {
+    return materialized_ ? std::span<const PairIdx>(active_)
+                         : std::span<const PairIdx>(domain_);
+  }
+
+  std::size_t domain_size() const noexcept { return domain_.size(); }
+  std::size_t active_size() const noexcept {
+    return materialized_ ? active_.size() : domain_.size();
+  }
+  /// Bytes of list storage (paper's space model: 2*4 bytes per pair).
+  std::size_t list_bytes() const noexcept {
+    return active_size() * sizeof(PairIdx);
+  }
+
+ private:
+  std::vector<PairIdx> domain_;
+  std::vector<PairIdx> active_;
+  bool materialized_ = false;
+};
+
+}  // namespace opalsim::opal

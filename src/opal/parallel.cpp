@@ -1,0 +1,201 @@
+#include "opal/parallel.hpp"
+
+#include <stdexcept>
+
+#include "opal/forcefield.hpp"
+#include "opal/trajectory.hpp"
+#include "opal/pairs.hpp"
+#include "opal/serial.hpp"
+#include "pvm/pvm_system.hpp"
+#include "sim/engine.hpp"
+
+namespace opalsim::opal {
+
+namespace {
+
+/// Per-server replicated state: the global data every server holds (paper
+/// §2.6 — interaction parameters and coordinates are replicated; only the
+/// pair lists scale down with p).
+struct ServerState {
+  MolecularComplex replica;
+  ServerDomain domain;
+  std::vector<Vec3> grad;
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t pairs_evaluated = 0;
+
+  std::size_t working_set_bytes() const {
+    return replica.n() * (sizeof(MassCenter) + sizeof(Vec3)) +
+           domain.list_bytes();
+  }
+};
+
+}  // namespace
+
+ParallelOpal::ParallelOpal(mach::PlatformSpec platform, MolecularComplex mc,
+                           int num_servers, SimulationConfig cfg,
+                           sciddle::Options middleware)
+    : platform_(std::move(platform)),
+      mc_(std::move(mc)),
+      num_servers_(num_servers),
+      cfg_(cfg),
+      middleware_(middleware) {
+  cfg_.validate();
+  if (num_servers <= 0)
+    throw std::invalid_argument("ParallelOpal: need at least one server");
+}
+
+ParallelRunResult ParallelOpal::run() {
+  if (ran_) throw std::logic_error("ParallelOpal::run called twice");
+  ran_ = true;
+
+  sim::Engine engine;
+  mach::Machine machine(engine, platform_, num_servers_ + 1);
+  pvm::PvmSystem pvm(machine);
+  sciddle::Rpc rpc(pvm, num_servers_, middleware_);
+
+  const auto n = static_cast<std::uint32_t>(mc_.n());
+  auto domains = build_domains(n, num_servers_, cfg_.strategy, cfg_.seed);
+  std::vector<ServerState> servers;
+  servers.reserve(num_servers_);
+  for (int s = 0; s < num_servers_; ++s) {
+    ServerState st{mc_, ServerDomain(std::move(domains[s])), {}, 0, 0};
+    st.grad.resize(mc_.n());
+    servers.push_back(std::move(st));
+  }
+
+  // --- server stubs ---------------------------------------------------
+  rpc.register_proc(
+      "update",
+      [&servers, this](pvm::PackBuffer args, sciddle::ServerContext& ctx)
+          -> sim::Task<pvm::PackBuffer> {
+        ServerState& st = servers[ctx.server_index];
+        st.replica.set_flat_coordinates(args.unpack_f64_array());
+        const std::uint64_t checked = st.domain.update(st.replica, cfg_.cutoff);
+        st.pairs_checked += checked;
+        co_await ctx.task.cpu().compute(OpMixes::update_pair * checked,
+                                        st.working_set_bytes());
+        co_return pvm::PackBuffer{};  // eq. (8): no data in the reply
+      });
+
+  rpc.register_proc(
+      "nbint",
+      [&servers](pvm::PackBuffer args, sciddle::ServerContext& ctx)
+          -> sim::Task<pvm::PackBuffer> {
+        ServerState& st = servers[ctx.server_index];
+        st.replica.set_flat_coordinates(args.unpack_f64_array());
+        std::fill(st.grad.begin(), st.grad.end(), Vec3{});
+        double evdw = 0.0, ecoul = 0.0;
+        for (const PairIdx& pr : st.domain.active()) {
+          nonbonded_pair(st.replica, pr.i, pr.j, evdw, ecoul, st.grad);
+        }
+        const std::uint64_t m = st.domain.active_size();
+        st.pairs_evaluated += m;
+        co_await ctx.task.cpu().compute(OpMixes::nbint_pair * m,
+                                        st.working_set_bytes());
+        pvm::PackBuffer out;  // eq. (9): energies + 3n gradient components
+        out.pack_f64(evdw);
+        out.pack_f64(ecoul);
+        std::vector<double> flat(3 * st.replica.n());
+        for (std::size_t i = 0; i < st.replica.n(); ++i) {
+          flat[3 * i] = st.grad[i].x;
+          flat[3 * i + 1] = st.grad[i].y;
+          flat[3 * i + 2] = st.grad[i].z;
+        }
+        out.pack_f64_array(flat);
+        co_return out;
+      });
+
+  rpc.start();
+
+  // --- client ----------------------------------------------------------
+  ParallelRunResult result;
+  RunMetrics& metrics = result.metrics;
+
+  pvm.spawn(0, [&](pvm::PvmTask& client) -> sim::Task<void> {
+    std::vector<Vec3> velocities(mc_.n());
+    std::vector<Vec3> grad(mc_.n());
+    SteepestDescent minimizer(cfg_.min_step);
+    const double t_start = engine.now();
+
+    for (int step = 0; step < cfg_.steps; ++step) {
+      const std::vector<double> coords = mc_.flat_coordinates();
+      auto coord_args = [&] {
+        std::vector<pvm::PackBuffer> args(num_servers_);
+        for (auto& a : args) a.pack_f64_array(coords);
+        return args;
+      };
+
+      if (step % cfg_.update_every == 0) {
+        const sciddle::CallAllStats st =
+            co_await rpc.call_all(client, "update", coord_args(), nullptr);
+        metrics.call_upd += st.call_time;
+        metrics.return_upd += st.return_time;
+        metrics.sync += st.sync_time;
+        metrics.par_update += st.par_time();
+        metrics.idle += st.idle_time();
+        ++metrics.list_updates;
+      }
+
+      std::vector<pvm::PackBuffer> replies;
+      const sciddle::CallAllStats st =
+          co_await rpc.call_all(client, "nbint", coord_args(), &replies);
+      metrics.call_nbi += st.call_time;
+      metrics.return_nbi += st.return_time;
+      metrics.sync += st.sync_time;
+      metrics.par_nbint += st.par_time();
+      metrics.idle += st.idle_time();
+
+      // Sequential part: reductions, bonded terms, integration (eq. 5).
+      const double t_seq0 = engine.now();
+      hpm::OpCounts seq_ops;
+      double evdw = 0.0, ecoul = 0.0;
+      std::fill(grad.begin(), grad.end(), Vec3{});
+      for (auto& r : replies) {
+        evdw += r.unpack_f64();
+        ecoul += r.unpack_f64();
+        const std::vector<double> flat = r.unpack_f64_array();
+        for (std::size_t i = 0; i < mc_.n(); ++i) {
+          grad[i] += Vec3{flat[3 * i], flat[3 * i + 1], flat[3 * i + 2]};
+        }
+        seq_ops += OpMixes::reduce_center * mc_.n();
+      }
+      const BondedEnergies bonded = evaluate_bonded(mc_, grad, &seq_ops);
+
+      result.physics.evdw = evdw;
+      result.physics.ecoul = ecoul;
+      result.physics.bonded = bonded;
+      fill_observables(mc_, velocities, grad, result.physics);
+      if (cfg_.trajectory != nullptr) {
+        cfg_.trajectory->record(step, result.physics);
+      }
+
+      if (cfg_.mode == RunMode::Minimization) {
+        minimizer.advance(mc_, result.physics.potential(), grad);
+        seq_ops += OpMixes::integrate_center * mc_.n();
+      } else if (cfg_.integrate) {
+        leapfrog_step(mc_, velocities, grad, cfg_.dt);
+        seq_ops += OpMixes::integrate_center * mc_.n();
+      }
+      co_await client.cpu().compute(
+          seq_ops, mc_.n() * (sizeof(MassCenter) + 2 * sizeof(Vec3)));
+      metrics.seq_comp += engine.now() - t_seq0;
+    }
+
+    metrics.wall = engine.now() - t_start;
+    co_await rpc.shutdown(client);
+  });
+
+  engine.run();
+
+  for (int s = 0; s < num_servers_; ++s) {
+    metrics.pairs_checked += servers[s].pairs_checked;
+    metrics.pairs_evaluated += servers[s].pairs_evaluated;
+    const auto& counter = machine.cpu(s + 1).counter();
+    result.server_busy.push_back(counter.busy_seconds());
+    result.server_counted_mflop.push_back(
+        counter.counted_mflop(platform_.cpu.intrinsics));
+  }
+  return result;
+}
+
+}  // namespace opalsim::opal

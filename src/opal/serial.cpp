@@ -1,0 +1,138 @@
+#include "opal/serial.hpp"
+
+#include "opal/forcefield.hpp"
+#include "opal/trajectory.hpp"
+#include "opal/pairs.hpp"
+
+namespace opalsim::opal {
+
+void leapfrog_step(MolecularComplex& mc, std::vector<Vec3>& velocities,
+                   const std::vector<Vec3>& grad, double dt) {
+  for (std::size_t i = 0; i < mc.n(); ++i) {
+    MassCenter& c = mc.centers[i];
+    const double inv_m = 1.0 / c.mass;
+    velocities[i] += grad[i] * (-inv_m * dt);
+    c.position += velocities[i] * dt;
+  }
+}
+
+void fill_observables(const MolecularComplex& mc,
+                      const std::vector<Vec3>& velocities,
+                      const std::vector<Vec3>& grad, SimResult& result) {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < mc.n(); ++i) {
+    ke += 0.5 * mc.centers[i].mass * velocities[i].norm2();
+  }
+  result.kinetic = ke;
+  const auto n = static_cast<double>(mc.n());
+  result.temperature = 2.0 * ke / (3.0 * n * kBoltzmann);
+  result.volume = mc.box_length * mc.box_length * mc.box_length;
+  // Instantaneous virial pressure: P = (N kB T - (1/3) sum r.g) / V.
+  double virial = 0.0;
+  for (std::size_t i = 0; i < mc.n(); ++i) {
+    virial += mc.centers[i].position.dot(grad[i]);
+  }
+  result.pressure =
+      (n * kBoltzmann * result.temperature - virial / 3.0) / result.volume;
+}
+
+void SteepestDescent::advance(MolecularComplex& mc, double energy,
+                              const std::vector<Vec3>& grad) {
+  if (has_prev_ && energy > prev_energy_) {
+    // Reject: backtrack to the previous accepted configuration and descend
+    // again with half the step, along the gradient evaluated there.
+    ++rejected_;
+    step_ *= 0.5;
+    for (std::size_t i = 0; i < mc.n(); ++i) {
+      mc.centers[i].position = prev_pos_[i] - prev_grad_[i] * step_;
+    }
+    return;
+  }
+  // Accept: remember this configuration and take a (slightly larger) step.
+  ++accepted_;
+  has_prev_ = true;
+  prev_energy_ = energy;
+  prev_pos_.resize(mc.n());
+  prev_grad_.assign(grad.begin(), grad.end());
+  for (std::size_t i = 0; i < mc.n(); ++i) {
+    prev_pos_[i] = mc.centers[i].position;
+  }
+  step_ *= 1.1;
+  for (std::size_t i = 0; i < mc.n(); ++i) {
+    mc.centers[i].position -= grad[i] * step_;
+  }
+}
+
+SerialOpal::SerialOpal(MolecularComplex mc, SimulationConfig cfg)
+    : mc_(std::move(mc)), cfg_(cfg) {
+  cfg_.validate();
+}
+
+SimResult SerialOpal::run() {
+  ops_ = hpm::OpCounts{};
+  pairs_evaluated_ = 0;
+  pairs_checked_ = 0;
+
+  // The serial code owns the full pair triangle as a single domain.
+  auto domains = build_domains(static_cast<std::uint32_t>(mc_.n()), 1,
+                               DistributionStrategy::RowCyclic, cfg_.seed);
+  ServerDomain domain(std::move(domains[0]));
+
+  std::vector<Vec3> velocities(mc_.n());
+  std::vector<Vec3> grad(mc_.n());
+  SteepestDescent minimizer(cfg_.min_step);
+  SimResult result;
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    if (step % cfg_.update_every == 0) {
+      const std::uint64_t checked = domain.update(mc_, cfg_.cutoff);
+      pairs_checked_ += checked;
+      ops_ += OpMixes::update_pair * checked;
+    }
+    std::fill(grad.begin(), grad.end(), Vec3{});
+    double evdw = 0.0, ecoul = 0.0;
+    for (const PairIdx& pr : domain.active()) {
+      nonbonded_pair(mc_, pr.i, pr.j, evdw, ecoul, grad);
+    }
+    const std::uint64_t m = domain.active_size();
+    pairs_evaluated_ += m;
+    ops_ += OpMixes::nbint_pair * m;
+
+    const BondedEnergies bonded = evaluate_bonded(mc_, grad, &ops_);
+
+    result.evdw = evdw;
+    result.ecoul = ecoul;
+    result.bonded = bonded;
+    fill_observables(mc_, velocities, grad, result);
+    if (cfg_.trajectory != nullptr) cfg_.trajectory->record(step, result);
+
+    if (cfg_.mode == RunMode::Minimization) {
+      minimizer.advance(mc_, result.potential(), grad);
+      ops_ += OpMixes::integrate_center * mc_.n();
+    } else if (cfg_.integrate) {
+      leapfrog_step(mc_, velocities, grad, cfg_.dt);
+      ops_ += OpMixes::integrate_center * mc_.n();
+    }
+  }
+  return result;
+}
+
+KernelResult nbint_kernel(const MolecularComplex& mc,
+                          std::uint64_t num_pairs) {
+  KernelResult kr;
+  std::vector<Vec3> grad(mc.n());
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  std::uint32_t i = 0, j = 1;
+  for (std::uint64_t k = 0; k < num_pairs; ++k) {
+    nonbonded_pair(mc, i, j, kr.evdw, kr.ecoul, grad);
+    if (++j == n) {
+      if (++i == n - 1) i = 0;
+      j = i + 1;
+    }
+  }
+  kr.pairs = num_pairs;
+  kr.ops = OpMixes::nbint_pair * num_pairs;
+  return kr;
+}
+
+}  // namespace opalsim::opal

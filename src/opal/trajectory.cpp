@@ -1,0 +1,37 @@
+#include "opal/trajectory.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace opalsim::opal {
+
+double Trajectory::relative_energy_drift() const {
+  if (frames_.size() < 2) return 0.0;
+  const double e0 = frames_.front().total();
+  const double scale = std::abs(e0) > 1e-12 ? std::abs(e0) : 1.0;
+  double max_drift = 0.0;
+  for (const auto& f : frames_) {
+    max_drift = std::max(max_drift, std::abs(f.total() - e0) / scale);
+  }
+  return max_drift;
+}
+
+void Trajectory::write_energies_csv(std::ostream& os) const {
+  os << "step,evdw,ecoul,ebonded,kinetic,temperature,pressure,total\n";
+  for (const auto& f : frames_) {
+    os << f.step << ',' << f.evdw << ',' << f.ecoul << ',' << f.ebonded
+       << ',' << f.kinetic << ',' << f.temperature << ',' << f.pressure
+       << ',' << f.total() << '\n';
+  }
+}
+
+void Trajectory::write_xyz(std::ostream& os, const MolecularComplex& mc,
+                           const std::string& comment) {
+  os << mc.n() << '\n' << comment << '\n';
+  for (const auto& c : mc.centers) {
+    os << (c.is_water ? 'O' : 'C') << ' ' << c.position.x << ' '
+       << c.position.y << ' ' << c.position.z << '\n';
+  }
+}
+
+}  // namespace opalsim::opal

@@ -1,0 +1,59 @@
+// Per-step observable recording — what the real Opal displays at the end of
+// each simulation step ("the information about the total energy, volume,
+// pressure and temperature of the molecular complex is displayed", §2.1) —
+// plus XYZ snapshot export for external visualization.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "opal/complex.hpp"
+#include "opal/metrics.hpp"
+
+namespace opalsim::opal {
+
+struct TrajectoryFrame {
+  int step = 0;
+  double evdw = 0.0;
+  double ecoul = 0.0;
+  double ebonded = 0.0;
+  double kinetic = 0.0;
+  double temperature = 0.0;
+  double pressure = 0.0;
+
+  double potential() const noexcept { return evdw + ecoul + ebonded; }
+  double total() const noexcept { return potential() + kinetic; }
+};
+
+class Trajectory {
+ public:
+  void record(int step, const SimResult& r) {
+    frames_.push_back(TrajectoryFrame{step, r.evdw, r.ecoul,
+                                      r.bonded.total(), r.kinetic,
+                                      r.temperature, r.pressure});
+  }
+
+  const std::vector<TrajectoryFrame>& frames() const noexcept {
+    return frames_;
+  }
+  std::size_t size() const noexcept { return frames_.size(); }
+  bool empty() const noexcept { return frames_.empty(); }
+  void clear() noexcept { frames_.clear(); }
+
+  /// Energy drift of the total energy across the recorded frames, relative
+  /// to the first frame (diagnostic for the integrator).
+  double relative_energy_drift() const;
+
+  /// CSV: step,evdw,ecoul,ebonded,kinetic,temperature,pressure,total.
+  void write_energies_csv(std::ostream& os) const;
+
+  /// One XYZ snapshot of the complex's current coordinates (standard .xyz:
+  /// atom count, comment, then "EL x y z" lines; solute = C, water = O).
+  static void write_xyz(std::ostream& os, const MolecularComplex& mc,
+                        const std::string& comment = "opalsim snapshot");
+
+ private:
+  std::vector<TrajectoryFrame> frames_;
+};
+
+}  // namespace opalsim::opal

@@ -1,0 +1,46 @@
+// Minimal 3-vector for molecular geometry.
+#pragma once
+
+#include <cmath>
+
+namespace opalsim::opal {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double k) noexcept {
+    x *= k;
+    y *= k;
+    z *= k;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double k) noexcept { return a *= k; }
+  friend Vec3 operator*(double k, Vec3 a) noexcept { return a *= k; }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+
+  double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  Vec3 cross(const Vec3& o) const noexcept {
+    return Vec3{y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+};
+
+}  // namespace opalsim::opal

@@ -1,0 +1,22 @@
+// A PVM message: source task id, user tag, packed body.
+#pragma once
+
+#include "pvm/pack_buffer.hpp"
+
+namespace opalsim::pvm {
+
+/// Wildcard value for recv source/tag matching (PVM's -1).
+inline constexpr int kAny = -1;
+
+struct Message {
+  int src = kAny;   ///< sender task id
+  int tag = 0;      ///< user message tag
+  PackBuffer body;
+
+  bool matches(int want_src, int want_tag) const noexcept {
+    return (want_src == kAny || want_src == src) &&
+           (want_tag == kAny || want_tag == tag);
+  }
+};
+
+}  // namespace opalsim::pvm

@@ -1,0 +1,119 @@
+// Typed pack/unpack message buffer — the analogue of PVM's pvm_pk*/pvm_upk*
+// routines (XDR encoding).  Values are appended in order and must be
+// unpacked in the same order and with the same types; a type tag per item is
+// stored and checked so marshalling mismatches fail loudly instead of
+// silently corrupting a simulation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opalsim::pvm {
+
+class PackBuffer {
+ public:
+  PackBuffer() = default;
+
+  // -- packing -------------------------------------------------------------
+  void pack_i32(std::int32_t v) { put(Tag::I32, &v, sizeof v); }
+  void pack_u64(std::uint64_t v) { put(Tag::U64, &v, sizeof v); }
+  void pack_f64(double v) { put(Tag::F64, &v, sizeof v); }
+  void pack_string(const std::string& s) {
+    pack_u64(s.size());
+    put_raw(Tag::Str, s.data(), s.size());
+  }
+  void pack_f64_array(std::span<const double> xs) {
+    pack_u64(xs.size());
+    put_raw(Tag::F64Arr, xs.data(), xs.size() * sizeof(double));
+  }
+  void pack_u32_array(std::span<const std::uint32_t> xs) {
+    pack_u64(xs.size());
+    put_raw(Tag::U32Arr, xs.data(), xs.size() * sizeof(std::uint32_t));
+  }
+
+  // -- unpacking (in packing order) ----------------------------------------
+  std::int32_t unpack_i32() {
+    std::int32_t v;
+    get(Tag::I32, &v, sizeof v);
+    return v;
+  }
+  std::uint64_t unpack_u64() {
+    std::uint64_t v;
+    get(Tag::U64, &v, sizeof v);
+    return v;
+  }
+  double unpack_f64() {
+    double v;
+    get(Tag::F64, &v, sizeof v);
+    return v;
+  }
+  std::string unpack_string() {
+    const std::uint64_t n = unpack_u64();
+    std::string s(n, '\0');
+    get_raw(Tag::Str, s.data(), n);
+    return s;
+  }
+  std::vector<double> unpack_f64_array() {
+    const std::uint64_t n = unpack_u64();
+    std::vector<double> xs(n);
+    get_raw(Tag::F64Arr, xs.data(), n * sizeof(double));
+    return xs;
+  }
+  std::vector<std::uint32_t> unpack_u32_array() {
+    const std::uint64_t n = unpack_u64();
+    std::vector<std::uint32_t> xs(n);
+    get_raw(Tag::U32Arr, xs.data(), n * sizeof(std::uint32_t));
+    return xs;
+  }
+
+  /// Appends all of `other`'s items after this buffer's items (used by the
+  /// RPC layer to wrap a handler's reply in a call envelope).
+  void append(const PackBuffer& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    payload_bytes_ += other.payload_bytes_;
+  }
+
+  /// Wire size in bytes (payload; tags are bookkeeping, not charged).
+  std::size_t byte_size() const noexcept { return payload_bytes_; }
+  /// True when every packed item has been unpacked.
+  bool fully_consumed() const noexcept { return cursor_ == data_.size(); }
+  /// Rewinds the read cursor (e.g. to re-read a received buffer).
+  void rewind() noexcept { cursor_ = 0; }
+
+ private:
+  enum class Tag : std::uint8_t { I32, U64, F64, Str, F64Arr, U32Arr };
+
+  void put(Tag tag, const void* p, std::size_t n) { put_raw(tag, p, n); }
+
+  void put_raw(Tag tag, const void* p, std::size_t n) {
+    data_.push_back(static_cast<std::uint8_t>(tag));
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    data_.insert(data_.end(), bytes, bytes + n);
+    payload_bytes_ += n;
+  }
+
+  void get(Tag tag, void* p, std::size_t n) { get_raw(tag, p, n); }
+
+  void get_raw(Tag tag, void* p, std::size_t n) {
+    if (cursor_ >= data_.size())
+      throw std::out_of_range("PackBuffer: unpack past end");
+    const Tag actual = static_cast<Tag>(data_[cursor_]);
+    if (actual != tag)
+      throw std::runtime_error("PackBuffer: type mismatch on unpack");
+    ++cursor_;
+    if (cursor_ + n > data_.size())
+      throw std::out_of_range("PackBuffer: truncated item");
+    std::memcpy(p, data_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  std::vector<std::uint8_t> data_;
+  std::size_t payload_bytes_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace opalsim::pvm

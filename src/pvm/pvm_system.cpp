@@ -1,0 +1,192 @@
+#include "pvm/pvm_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace opalsim::pvm {
+
+sim::Engine& PvmTask::engine() { return system_->engine(); }
+
+mach::Cpu& PvmTask::cpu() { return system_->machine().cpu(node_); }
+
+sim::Task<void> PvmTask::send(int dst, int tag, PackBuffer body) {
+  return system_->do_send(tid_, dst, tag, std::move(body));
+}
+
+sim::Task<Message> PvmTask::recv(int src, int tag) {
+  auto& mb = system_->mailbox(tid_);
+  Message m = co_await mb.get(
+      [src, tag](const Message& x) { return x.matches(src, tag); });
+  co_return m;
+}
+
+std::optional<Message> PvmTask::try_recv(int src, int tag) {
+  return system_->mailbox(tid_).try_get(
+      [src, tag](const Message& x) { return x.matches(src, tag); });
+}
+
+sim::Task<void> PvmTask::mcast(const std::vector<int>& dsts, int tag,
+                               const PackBuffer& body) {
+  for (int dst : dsts) co_await send(dst, tag, body);
+}
+
+sim::Task<void> PvmTask::barrier(const std::string& group, int count) {
+  return system_->do_barrier(group, count);
+}
+
+namespace {
+
+/// Rank of `tid` within `members`; throws when absent.
+int rank_of(const std::vector<int>& members, int tid) {
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    if (members[r] == tid) return static_cast<int>(r);
+  }
+  throw std::invalid_argument("pvm collective: caller not in members");
+}
+
+/// Rotated rank so that root is rank 0 (binomial trees assume that).
+int rotated(int rank, int root_rank, int size) {
+  return (rank - root_rank + size) % size;
+}
+
+}  // namespace
+
+sim::Task<std::vector<Message>> PvmTask::gather(
+    const std::vector<int>& members, int root, int tag,
+    PackBuffer contribution) {
+  const int my_rank = rank_of(members, tid_);
+  (void)rank_of(members, root);  // validate root membership
+  std::vector<Message> out;
+  if (tid_ != root) {
+    co_await send(root, tag, std::move(contribution));
+    co_return out;
+  }
+  out.resize(members.size());
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    if (members[r] == tid_) continue;
+    Message m = co_await recv(members[r], tag);
+    out[r] = std::move(m);
+  }
+  (void)my_rank;
+  co_return out;
+}
+
+sim::Task<double> PvmTask::reduce_sum(const std::vector<int>& members,
+                                      int root, int tag, double value) {
+  const int size = static_cast<int>(members.size());
+  const int root_rank = rank_of(members, root);
+  const int me = rotated(rank_of(members, tid_), root_rank, size);
+  double partial = value;
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if (me & mask) {
+      const int dst_rot = me - mask;
+      const int dst =
+          members[(dst_rot + root_rank) % size];
+      PackBuffer b;
+      b.pack_f64(partial);
+      co_await send(dst, tag, std::move(b));
+      break;
+    }
+    const int src_rot = me + mask;
+    if (src_rot < size) {
+      const int src = members[(src_rot + root_rank) % size];
+      Message m = co_await recv(src, tag);
+      partial += m.body.unpack_f64();
+    }
+  }
+  co_return partial;
+}
+
+sim::Task<PackBuffer> PvmTask::bcast(const std::vector<int>& members,
+                                     int root, int tag, PackBuffer data) {
+  const int size = static_cast<int>(members.size());
+  const int root_rank = rank_of(members, root);
+  const int me = rotated(rank_of(members, tid_), root_rank, size);
+
+  // Receive from the parent (everyone except the root).
+  PackBuffer payload = std::move(data);
+  if (me != 0) {
+    Message m = co_await recv(kAny, tag);
+    payload = std::move(m.body);
+  }
+  // Forward down the binomial tree: highest power-of-two first.
+  int top = 1;
+  while (top < size) top <<= 1;
+  // Children of `me` are me + mask for masks above me's lowest set bit.
+  int lowest = me == 0 ? top : (me & -me);
+  for (int mask = lowest >> 1; mask >= 1; mask >>= 1) {
+    const int child_rot = me + mask;
+    if (child_rot < size) {
+      const int child = members[(child_rot + root_rank) % size];
+      PackBuffer copy = payload;  // duplicate the wire payload
+      co_await send(child, tag, std::move(copy));
+    }
+  }
+  co_return payload;
+}
+
+PvmSystem::PvmSystem(mach::Machine& machine) : machine_(&machine) {}
+
+PvmSystem::~PvmSystem() = default;
+
+int PvmSystem::spawn(int node, TaskBody body) {
+  if (node < 0 || node >= machine_->num_nodes())
+    throw std::out_of_range("PvmSystem::spawn: bad node");
+  const int tid = static_cast<int>(tasks_.size());
+  TaskEntry entry;
+  entry.task.reset(new PvmTask(this, tid, node));
+  entry.mailbox = std::make_unique<sim::Mailbox<Message>>(engine());
+  entry.body = std::make_unique<TaskBody>(std::move(body));
+  tasks_.push_back(std::move(entry));
+  PvmTask& task_ref = *tasks_.back().task;
+  tasks_.back().process = engine().spawn((*tasks_.back().body)(task_ref));
+  return tid;
+}
+
+sim::ProcessHandle PvmSystem::process(int tid) const {
+  return tasks_.at(tid).process;
+}
+
+sim::Mailbox<Message>& PvmSystem::mailbox(int tid) {
+  return *tasks_.at(tid).mailbox;
+}
+
+sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
+                                   PackBuffer body) {
+  const int src_node = tasks_.at(src_tid).task->node();
+  const int dst_node = tasks_.at(dst_tid).task->node();
+  const std::size_t bytes = body.byte_size();
+  co_await machine_->transfer(src_node, dst_node, bytes);
+  Message m;
+  m.src = src_tid;
+  m.tag = tag;
+  m.body = std::move(body);
+  mailbox(dst_tid).put(std::move(m));
+}
+
+sim::Task<void> PvmSystem::do_barrier(const std::string& group, int count) {
+  BarrierState& st = barriers_[group];
+  if (st.count == 0) st.count = count;
+  if (st.count != count)
+    throw std::invalid_argument("pvm barrier: inconsistent party count");
+  if (!st.release) st.release = std::make_shared<sim::Event>(engine());
+
+  if (++st.arrived < st.count) {
+    // Hold a reference to this generation's event: the last arriver swaps
+    // in a fresh one for the next generation.
+    auto release = st.release;
+    co_await release->wait();
+  } else {
+    // Last arrival: start the next generation immediately so arrivals during
+    // the release delay queue up cleanly, then complete this generation a
+    // constant sync_time (b5) later — independent of p and n, per the
+    // paper's synchronization model.
+    auto release = st.release;
+    st.arrived = 0;
+    st.release = std::make_shared<sim::Event>(engine());
+    co_await engine().delay(machine_->spec().sync_time_s);
+    release->set();
+  }
+}
+
+}  // namespace opalsim::pvm

@@ -1,0 +1,151 @@
+// The PVM substrate: task spawn, point-to-point send/recv with (src, tag)
+// wildcard matching, multicast and group barriers, running on a simulated
+// Machine.  The API mirrors the subset of PVM 3.x that Sciddle uses
+// (paper §3.1: "a Sciddle application still needs to use a few PVM calls").
+//
+// Timing semantics:
+//  - send() is synchronous-on-the-wire: it completes when the message has
+//    crossed the (contended) network, charging b1 + bytes/a1 of virtual time
+//    to the sender.  This matches the model's per-server accounting of the
+//    client's call times.
+//  - recv() suspends until a matching message is in the task's mailbox.
+//  - barrier() releases all members a constant sync_time (the model's b5)
+//    after the last arrival — the paper's model assumes synchronization cost
+//    is independent of p and n.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mach/platform.hpp"
+#include "pvm/message.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/task.hpp"
+
+namespace opalsim::pvm {
+
+class PvmSystem;
+
+/// Per-task handle through which a spawned task talks to PVM.
+class PvmTask {
+ public:
+  int tid() const noexcept { return tid_; }
+  int node() const noexcept { return node_; }
+  PvmSystem& system() noexcept { return *system_; }
+  sim::Engine& engine();
+  mach::Cpu& cpu();
+
+  /// Sends `body` to task `dst` with `tag`; completes when delivered.
+  sim::Task<void> send(int dst, int tag, PackBuffer body);
+
+  /// Receives the oldest message matching (src, tag); kAny is a wildcard.
+  sim::Task<Message> recv(int src = kAny, int tag = kAny);
+
+  /// Non-blocking probe-and-receive.
+  std::optional<Message> try_recv(int src = kAny, int tag = kAny);
+
+  /// Sends the same body to every task in `dsts`, one message each,
+  /// serialized at this sender (PVM mcast semantics on real networks).
+  sim::Task<void> mcast(const std::vector<int>& dsts, int tag,
+                        const PackBuffer& body);
+
+  /// Joins the named barrier with `count` total parties; resumes b5 after
+  /// the last arrival.
+  sim::Task<void> barrier(const std::string& group, int count);
+
+  // -- collectives ---------------------------------------------------------
+  // Every task in `members` (a list of tids; this task's tid must appear)
+  // must call the same collective with the same members, root and tag.
+  // Costs emerge from the underlying point-to-point messages.  Concurrent
+  // collectives on overlapping member sets need distinct tags.
+
+  /// Flat gather: every non-root member sends its contribution to root;
+  /// root returns them ordered by members rank (its own first, empty).
+  /// Non-roots return an empty vector.
+  sim::Task<std::vector<Message>> gather(const std::vector<int>& members,
+                                         int root, int tag,
+                                         PackBuffer contribution);
+
+  /// Binomial-tree sum reduction; the result is valid at root only
+  /// (others return their partial).
+  sim::Task<double> reduce_sum(const std::vector<int>& members, int root,
+                               int tag, double value);
+
+  /// Binomial-tree broadcast of `data` from root; returns the received
+  /// (or original, at root) buffer.
+  sim::Task<PackBuffer> bcast(const std::vector<int>& members, int root,
+                              int tag, PackBuffer data);
+
+ private:
+  friend class PvmSystem;
+  PvmTask(PvmSystem* sys, int tid, int node)
+      : system_(sys), tid_(tid), node_(node) {}
+  PvmSystem* system_;
+  int tid_;
+  int node_;
+};
+
+class PvmSystem {
+ public:
+  /// Creates the PVM layer over `machine`.  Message delivery uses the
+  /// machine's network; barrier release uses the platform's sync_time (b5).
+  explicit PvmSystem(mach::Machine& machine);
+  ~PvmSystem();
+  PvmSystem(const PvmSystem&) = delete;
+  PvmSystem& operator=(const PvmSystem&) = delete;
+
+  using TaskBody = std::function<sim::Task<void>(PvmTask&)>;
+
+  /// Spawns a task on `node`; returns its tid.  The body runs as a
+  /// simulation process.
+  int spawn(int node, TaskBody body);
+
+  /// The process handle of a spawned task (for joining).
+  sim::ProcessHandle process(int tid) const;
+
+  mach::Machine& machine() noexcept { return *machine_; }
+  sim::Engine& engine() noexcept { return machine_->engine(); }
+  int num_tasks() const noexcept { return static_cast<int>(tasks_.size()); }
+
+  /// Total bytes moved / messages sent (delegates to the network model).
+  std::uint64_t bytes_sent() const noexcept {
+    return machine_->network().bytes_sent();
+  }
+  std::uint64_t messages_sent() const noexcept {
+    return machine_->network().messages_sent();
+  }
+
+ private:
+  friend class PvmTask;
+
+  struct TaskEntry {
+    std::unique_ptr<PvmTask> task;
+    std::unique_ptr<sim::Mailbox<Message>> mailbox;
+    // The body callable must outlive the coroutine it creates (a lambda
+    // coroutine's captures live in the lambda object, not the frame), and
+    // must sit at a stable address across vector growth.
+    std::unique_ptr<TaskBody> body;
+    sim::ProcessHandle process;
+  };
+
+  struct BarrierState {
+    int count = 0;
+    int arrived = 0;
+    std::shared_ptr<sim::Event> release;
+  };
+
+  sim::Mailbox<Message>& mailbox(int tid);
+  sim::Task<void> do_send(int src_tid, int dst_tid, int tag, PackBuffer body);
+  sim::Task<void> do_barrier(const std::string& group, int count);
+
+  mach::Machine* machine_;
+  std::vector<TaskEntry> tasks_;
+  std::map<std::string, BarrierState> barriers_;
+};
+
+}  // namespace opalsim::pvm

@@ -1,0 +1,97 @@
+// Phase-resolved wall-clock accounting, the instrumentation the paper argues
+// must live inside the middleware (§3.2): every interval of a process's
+// virtual time is attributed to exactly one named phase, so the measured
+// breakdown (parallel computation / sequential computation / communication /
+// synchronization / idle) sums to the wall clock by construction.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sciddle {
+
+class PerfMonitor {
+ public:
+  explicit PerfMonitor(sim::Engine& engine) : engine_(&engine) {}
+
+  /// Starts accrual; time before start() is unattributed.
+  void start(const std::string& initial_phase = "other") {
+    accrue();
+    phase_ = initial_phase;
+    last_ = engine_->now();
+    running_ = true;
+  }
+
+  /// Attributes time since the last switch to the current phase and enters
+  /// `phase`.
+  void set_phase(const std::string& phase) {
+    accrue();
+    phase_ = phase;
+  }
+
+  /// Stops accrual (attributing the trailing interval).
+  void stop() {
+    accrue();
+    running_ = false;
+  }
+
+  /// Adds externally measured time to a bucket (post-hoc attribution, e.g.
+  /// reply transfer occupancy reported by the RPC layer).
+  void add(const std::string& phase, double seconds) {
+    buckets_[phase] += seconds;
+  }
+
+  double total(const std::string& phase) const {
+    auto it = buckets_.find(phase);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  double grand_total() const {
+    double t = 0.0;
+    for (const auto& [_, v] : buckets_) t += v;
+    return t;
+  }
+
+  const std::map<std::string, double>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  void reset() {
+    buckets_.clear();
+    running_ = false;
+  }
+
+  /// RAII phase scope: enters `phase`, restores the previous phase on exit.
+  class Scope {
+   public:
+    Scope(PerfMonitor& m, const std::string& phase)
+        : monitor_(&m), previous_(m.phase_) {
+      m.set_phase(phase);
+    }
+    ~Scope() { monitor_->set_phase(previous_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PerfMonitor* monitor_;
+    std::string previous_;
+  };
+
+ private:
+  void accrue() {
+    if (running_) {
+      buckets_[phase_] += engine_->now() - last_;
+    }
+    last_ = engine_->now();
+  }
+
+  sim::Engine* engine_;
+  std::map<std::string, double> buckets_;
+  std::string phase_ = "other";
+  double last_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace opalsim::sciddle

@@ -1,0 +1,158 @@
+#include "sciddle/rpc.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace opalsim::sciddle {
+
+namespace {
+constexpr const char* kBarrierName = "sciddle-rpc-barrier";
+}
+
+Rpc::Rpc(pvm::PvmSystem& pvm, int num_servers, Options opts)
+    : pvm_(&pvm), num_servers_(num_servers), options_(opts) {
+  if (num_servers <= 0)
+    throw std::invalid_argument("Rpc: need at least one server");
+  if (pvm.machine().num_nodes() < num_servers + 1)
+    throw std::invalid_argument("Rpc: machine too small for servers+client");
+}
+
+void Rpc::register_proc(std::string name, Handler handler) {
+  if (started_)
+    throw std::logic_error("Rpc: register_proc after start()");
+  procs_[std::move(name)] = std::move(handler);
+}
+
+void Rpc::start() {
+  if (started_) throw std::logic_error("Rpc: start() called twice");
+  started_ = true;
+  server_tids_.reserve(num_servers_);
+  for (int s = 0; s < num_servers_; ++s) {
+    // Server s runs on node s+1 (node 0 is the client's).
+    const int tid = pvm_->spawn(
+        s + 1, [this, s](pvm::PvmTask& task) -> sim::Task<void> {
+          return server_loop(task, s);
+        });
+    server_tids_.push_back(tid);
+  }
+}
+
+sim::Task<void> Rpc::server_loop(pvm::PvmTask& task, int server_index) {
+  ServerContext ctx{task, server_index};
+  for (;;) {
+    pvm::Message m = co_await task.recv(pvm::kAny, pvm::kAny);
+    if (m.tag == kTagStop) break;
+    if (m.tag != kTagCall)
+      throw std::runtime_error("sciddle server: unexpected message tag");
+
+    const std::uint64_t call_id = m.body.unpack_u64();
+    const std::string proc = m.body.unpack_string();
+    auto it = procs_.find(proc);
+    if (it == procs_.end())
+      throw std::runtime_error("sciddle server: unknown procedure " + proc);
+
+    const double t0 = task.engine().now();
+    pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
+    const double busy = task.engine().now() - t0;
+    if (options_.tracer != nullptr) {
+      options_.tracer->record(server_index, "compute", t0, t0 + busy);
+    }
+
+    if (options_.barrier_mode) {
+      // §3.3: separate computation from the reply phase.
+      co_await task.barrier(kBarrierName, num_servers_ + 1);
+    }
+
+    pvm::PackBuffer reply;
+    reply.pack_u64(call_id);
+    reply.pack_f64(busy);
+    reply.append(payload);
+    co_await task.send(m.src, kTagReply, std::move(reply));
+  }
+}
+
+sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
+                                      const std::string& proc,
+                                      std::vector<pvm::PackBuffer> args,
+                                      std::vector<pvm::PackBuffer>* replies) {
+  if (!started_) throw std::logic_error("Rpc: call_all before start()");
+  if (static_cast<int>(args.size()) != num_servers_)
+    throw std::invalid_argument("Rpc: args size != num_servers");
+
+  auto& engine = client.engine();
+  const double b5 = pvm_->machine().spec().sync_time_s;
+  CallAllStats stats;
+  stats.server_busy.assign(num_servers_, 0.0);
+  const std::uint64_t call_id = next_call_id_++;
+
+  // Start synchronization: arming the servers costs one constant b5
+  // (the model's t_str component).
+  co_await engine.delay(b5);
+  stats.sync_time += b5;
+  if (options_.tracer != nullptr) {
+    options_.tracer->record(-1, "sync", engine.now() - b5, engine.now());
+  }
+
+  // Send the call to every server; the client's link serializes these, so
+  // call_time grows linearly in p as the model assumes.
+  const double t_call0 = engine.now();
+  for (int s = 0; s < num_servers_; ++s) {
+    pvm::PackBuffer envelope;
+    envelope.pack_u64(call_id);
+    envelope.pack_string(proc);
+    envelope.append(args[s]);
+    co_await client.send(server_tids_[s], kTagCall, std::move(envelope));
+  }
+  stats.call_time = engine.now() - t_call0;
+  if (options_.tracer != nullptr) {
+    options_.tracer->record(-1, "call", t_call0, engine.now());
+  }
+
+  if (options_.barrier_mode) {
+    // Wait for all handlers to finish: the barrier trips b5 after the last
+    // server arrives.  The wait splits into compute_wall (servers busy) and
+    // the embedded b5 (end synchronization, t_end).
+    const double t_wait0 = engine.now();
+    co_await client.barrier(kBarrierName, num_servers_ + 1);
+    const double wait = engine.now() - t_wait0;
+    stats.compute_wall = wait > b5 ? wait - b5 : 0.0;
+    stats.sync_time += b5;
+  }
+
+  // Collect the p replies (serialized at the client's receive side).
+  const double t_ret0 = engine.now();
+  for (int s = 0; s < num_servers_; ++s) {
+    pvm::Message m = co_await client.recv(server_tids_[s], kTagReply);
+    const std::uint64_t got_id = m.body.unpack_u64();
+    if (got_id != call_id)
+      throw std::runtime_error("Rpc: reply call-id mismatch");
+    stats.server_busy[s] = m.body.unpack_f64();
+    if (replies != nullptr) replies->push_back(std::move(m.body));
+  }
+  const double t_ret = engine.now() - t_ret0;
+  if (options_.tracer != nullptr) {
+    options_.tracer->record(-1, "return", t_ret0, engine.now());
+  }
+
+  if (options_.barrier_mode) {
+    stats.return_time = t_ret;
+  } else {
+    // Overlap mode: compute and reply transfer interleave; everything after
+    // the calls is one indivisible wait (the paper's point: accounting is
+    // impossible without the barriers).
+    stats.compute_wall = t_ret;
+    stats.return_time = 0.0;
+  }
+  co_return stats;
+}
+
+sim::Task<void> Rpc::shutdown(pvm::PvmTask& client) {
+  for (int tid : server_tids_) {
+    co_await client.send(tid, kTagStop, pvm::PackBuffer{});
+  }
+  for (int tid : server_tids_) {
+    co_await pvm_->process(tid).join();
+  }
+}
+
+}  // namespace opalsim::sciddle

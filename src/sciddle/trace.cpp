@@ -1,0 +1,74 @@
+#include "sciddle/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace opalsim::sciddle {
+
+double Tracer::total_time(const std::string& phase) const {
+  double t = 0.0;
+  for (const auto& e : events_) {
+    if (e.phase == phase) t += e.duration();
+  }
+  return t;
+}
+
+double Tracer::span_start() const {
+  if (events_.empty()) return 0.0;
+  double t = events_.front().t_start;
+  for (const auto& e : events_) t = std::min(t, e.t_start);
+  return t;
+}
+
+double Tracer::span_end() const {
+  if (events_.empty()) return 0.0;
+  double t = events_.front().t_end;
+  for (const auto& e : events_) t = std::max(t, e.t_end);
+  return t;
+}
+
+std::string Tracer::render_timeline(int columns) const {
+  if (events_.empty()) return "(empty trace)\n";
+  const double t0 = span_start();
+  const double t1 = span_end();
+  const double span = t1 > t0 ? t1 - t0 : 1.0;
+
+  std::map<int, std::string> rows;
+  for (const auto& e : events_) {
+    rows.try_emplace(e.task, std::string(columns, '.'));
+  }
+  for (const auto& e : events_) {
+    auto lo = static_cast<int>((e.t_start - t0) / span * columns);
+    auto hi = static_cast<int>((e.t_end - t0) / span * columns);
+    lo = std::clamp(lo, 0, columns - 1);
+    hi = std::clamp(hi, lo, columns - 1);
+    const char c = e.phase.empty() ? '?' : e.phase.front();
+    std::string& row = rows[e.task];
+    for (int k = lo; k <= hi; ++k) row[k] = c;
+  }
+
+  std::ostringstream oss;
+  oss << "timeline [" << t0 << " s .. " << t1 << " s]\n";
+  for (const auto& [task, row] : rows) {
+    if (task < 0) {
+      oss << "client   |";
+    } else {
+      oss << "server " << task << " |";
+    }
+    oss << row << "|\n";
+  }
+  return oss.str();
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream oss;
+  oss << "task,phase,start,end\n";
+  for (const auto& e : events_) {
+    oss << e.task << ',' << e.phase << ',' << e.t_start << ',' << e.t_end
+        << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace opalsim::sciddle

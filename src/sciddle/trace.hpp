@@ -1,0 +1,47 @@
+// Execution tracer: the timeline view the paper's instrumented middleware
+// enables.  The RPC layer (and application code) records spans
+// (task, phase, start, end); the tracer renders them as a text Gantt chart
+// and exports CSV for external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opalsim::sciddle {
+
+struct TraceEvent {
+  int task = 0;            ///< -1 = client, 0..p-1 = server rank
+  std::string phase;       ///< "call", "compute", "return", ...
+  double t_start = 0.0;
+  double t_end = 0.0;
+
+  double duration() const noexcept { return t_end - t_start; }
+};
+
+class Tracer {
+ public:
+  void record(int task, std::string phase, double t_start, double t_end) {
+    events_.push_back(TraceEvent{task, std::move(phase), t_start, t_end});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  double total_time(const std::string& phase) const;
+  double span_start() const;  ///< earliest event start (0 when empty)
+  double span_end() const;    ///< latest event end (0 when empty)
+
+  /// Renders a text Gantt chart: one row per task, `columns` characters
+  /// across the traced span; each cell shows the first letter of the phase
+  /// occupying it ('.' = idle).
+  std::string render_timeline(int columns = 72) const;
+
+  /// CSV rows: task,phase,start,end.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace opalsim::sciddle

@@ -1,0 +1,61 @@
+// N-party reusable barrier.  The last arriving process releases all waiters
+// and continues without suspending; the barrier then re-arms for the next
+// generation (matching pvm_barrier semantics).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties) noexcept
+      : engine_(&engine), parties_(parties) {
+    assert(parties > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  std::size_t parties() const noexcept { return parties_; }
+  std::size_t arrived() const noexcept { return waiters_.size(); }
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  struct ArriveAwaiter {
+    Barrier* barrier;
+    // The trip decision is made exactly once, at arrival: the last party
+    // trips the barrier from await_ready (never suspending).  Re-checking in
+    // await_resume would race with arrivals for the next generation.
+    bool await_ready() const noexcept {
+      if (barrier->waiters_.size() + 1 == barrier->parties_) {
+        barrier->trip();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      barrier->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable arrive-and-wait.
+  ArriveAwaiter arrive() noexcept { return ArriveAwaiter{this}; }
+
+ private:
+  void trip() {
+    ++generation_;
+    for (auto h : waiters_) engine_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  Engine* engine_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace opalsim::sim

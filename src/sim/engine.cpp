@@ -1,0 +1,78 @@
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+namespace {
+
+// Driver coroutine: awaits the user task, records completion/exception in the
+// shared state, and wakes joiners through the engine queue.
+detail::RootCoro drive(Engine* engine, Task<void> task,
+                       std::shared_ptr<detail::ProcessState> state) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    state->exception = std::current_exception();
+  }
+  state->done = true;
+  for (auto h : state->joiners) engine->schedule_now(h);
+  state->joiners.clear();
+}
+
+}  // namespace
+
+Engine::~Engine() {
+  // Destroy any still-suspended root frames.  Frames parked inside primitive
+  // wait lists are reachable only from those primitives, which by contract
+  // outlive the engine's run and are not used afterwards; destroying the
+  // roots unwinds nested Task frames via Task's destructor.
+  for (auto& r : roots_) {
+    if (r.coro.handle) r.coro.handle.destroy();
+  }
+}
+
+ProcessHandle Engine::spawn(Task<void> task) {
+  auto state = std::make_shared<detail::ProcessState>();
+  detail::RootCoro root = drive(this, std::move(task), state);
+  root.handle.promise().state = state;
+  schedule(now_, root.handle);
+  roots_.push_back(Root{root, state});
+  return ProcessHandle(this, std::move(state));
+}
+
+void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
+  queue_.push(ScheduledEvent{t, next_seq_++, h});
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    ScheduledEvent ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.handle.resume();
+  }
+  rethrow_pending_failure();
+}
+
+void Engine::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    ScheduledEvent ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.handle.resume();
+  }
+  if (now_ < t_end) now_ = t_end;
+  rethrow_pending_failure();
+}
+
+void Engine::rethrow_pending_failure() {
+  for (auto& r : roots_) {
+    if (r.state->done && r.state->exception && !r.state->exception_observed) {
+      r.state->exception_observed = true;  // rethrow once
+      std::rethrow_exception(r.state->exception);
+    }
+  }
+}
+
+}  // namespace opalsim::sim

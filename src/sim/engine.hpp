@@ -1,0 +1,168 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns a time-ordered event queue of suspended coroutine handles.
+// Simulation processes are spawned from Task<void> coroutines; they advance
+// virtual time exclusively by awaiting engine primitives (delay, Event,
+// Queue, Mailbox, Resource, Barrier).  Exactly one coroutine runs at a time,
+// so no synchronization is required, and ties in virtual time are broken by a
+// monotone sequence number — runs are bit-for-bit deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace opalsim::sim {
+
+class Engine;
+
+namespace detail {
+
+/// Shared completion state of a spawned process.
+struct ProcessState {
+  bool done = false;
+  bool exception_observed = false;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+/// Eager root coroutine that drives a Task<void> and records completion.
+struct RootCoro {
+  struct promise_type {
+    std::shared_ptr<ProcessState> state;
+    RootCoro get_return_object() noexcept {
+      return RootCoro{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    std::suspend_always final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept {
+      // The driver body already catches; this only fires if bookkeeping
+      // itself throws, which we treat as fatal.
+      std::terminate();
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace detail
+
+/// Handle to a spawned process; copyable.  Await join() to block until the
+/// process completes (rethrows the process's exception, if any).
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  bool valid() const noexcept { return static_cast<bool>(state_); }
+  bool done() const noexcept { return state_ && state_->done; }
+
+  struct JoinAwaiter {
+    Engine* engine;
+    std::shared_ptr<detail::ProcessState> state;
+    bool await_ready() const noexcept { return state->done; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      state->joiners.push_back(h);
+    }
+    void await_resume() const {
+      if (state->exception) {
+        state->exception_observed = true;
+        std::rethrow_exception(state->exception);
+      }
+    }
+  };
+
+  /// Awaitable: resumes when the process has finished.
+  JoinAwaiter join() const;
+
+ private:
+  friend class Engine;
+  ProcessHandle(Engine* e, std::shared_ptr<detail::ProcessState> s)
+      : engine_(e), state_(std::move(s)) {}
+  Engine* engine_ = nullptr;
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time in seconds.
+  SimTime now() const noexcept { return now_; }
+
+  /// Spawns a process from a coroutine; the process starts when run() (or the
+  /// current resume cycle) reaches its start event, scheduled at now().
+  ProcessHandle spawn(Task<void> task);
+
+  /// Awaitable that resumes the caller `dt` seconds of virtual time later.
+  struct DelayAwaiter {
+    Engine* engine;
+    SimTime wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      engine->schedule(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(SimTime dt) noexcept { return {this, now_ + dt}; }
+  DelayAwaiter at(SimTime t) noexcept { return {this, t < now_ ? now_ : t}; }
+  /// Yields: reschedules the caller at the current time, after already
+  /// scheduled same-time events.
+  DelayAwaiter yield() noexcept { return {this, now_}; }
+
+  /// Runs until the event queue drains.  Rethrows the first exception that
+  /// escaped any spawned process (after the queue drains or immediately if
+  /// no joiner will observe it — policy: rethrow after drain).
+  void run();
+
+  /// Runs until the queue drains or virtual time would exceed `t_end`.
+  /// Events scheduled later than t_end remain pending.
+  void run_until(SimTime t_end);
+
+  /// Number of events processed since construction (for tests/diagnostics).
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedules a raw coroutine handle at time t (used by primitives).
+  void schedule(SimTime t, std::coroutine_handle<> h);
+  /// Schedules at the current time (after already-queued same-time events).
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+ private:
+  struct ScheduledEvent {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const ScheduledEvent& o) const noexcept {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void rethrow_pending_failure();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                      std::greater<>>
+      queue_;
+  struct Root {
+    detail::RootCoro coro;
+    std::shared_ptr<detail::ProcessState> state;
+  };
+  std::vector<Root> roots_;
+};
+
+inline ProcessHandle::JoinAwaiter ProcessHandle::join() const {
+  return JoinAwaiter{engine_, state_};
+}
+
+}  // namespace opalsim::sim

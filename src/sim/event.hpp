@@ -1,0 +1,48 @@
+// One-shot broadcast event: processes await it; set() wakes all waiters
+// through the engine queue (deterministic order = wait order).
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+class Event {
+ public:
+  explicit Event(Engine& engine) noexcept : engine_(&engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const noexcept { return set_; }
+
+  /// Sets the event; all current and future waiters proceed.
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  /// Re-arms the event (only meaningful when no waiters are parked).
+  void reset() noexcept { set_ = false; }
+
+  struct WaitAwaiter {
+    Event* event;
+    bool await_ready() const noexcept { return event->set_; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      event->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  WaitAwaiter wait() noexcept { return WaitAwaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace opalsim::sim

@@ -1,0 +1,97 @@
+// Predicate-matching mailbox, the substrate for PVM-style recv with
+// (source, tag) wildcards.  get(pred) returns the OLDEST stored message
+// matching pred, or suspends; put() delivers to the OLDEST parked getter
+// whose predicate matches, else stores the message.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <list>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  using Predicate = std::function<bool(const T&)>;
+
+  explicit Mailbox(Engine& engine) noexcept : engine_(&engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  std::size_t size() const noexcept { return items_.size(); }
+
+  void put(T value) {
+    for (auto it = getters_.begin(); it != getters_.end(); ++it) {
+      GetAwaiter* g = *it;
+      if (g->pred(value)) {
+        getters_.erase(it);
+        g->slot.emplace(std::move(value));
+        engine_->schedule_now(g->handle);
+        return;
+      }
+    }
+    items_.push_back(std::move(value));
+  }
+
+  struct GetAwaiter {
+    Mailbox* mailbox;
+    Predicate pred;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      auto& items = mailbox->items_;
+      for (auto it = items.begin(); it != items.end(); ++it) {
+        if (pred(*it)) {
+          slot.emplace(std::move(*it));
+          items.erase(it);
+          return true;
+        }
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      mailbox->getters_.push_back(this);
+    }
+    T await_resume() {
+      assert(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  /// Awaitable selective receive.
+  GetAwaiter get(Predicate pred) {
+    return GetAwaiter{this, std::move(pred), std::nullopt, {}};
+  }
+  /// Awaitable receive of any message.
+  GetAwaiter get_any() {
+    return get([](const T&) { return true; });
+  }
+
+  /// Non-blocking matching receive.
+  std::optional<T> try_get(const Predicate& pred) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (pred(*it)) {
+        std::optional<T> v(std::move(*it));
+        items_.erase(it);
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::list<GetAwaiter*> getters_;
+};
+
+}  // namespace opalsim::sim

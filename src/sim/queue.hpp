@@ -1,0 +1,78 @@
+// Unbounded FIFO channel.  put() is immediate; get() suspends until an item
+// is available.  Delivery is direct-handoff: a put() with parked getters
+// moves the value into the oldest getter's slot, so items can never be
+// "stolen" between wake-up and resumption.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+template <typename T>
+class Queue {
+ public:
+  explicit Queue(Engine& engine) noexcept : engine_(&engine) {}
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  void put(T value) {
+    if (!getters_.empty()) {
+      GetAwaiter* g = getters_.front();
+      getters_.pop_front();
+      g->slot.emplace(std::move(value));
+      engine_->schedule_now(g->handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  struct GetAwaiter {
+    Queue* queue;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() noexcept {
+      if (!queue->items_.empty()) {
+        slot.emplace(std::move(queue->items_.front()));
+        queue->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      queue->getters_.push_back(this);
+    }
+    T await_resume() {
+      assert(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  /// Awaitable receive.
+  GetAwaiter get() noexcept { return GetAwaiter{this, std::nullopt, {}}; }
+
+  /// Non-blocking receive; nullopt when empty.
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<GetAwaiter*> getters_;
+};
+
+}  // namespace opalsim::sim

@@ -1,0 +1,140 @@
+// Counted resource with FIFO grant order — the contention primitive behind
+// shared network media (Ethernet bus), PVM daemons and per-node links.
+//
+//   sim::Resource link(engine, /*capacity=*/1);
+//   {
+//     auto lock = co_await link.scoped_acquire();
+//     co_await engine.delay(transfer_time);
+//   }   // released here
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace opalsim::sim {
+
+class Resource;
+
+/// RAII grant of `amount` units; releases on destruction (move-only).
+class ResourceLock {
+ public:
+  ResourceLock() noexcept = default;
+  ResourceLock(Resource* r, long amount) noexcept
+      : resource_(r), amount_(amount) {}
+  ResourceLock(ResourceLock&& o) noexcept
+      : resource_(std::exchange(o.resource_, nullptr)), amount_(o.amount_) {}
+  ResourceLock& operator=(ResourceLock&& o) noexcept;
+  ResourceLock(const ResourceLock&) = delete;
+  ResourceLock& operator=(const ResourceLock&) = delete;
+  ~ResourceLock();
+
+  void release();
+  bool owns() const noexcept { return resource_ != nullptr; }
+
+ private:
+  Resource* resource_ = nullptr;
+  long amount_ = 0;
+};
+
+class Resource {
+ public:
+  Resource(Engine& engine, long capacity) noexcept
+      : engine_(&engine), capacity_(capacity) {
+    assert(capacity > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  long capacity() const noexcept { return capacity_; }
+  long in_use() const noexcept { return in_use_; }
+  long available() const noexcept { return capacity_ - in_use_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+  struct AcquireAwaiter {
+    Resource* resource;
+    long amount;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() const noexcept {
+      // FIFO fairness: even if units are free, queue behind earlier waiters.
+      return resource->waiters_.empty() &&
+             resource->available() >= amount;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      resource->waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {
+      // On the ready path the grant happens here; on the suspend path the
+      // grant already happened in grant_waiters() before resumption.
+      if (!granted_via_queue) resource->in_use_ += amount;
+    }
+    bool granted_via_queue = false;
+  };
+
+  /// Awaitable acquire of `amount` units (no RAII; pair with release()).
+  AcquireAwaiter acquire(long amount = 1) {
+    assert(amount > 0 && amount <= capacity_);
+    return AcquireAwaiter{this, amount, {}};
+  }
+
+  /// Awaitable acquire returning an RAII lock.
+  struct ScopedAcquireAwaiter {
+    AcquireAwaiter inner;
+    bool await_ready() noexcept { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    ResourceLock await_resume() noexcept {
+      inner.await_resume();
+      return ResourceLock(inner.resource, inner.amount);
+    }
+  };
+  ScopedAcquireAwaiter scoped_acquire(long amount = 1) {
+    return ScopedAcquireAwaiter{acquire(amount)};
+  }
+
+  void release(long amount = 1) {
+    assert(amount > 0 && in_use_ >= amount);
+    in_use_ -= amount;
+    grant_waiters();
+  }
+
+ private:
+  void grant_waiters() {
+    while (!waiters_.empty() &&
+           waiters_.front()->amount <= available()) {
+      AcquireAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      in_use_ += w->amount;
+      w->granted_via_queue = true;
+      engine_->schedule_now(w->handle);
+    }
+  }
+
+  Engine* engine_;
+  long capacity_;
+  long in_use_ = 0;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+inline ResourceLock& ResourceLock::operator=(ResourceLock&& o) noexcept {
+  if (this != &o) {
+    release();
+    resource_ = std::exchange(o.resource_, nullptr);
+    amount_ = o.amount_;
+  }
+  return *this;
+}
+
+inline ResourceLock::~ResourceLock() { release(); }
+
+inline void ResourceLock::release() {
+  if (resource_ != nullptr) {
+    resource_->release(amount_);
+    resource_ = nullptr;
+  }
+}
+
+}  // namespace opalsim::sim

@@ -1,0 +1,20 @@
+// Simulated-time representation.  OpalSim models wall-clock seconds as a
+// double; the engine guarantees deterministic ordering of simultaneous events
+// via a monotonically increasing sequence number, so double precision is
+// sufficient for the second-to-microsecond scales of this study.
+#pragma once
+
+namespace opalsim::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+constexpr SimTime seconds(double s) noexcept { return s; }
+constexpr SimTime milliseconds(double ms) noexcept { return ms * 1e-3; }
+constexpr SimTime microseconds(double us) noexcept { return us * 1e-6; }
+constexpr SimTime nanoseconds(double ns) noexcept { return ns * 1e-9; }
+
+constexpr double to_milliseconds(SimTime t) noexcept { return t * 1e3; }
+constexpr double to_microseconds(SimTime t) noexcept { return t * 1e6; }
+
+}  // namespace opalsim::sim

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace opalsim::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_table(const Table& table) {
+  write_row(table.headers());
+  for (const auto& r : table.rows()) write_row(r);
+}
+
+bool write_csv_file(const std::string& path, const Table& table) {
+  std::ofstream f(path);
+  if (!f) return false;
+  CsvWriter w(f);
+  w.write_table(table);
+  return static_cast<bool>(f);
+}
+
+}  // namespace opalsim::util

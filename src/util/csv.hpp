@@ -1,0 +1,35 @@
+// CSV emission for figure benches (machine-readable companion to the text
+// tables).  Quoting follows RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opalsim::util {
+
+class Table;  // forward
+
+/// Writes rows of string cells as CSV.  Construct with an output stream that
+/// outlives the writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: dump a Table (headers + all rows).
+  void write_table(const Table& table);
+
+  /// Escapes one cell per RFC 4180 (quotes cells containing , " or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes `table` to `path` as CSV; returns false (and leaves no file
+/// guarantees) on I/O failure.
+bool write_csv_file(const std::string& path, const Table& table);
+
+}  // namespace opalsim::util

@@ -1,0 +1,43 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+namespace opalsim::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+long env_long(const std::string& name, long fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s->c_str(), &end, 10);
+  if (end == s->c_str()) return fallback;
+  return v;
+}
+
+bool env_flag(const std::string& name) {
+  auto s = env_string(name);
+  if (!s) return false;
+  std::string v = *s;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::optional<std::string> csv_output_dir() {
+  if (!env_flag("OPALSIM_CSV")) return std::nullopt;
+  const std::string dir =
+      env_string("OPALSIM_CSV_DIR").value_or("bench_out");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+  return dir;
+}
+
+}  // namespace opalsim::util

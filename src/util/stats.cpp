@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opalsim::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Summary summarize(std::span<const double> xs) noexcept {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  Summary s;
+  s.n = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.ci95 = rs.ci95_halfwidth();
+  return s;
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+FitQuality fit_quality(std::span<const double> measured,
+                       std::span<const double> predicted, double eps) {
+  assert(measured.size() == predicted.size());
+  assert(!measured.empty());
+  FitQuality q;
+  double se = 0.0;
+  double rel_sum = 0.0;
+  std::size_t rel_n = 0;
+  double meas_mean = 0.0;
+  for (double m : measured) meas_mean += m;
+  meas_mean /= static_cast<double>(measured.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double err = predicted[i] - measured[i];
+    se += err * err;
+    ss_res += err * err;
+    const double d = measured[i] - meas_mean;
+    ss_tot += d * d;
+    if (std::abs(measured[i]) >= eps) {
+      const double rel = std::abs(err) / std::abs(measured[i]);
+      rel_sum += rel;
+      rel_n += 1;
+      q.max_abs_rel_err = std::max(q.max_abs_rel_err, rel);
+    }
+  }
+  q.rmse = std::sqrt(se / static_cast<double>(measured.size()));
+  q.mean_abs_rel_err = rel_n > 0 ? rel_sum / static_cast<double>(rel_n) : 0.0;
+  q.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return q;
+}
+
+}  // namespace opalsim::util

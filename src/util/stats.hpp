@@ -1,0 +1,66 @@
+// Summary statistics for repeated measurements and model-fit assessment,
+// following the methodology of Jain, "The Art of Computer Systems Performance
+// Analysis" (the reference the paper's experimental design is based on).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace opalsim::util {
+
+/// Running univariate summary (Welford's algorithm): numerically stable
+/// mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Half-width of the ~95% confidence interval of the mean (normal
+  /// approximation, z = 1.96); 0 for fewer than two samples.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample span, computed in one pass.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;  ///< half-width of the 95% CI of the mean
+};
+
+Summary summarize(std::span<const double> xs) noexcept;
+
+/// Median of a sample (copies and partially sorts). Returns 0 for empty input.
+double median(std::span<const double> xs);
+
+/// Goodness-of-fit measures between measured and predicted series.
+struct FitQuality {
+  double mean_abs_rel_err = 0.0;  ///< mean of |pred-meas| / |meas|
+  double max_abs_rel_err = 0.0;
+  double rmse = 0.0;              ///< root mean squared absolute error
+  double r_squared = 0.0;         ///< coefficient of determination
+};
+
+/// Computes fit quality; series must be the same nonzero length.
+/// Entries with |measured| < eps are excluded from relative errors.
+FitQuality fit_quality(std::span<const double> measured,
+                       std::span<const double> predicted,
+                       double eps = 1e-12);
+
+}  // namespace opalsim::util

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opalsim::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::string format_number(double v, int precision) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  const double mag = std::abs(v);
+  char buf[64];
+  if (mag != 0.0 && (mag < 1e-4 || mag >= 1e9)) {
+    std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  }
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) row();
+  if (rows_.back().size() >= headers_.size())
+    throw std::out_of_range("Table: too many cells in row");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+Table& Table::add(double v, int precision) {
+  return add(format_number(v, precision));
+}
+Table& Table::add(int v) { return add(std::to_string(v)); }
+Table& Table::add(long v) { return add(std::to_string(v)); }
+Table& Table::add(unsigned long v) { return add(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells, bool align_num) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string();
+      const bool right = align_num && looks_numeric(cell);
+      const std::size_t pad = widths[c] - cell.size();
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r, true);
+}
+
+std::string Table::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace opalsim::util

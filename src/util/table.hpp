@@ -1,0 +1,49 @@
+// Aligned text-table printer used by every bench binary to print the paper's
+// tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opalsim::util {
+
+/// A simple column-aligned table.  Cells are strings; numeric convenience
+/// overloads format with a fixed precision.  Right-aligns cells that parse as
+/// numbers, left-aligns everything else.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent `add` calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 3);
+  Table& add(int v);
+  Table& add(long v);
+  Table& add(unsigned long v);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  /// Renders with a header rule and two-space column gutters.
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point, trimming to a
+/// compact fixed representation ("0.000123" stays scientific-free only when
+/// representable; very small magnitudes switch to scientific).
+std::string format_number(double v, int precision = 3);
+
+}  // namespace opalsim::util

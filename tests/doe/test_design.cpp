@@ -1,0 +1,217 @@
+#include "doe/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace {
+
+using opalsim::doe::Factor;
+using opalsim::doe::FullFactorial;
+using opalsim::doe::TwoLevelDesign;
+
+TEST(FullFactorial, RunCountIsProductOfLevels) {
+  FullFactorial d({{"p", {"1", "2", "3", "4", "5", "6", "7"}},
+                   {"size", {"S", "M", "L"}},
+                   {"cutoff", {"none", "10A"}},
+                   {"update", {"full", "partial"}}});
+  EXPECT_EQ(d.num_runs(), 84u);  // the paper's full factorial
+}
+
+TEST(FullFactorial, EnumeratesAllCombinations) {
+  FullFactorial d({{"a", {"x", "y"}}, {"b", {"1", "2", "3"}}});
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (std::size_t r = 0; r < d.num_runs(); ++r) {
+    auto idx = d.levels_of(r);
+    seen.insert({idx[0], idx[1]});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(FullFactorial, LevelNamesResolve) {
+  FullFactorial d({{"a", {"x", "y"}}, {"b", {"1", "2"}}});
+  EXPECT_EQ(d.level_name(0, 0), "x");
+  EXPECT_EQ(d.level_name(1, 0), "y");
+  EXPECT_EQ(d.level_name(2, 1), "2");
+}
+
+TEST(FullFactorial, RejectsEmpty) {
+  EXPECT_THROW(FullFactorial(std::vector<Factor>{}), std::invalid_argument);
+  EXPECT_THROW(FullFactorial(std::vector<Factor>{Factor{"a", {}}}),
+               std::invalid_argument);
+}
+
+TEST(FullFactorial, OutOfRangeRunThrows) {
+  FullFactorial d({{"a", {"x", "y"}}});
+  EXPECT_THROW(d.levels_of(2), std::out_of_range);
+}
+
+TEST(TwoLevelFull, SignTableIsOrthogonal) {
+  auto d = TwoLevelDesign::full({"A", "B", "C"});
+  EXPECT_EQ(d.num_runs(), 8u);
+  // Each column sums to zero; each pair of columns is orthogonal.
+  for (const auto& f : d.factor_names()) {
+    int sum = 0;
+    for (std::size_t r = 0; r < 8; ++r) sum += d.sign(r, f);
+    EXPECT_EQ(sum, 0) << f;
+  }
+  int dot = 0;
+  for (std::size_t r = 0; r < 8; ++r) dot += d.sign(r, "A") * d.sign(r, "B");
+  EXPECT_EQ(dot, 0);
+}
+
+TEST(TwoLevelFull, EffectsRecoverAdditiveModel) {
+  // y = 10 + 3A - 2B + 1.5AB (Jain's 2^2 example structure).
+  auto d = TwoLevelDesign::full({"A", "B"});
+  std::vector<double> y(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const double A = d.sign(r, "A");
+    const double B = d.sign(r, "B");
+    y[r] = 10.0 + 3.0 * A - 2.0 * B + 1.5 * A * B;
+  }
+  const std::array<std::string, 1> fa{"A"};
+  const std::array<std::string, 1> fb{"B"};
+  const std::array<std::string, 2> fab{"A", "B"};
+  EXPECT_NEAR(d.mean_response(y), 10.0, 1e-12);
+  EXPECT_NEAR(d.effect(fa, y), 3.0, 1e-12);
+  EXPECT_NEAR(d.effect(fb, y), -2.0, 1e-12);
+  EXPECT_NEAR(d.effect(fab, y), 1.5, 1e-12);
+}
+
+TEST(TwoLevelFull, AllocationOfVariationSumsToOne) {
+  auto d = TwoLevelDesign::full({"A", "B"});
+  std::vector<double> y{1.0, 4.0, 2.0, 9.0};
+  auto alloc = d.allocation_of_variation(y, 2);
+  double total = 0.0;
+  for (const auto& a : alloc) total += a.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TwoLevelFull, AllocationRanksDominantFactorFirst) {
+  auto d = TwoLevelDesign::full({"A", "B"});
+  std::vector<double> y(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    y[r] = 100.0 * d.sign(r, "A") + 1.0 * d.sign(r, "B");
+  }
+  auto alloc = d.allocation_of_variation(y, 2);
+  ASSERT_FALSE(alloc.empty());
+  EXPECT_EQ(alloc[0].label, "A");
+  EXPECT_GT(alloc[0].fraction, 0.99);
+}
+
+TEST(TwoLevelFull, NoAliasesInFullDesign) {
+  auto d = TwoLevelDesign::full({"A", "B", "C"});
+  const std::array<std::string, 1> fa{"A"};
+  EXPECT_TRUE(d.aliases_of(fa, 3).empty());
+  EXPECT_FALSE(d.is_fractional());
+}
+
+TEST(TwoLevelFractional, HalfFractionHasHalfRuns) {
+  // 2^(3-1) with I = ABC: the paper's reduced presentation design.
+  auto d = TwoLevelDesign::fractional(
+      {"A", "B"}, {{"C", {"A", "B"}}});
+  EXPECT_EQ(d.num_runs(), 4u);
+  EXPECT_EQ(d.num_factors(), 3u);
+  EXPECT_TRUE(d.is_fractional());
+}
+
+TEST(TwoLevelFractional, GeneratedColumnIsProduct) {
+  auto d = TwoLevelDesign::fractional({"A", "B"}, {{"C", {"A", "B"}}});
+  for (std::size_t r = 0; r < d.num_runs(); ++r) {
+    EXPECT_EQ(d.sign(r, "C"), d.sign(r, "A") * d.sign(r, "B"));
+  }
+}
+
+TEST(TwoLevelFractional, MainEffectsAliasedWithTwoWayInteractions) {
+  auto d = TwoLevelDesign::fractional({"A", "B"}, {{"C", {"A", "B"}}});
+  const std::array<std::string, 1> fc{"C"};
+  auto aliases = d.aliases_of(fc, 2);
+  ASSERT_EQ(aliases.size(), 1u);
+  EXPECT_EQ(aliases[0], "A*B");
+}
+
+TEST(TwoLevelFractional, AllocationLabelsShowAliases) {
+  auto d = TwoLevelDesign::fractional({"A", "B"}, {{"C", {"A", "B"}}});
+  std::vector<double> y{1.0, 2.0, 3.0, 5.0};
+  auto alloc = d.allocation_of_variation(y, 2);
+  bool found_aliased = false;
+  for (const auto& a : alloc) {
+    if (a.label.find("(=") != std::string::npos) found_aliased = true;
+  }
+  EXPECT_TRUE(found_aliased);
+}
+
+TEST(TwoLevelFractional, DegenerateGeneratorThrows) {
+  EXPECT_THROW(TwoLevelDesign::fractional(
+                   {"A", "B"}, {{"C", {"A", "A"}}}),
+               std::invalid_argument);
+}
+
+TEST(TwoLevelDesign, UnknownFactorThrows) {
+  auto d = TwoLevelDesign::full({"A"});
+  EXPECT_THROW(d.sign(0, "Z"), std::invalid_argument);
+}
+
+TEST(TwoLevelDesign, ResponseSizeMismatchThrows) {
+  auto d = TwoLevelDesign::full({"A", "B"});
+  const std::array<std::string, 1> fa{"A"};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(d.effect(fa, y), std::invalid_argument);
+}
+
+}  // namespace
+
+namespace {
+
+using opalsim::doe::TwoLevelDesign;
+
+TEST(EffectsWithCi, RecoversEffectsFromReplicatedNoisyData) {
+  // y = 10 + 3A - 2B with alternating +-0.1 noise, r = 2 replications.
+  auto d = TwoLevelDesign::full({"A", "B"});
+  std::vector<double> y;
+  for (std::size_t run = 0; run < d.num_runs(); ++run) {
+    const double A = d.sign(run, "A");
+    const double B = d.sign(run, "B");
+    const double base = 10.0 + 3.0 * A - 2.0 * B;
+    y.push_back(base + 0.1);
+    y.push_back(base - 0.1);
+  }
+  auto effects = d.effects_with_ci(y, 2, 2);
+  ASSERT_GE(effects.size(), 2u);
+  // Sorted by |effect|: A first, then B.
+  EXPECT_EQ(effects[0].label, "A");
+  EXPECT_NEAR(effects[0].effect, 3.0, 1e-9);
+  EXPECT_TRUE(effects[0].significant);
+  EXPECT_EQ(effects[1].label, "B");
+  EXPECT_NEAR(effects[1].effect, -2.0, 1e-9);
+  EXPECT_TRUE(effects[1].significant);
+}
+
+TEST(EffectsWithCi, PureNoiseEffectsInsignificant) {
+  auto d = TwoLevelDesign::full({"A", "B"});
+  // Same noisy constant everywhere: no real effects.
+  std::vector<double> y{10.1, 9.9, 10.05, 9.95, 10.02, 9.98, 10.08, 9.92};
+  auto effects = d.effects_with_ci(y, 2, 2);
+  for (const auto& e : effects) {
+    EXPECT_FALSE(e.significant) << e.label;
+  }
+}
+
+TEST(EffectsWithCi, CiShrinksWithLessNoise) {
+  auto d = TwoLevelDesign::full({"A"});
+  std::vector<double> noisy{1.0, 3.0, 5.0, 7.0};   // r=2, spread 2
+  std::vector<double> clean{1.9, 2.1, 5.9, 6.1};   // r=2, spread 0.2
+  const double ci_noisy = d.effects_with_ci(noisy, 2, 1)[0].ci95;
+  const double ci_clean = d.effects_with_ci(clean, 2, 1)[0].ci95;
+  EXPECT_LT(ci_clean, ci_noisy);
+}
+
+TEST(EffectsWithCi, RejectsBadInput) {
+  auto d = TwoLevelDesign::full({"A"});
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(d.effects_with_ci(y, 1, 1), std::invalid_argument);
+  EXPECT_THROW(d.effects_with_ci(y, 3, 1), std::invalid_argument);
+}
+
+}  // namespace

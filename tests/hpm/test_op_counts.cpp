@@ -1,0 +1,116 @@
+#include "hpm/op_counts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using opalsim::hpm::canonical_cost_table;
+using opalsim::hpm::HpmCounter;
+using opalsim::hpm::IntrinsicCostTable;
+using opalsim::hpm::OpCounts;
+
+TEST(OpCounts, DefaultIsZero) {
+  OpCounts o;
+  EXPECT_EQ(o.total(), 0u);
+}
+
+TEST(OpCounts, AdditionAccumulatesAllClasses) {
+  OpCounts a{1, 2, 3, 4, 5, 6};
+  OpCounts b{10, 20, 30, 40, 50, 60};
+  OpCounts c = a + b;
+  EXPECT_EQ(c, (OpCounts{11, 22, 33, 44, 55, 66}));
+}
+
+TEST(OpCounts, ScalingMultipliesAllClasses) {
+  OpCounts a{1, 2, 0, 1, 0, 3};
+  OpCounts s = a * 5;
+  EXPECT_EQ(s, (OpCounts{5, 10, 0, 5, 0, 15}));
+  EXPECT_EQ(3 * a, a * 3);
+}
+
+TEST(OpCounts, TotalSumsClasses) {
+  OpCounts a{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(a.total(), 21u);
+}
+
+TEST(IntrinsicCostTable, DefaultCountsAddsAndMulsOnly) {
+  IntrinsicCostTable t;
+  OpCounts ops{10, 20, 0, 0, 0, 100};
+  EXPECT_DOUBLE_EQ(t.counted_flops(ops), 30.0);  // cmp weight defaults to 0
+}
+
+TEST(IntrinsicCostTable, WeightsApplied) {
+  IntrinsicCostTable t{1.0, 1.0, 4.0, 8.0, 10.0, 0.5, 1.0};
+  OpCounts ops{1, 1, 1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(t.counted_flops(ops), 1 + 1 + 4 + 8 + 10 + 1.0);
+}
+
+TEST(IntrinsicCostTable, VectorOverheadScales) {
+  IntrinsicCostTable t;
+  t.vector_overhead = 1.1;
+  OpCounts ops{10, 0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(t.counted_flops(ops), 11.0);
+}
+
+TEST(IntrinsicCostTable, SameWorkDifferentCountsAcrossPlatforms) {
+  // The paper's Table 1 anomaly: identical computation, different counted
+  // flops.  A sqrt-heavy mix must count higher on a table with expanded
+  // intrinsics.
+  IntrinsicCostTable pc;  // defaults: sqrt=1
+  IntrinsicCostTable t3e{1, 1, 10, 20, 12, 0, 1.1};
+  OpCounts mix{11, 15, 2, 1, 0, 0};
+  EXPECT_GT(t3e.counted_flops(mix), pc.counted_flops(mix));
+}
+
+TEST(CanonicalCostTable, IsCrayJ90Counting) {
+  const auto& t = canonical_cost_table();
+  EXPECT_DOUBLE_EQ(t.div, 3.0);
+  EXPECT_DOUBLE_EQ(t.sqrt, 8.0);
+  EXPECT_DOUBLE_EQ(t.vector_overhead, 1.10);
+}
+
+TEST(HpmCounter, ChargesOpsAndCycles) {
+  HpmCounter c;
+  c.charge(OpCounts{100, 0, 0, 0, 0, 0}, 2.0, 100e6);
+  EXPECT_EQ(c.ops().add, 100u);
+  EXPECT_DOUBLE_EQ(c.busy_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(c.cycles(), 200e6);
+}
+
+TEST(HpmCounter, AccumulatesAcrossCharges) {
+  HpmCounter c;
+  c.charge(OpCounts{1, 0, 0, 0, 0, 0}, 1.0, 1e6);
+  c.charge(OpCounts{2, 0, 0, 0, 0, 0}, 0.5, 1e6);
+  EXPECT_EQ(c.ops().add, 3u);
+  EXPECT_DOUBLE_EQ(c.busy_seconds(), 1.5);
+}
+
+TEST(HpmCounter, MflopsUsesCountedFlopsAndBusyTime) {
+  HpmCounter c;
+  IntrinsicCostTable t;  // add=1
+  c.charge(OpCounts{2'000'000, 0, 0, 0, 0, 0}, 1.0, 1e6);
+  EXPECT_DOUBLE_EQ(c.counted_mflop(t), 2.0);
+  EXPECT_DOUBLE_EQ(c.mflops(t), 2.0);
+}
+
+TEST(HpmCounter, MflopsZeroWhenNoTime) {
+  HpmCounter c;
+  EXPECT_DOUBLE_EQ(c.mflops(IntrinsicCostTable{}), 0.0);
+}
+
+TEST(HpmCounter, ResetClears) {
+  HpmCounter c;
+  c.charge(OpCounts{1, 1, 1, 1, 1, 1}, 1.0, 1e6);
+  c.reset();
+  EXPECT_EQ(c.ops().total(), 0u);
+  EXPECT_DOUBLE_EQ(c.busy_seconds(), 0.0);
+}
+
+TEST(ToString, ContainsAllClasses) {
+  const std::string s = to_string(OpCounts{1, 2, 3, 4, 5, 6});
+  EXPECT_NE(s.find("add=1"), std::string::npos);
+  EXPECT_NE(s.find("sqrt=4"), std::string::npos);
+  EXPECT_NE(s.find("cmp=6"), std::string::npos);
+}
+
+}  // namespace

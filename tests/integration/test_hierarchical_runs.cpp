@@ -1,0 +1,84 @@
+// End-to-end Opal runs on the hierarchical cluster-of-SMPs platform: the
+// full stack (PVM -> Sciddle -> Opal) over the HierarchicalNetwork, checking
+// physics equivalence and the in-box vs cross-box communication step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using opalsim::mach::hippi_j90_cluster_hierarchical;
+using opalsim::opal::make_synthetic_complex;
+using opalsim::opal::ParallelOpal;
+using opalsim::opal::SerialOpal;
+using opalsim::opal::SimulationConfig;
+using opalsim::opal::SyntheticSpec;
+
+SyntheticSpec spec_of(std::size_t solute) {
+  SyntheticSpec s;
+  s.n_solute = solute;
+  s.n_water = 2 * solute;
+  return s;
+}
+
+TEST(HierarchicalRuns, PhysicsMatchesSerial) {
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = 9.0;
+  SerialOpal serial(make_synthetic_complex(spec_of(50)), cfg);
+  const auto want = serial.run();
+  // 7 servers + client = 8 nodes: exactly one 8-CPU box.
+  ParallelOpal par(hippi_j90_cluster_hierarchical(8),
+                   make_synthetic_complex(spec_of(50)), 7, cfg);
+  const auto got = par.run();
+  EXPECT_NEAR(got.physics.potential(), want.potential(),
+              1e-8 * std::max(1.0, std::abs(want.potential())));
+}
+
+TEST(HierarchicalRuns, CrossBoxServersPayGatewayCosts) {
+  // 7 servers in one box vs 7 servers spread over 4 boxes of 2: the
+  // cross-box configuration's communication is slower.
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  auto run_with_box = [&](int box_size) {
+    ParallelOpal par(hippi_j90_cluster_hierarchical(box_size),
+                     make_synthetic_complex(spec_of(80)), 7, cfg);
+    return par.run().metrics.tot_comm();
+  };
+  const double one_box = run_with_box(8);
+  const double four_boxes = run_with_box(2);
+  EXPECT_LT(one_box, 0.5 * four_boxes);
+}
+
+TEST(HierarchicalRuns, DeterministicWall) {
+  SimulationConfig cfg;
+  cfg.steps = 2;
+  auto once = [&] {
+    ParallelOpal par(hippi_j90_cluster_hierarchical(4),
+                     make_synthetic_complex(spec_of(40)), 6, cfg);
+    return par.run().metrics.wall;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(HierarchicalRuns, InBoxBeatsFlatPvmJ90) {
+  // Same CPUs, but shared-memory transport inside the box instead of the
+  // PVM daemon path: the cluster-of-SMPs must be much faster end-to-end in
+  // the communication-heavy cut-off regime.
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = 8.0;
+  ParallelOpal smp(hippi_j90_cluster_hierarchical(8),
+                   make_synthetic_complex(spec_of(100)), 6, cfg);
+  ParallelOpal pvm(opalsim::mach::cray_j90(),
+                   make_synthetic_complex(spec_of(100)), 6, cfg);
+  const double t_smp = smp.run().metrics.wall;
+  const double t_pvm = pvm.run().metrics.wall;
+  EXPECT_LT(t_smp, 0.5 * t_pvm);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// End-to-end integration tests across the whole stack: measure on one
+// simulated platform, calibrate the analytic model, predict for another
+// platform, and verify the prediction against an actual (simulated)
+// measurement there — the paper's complete §2→§4 workflow.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mach/platforms_db.hpp"
+#include "model/calibrate.hpp"
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+opal::MolecularComplex workload(std::size_t solute = 150) {
+  opal::SyntheticSpec s;
+  s.n_solute = solute;
+  s.n_water = 2 * solute;
+  return opal::make_synthetic_complex(s);
+}
+
+model::ModelParams calibrate_on(const mach::PlatformSpec& spec) {
+  std::vector<model::Observation> obs;
+  for (int p : {1, 2, 4, 7}) {
+    for (int solute : {80, 160}) {
+      for (double cutoff : {-1.0, 8.0}) {
+        for (int upd : {1, 5}) {
+          auto mc = workload(solute);
+          opal::SimulationConfig cfg;
+          cfg.steps = 4;
+          cfg.cutoff = cutoff;
+          cfg.update_every = upd;
+          cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+          model::Observation o;
+          o.app = model::app_params_for(mc, cfg, p);
+          opal::ParallelOpal run(spec, std::move(mc), p, cfg);
+          o.measured = run.run().metrics;
+          obs.push_back(std::move(o));
+        }
+      }
+    }
+  }
+  return model::calibrate(obs).params;
+}
+
+double measure_wall(const mach::PlatformSpec& spec, int p, double cutoff,
+                    int upd, std::size_t solute = 150) {
+  auto mc = workload(solute);
+  opal::SimulationConfig cfg;
+  cfg.steps = 5;
+  cfg.cutoff = cutoff;
+  cfg.update_every = upd;
+  cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+  opal::ParallelOpal run(spec, std::move(mc), p, cfg);
+  return run.run().metrics.wall;
+}
+
+double predict_wall(const model::ModelParams& params, int p, double cutoff,
+                    int upd, std::size_t solute = 150) {
+  auto mc = workload(solute);
+  opal::SimulationConfig cfg;
+  cfg.steps = 5;
+  cfg.cutoff = cutoff;
+  cfg.update_every = upd;
+  model::AppParams app = model::app_params_for(mc, cfg, p);
+  return model::predict_total(params, app);
+}
+
+TEST(Pipeline, CalibrateOnJ90PredictJ90) {
+  const model::ModelParams j90 = calibrate_on(mach::cray_j90());
+  for (int p : {1, 3, 6}) {
+    const double measured = measure_wall(mach::cray_j90(), p, -1.0, 1);
+    const double predicted = predict_wall(j90, p, -1.0, 1);
+    EXPECT_NEAR(predicted, measured, 0.08 * measured) << "p=" << p;
+  }
+}
+
+TEST(Pipeline, CrossPlatformPredictionMatchesMeasurement) {
+  // Calibrate on the J90, derive fast-CoPs parameters from the datasheet,
+  // and compare against actual simulated fast-CoPs runs.
+  const model::ModelParams j90 = calibrate_on(mach::cray_j90());
+  const model::ModelParams fast =
+      model::derive_platform_params(j90, mach::cray_j90(),
+                                    mach::fast_cops());
+  for (int p : {1, 4, 7}) {
+    for (double cutoff : {-1.0, 8.0}) {
+      const double measured = measure_wall(mach::fast_cops(), p, cutoff, 1);
+      const double predicted = predict_wall(fast, p, cutoff, 1);
+      EXPECT_NEAR(predicted, measured, 0.15 * measured)
+          << "p=" << p << " cutoff=" << cutoff;
+    }
+  }
+}
+
+TEST(Pipeline, PredictionRanksPlatformsLikeMeasurement) {
+  // The advisor use case: the model's platform ranking must agree with the
+  // (simulated) ground truth.
+  const model::ModelParams j90 = calibrate_on(mach::cray_j90());
+  const int p = 5;
+  std::vector<std::pair<double, double>> meas_pred;
+  for (const auto& spec : mach::prediction_platforms()) {
+    const model::ModelParams params =
+        model::derive_platform_params(j90, mach::cray_j90(), spec);
+    meas_pred.emplace_back(measure_wall(spec, p, 8.0, 1),
+                           predict_wall(params, p, 8.0, 1));
+  }
+  // Pairwise order agreement (no inversions beyond near-ties).
+  for (std::size_t a = 0; a < meas_pred.size(); ++a) {
+    for (std::size_t b = 0; b < meas_pred.size(); ++b) {
+      if (meas_pred[a].first < 0.9 * meas_pred[b].first) {
+        EXPECT_LT(meas_pred[a].second, meas_pred[b].second)
+            << "platforms " << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(Pipeline, FullStackDeterminism) {
+  auto once = [] {
+    const model::ModelParams j90 = calibrate_on(mach::cray_j90());
+    return predict_wall(j90, 7, 8.0, 5);
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Pipeline, SerialAndParallelAgreeAfterLongishRun) {
+  auto mc = workload(100);
+  opal::SimulationConfig cfg;
+  cfg.steps = 20;
+  cfg.cutoff = 9.0;
+  cfg.update_every = 4;
+  opal::SerialOpal serial(mc, cfg);
+  const auto want = serial.run();
+  opal::ParallelOpal par(mach::smp_cops(), mc, 5, cfg);
+  const auto got = par.run();
+  const double scale = std::max(1.0, std::abs(want.potential()));
+  EXPECT_NEAR(got.physics.potential(), want.potential(), 1e-8 * scale);
+}
+
+TEST(Pipeline, CommBoundCrossoverAppearsInMeasurementAndModel) {
+  // On the J90 with a strong cut-off, both the measurement and the fitted
+  // model must show the execution time turning upward with p.
+  const model::ModelParams j90 = calibrate_on(mach::cray_j90());
+  const double m2 = measure_wall(mach::cray_j90(), 2, 8.0, 5);
+  const double m7 = measure_wall(mach::cray_j90(), 7, 8.0, 5);
+  const double p2 = predict_wall(j90, 2, 8.0, 5);
+  const double p7 = predict_wall(j90, 7, 8.0, 5);
+  EXPECT_GT(m7, m2);
+  EXPECT_GT(p7, p2);
+}
+
+TEST(Pipeline, NoCutoffScalesWellEverywhereMeasured) {
+  // Needs a compute-heavy workload so the n^2 work dominates the O(n p)
+  // communication even at p = 7.
+  for (const auto& spec : {mach::cray_t3e900(), mach::fast_cops()}) {
+    const double m1 = measure_wall(spec, 1, -1.0, 1, /*solute=*/300);
+    const double m7 = measure_wall(spec, 7, -1.0, 1, /*solute=*/300);
+    EXPECT_GT(m1 / m7, 4.0) << spec.name;  // decent speedup
+  }
+}
+
+}  // namespace

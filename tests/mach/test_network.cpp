@@ -1,0 +1,307 @@
+#include "mach/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mach/platform.hpp"
+#include "mach/platforms_db.hpp"
+
+namespace {
+
+using opalsim::mach::DaemonNetwork;
+using opalsim::mach::Machine;
+using opalsim::mach::make_network;
+using opalsim::mach::NetSpec;
+using opalsim::mach::SharedBusNetwork;
+using opalsim::mach::SwitchedNetwork;
+using opalsim::sim::Engine;
+using opalsim::sim::Task;
+
+NetSpec spec_of(NetSpec::Kind kind, double mbps, double lat) {
+  NetSpec s;
+  s.kind = kind;
+  s.name = "test-net";
+  s.observed_MBps = mbps;
+  s.hw_peak_MBps = mbps * 2;
+  s.latency_s = lat;
+  return s;
+}
+
+TEST(NetSpec, UnloadedTimeIsLatencyPlusBytesOverBandwidth) {
+  Engine eng;
+  SwitchedNetwork net(eng, spec_of(NetSpec::Kind::Switched, 10.0, 0.001), 2);
+  EXPECT_NEAR(net.unloaded_time(10'000'000), 0.001 + 1.0, 1e-12);
+}
+
+TEST(SwitchedNetwork, DisjointPairsTransferConcurrently) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::Switched, 1.0, 0.0);  // 1 MB/s, no latency
+  SwitchedNetwork net(eng, s, 4);
+  std::vector<double> done;
+  auto proc = [&](int src, int dst) -> Task<void> {
+    co_await net.transfer(src, dst, 1'000'000);  // 1 s each
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(0, 1));
+  eng.spawn(proc(2, 3));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);  // concurrent, not 2.0
+}
+
+TEST(SwitchedNetwork, SameSenderSerializes) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::Switched, 1.0, 0.0);
+  SwitchedNetwork net(eng, s, 3);
+  std::vector<double> done;
+  auto proc = [&](int dst) -> Task<void> {
+    co_await net.transfer(0, dst, 1'000'000);
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(1));
+  eng.spawn(proc(2));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);  // send link shared
+}
+
+TEST(SwitchedNetwork, SameReceiverSerializes) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::Switched, 1.0, 0.0);
+  SwitchedNetwork net(eng, s, 3);
+  std::vector<double> done;
+  auto proc = [&](int src) -> Task<void> {
+    co_await net.transfer(src, 0, 1'000'000);
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(1));
+  eng.spawn(proc(2));
+  eng.run();
+  EXPECT_DOUBLE_EQ(done[1], 2.0);  // recv link shared
+}
+
+TEST(SharedBusNetwork, AllTransfersSerialize) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::SharedBus, 1.0, 0.0);
+  SharedBusNetwork net(eng, s);
+  std::vector<double> done;
+  auto proc = [&](int src, int dst) -> Task<void> {
+    co_await net.transfer(src, dst, 1'000'000);
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(0, 1));
+  eng.spawn(proc(2, 3));  // disjoint pair, still serialized on the bus
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(DaemonNetwork, AllTransfersSerializeThroughDaemon) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::Daemon, 3.0, 0.01);  // J90-like
+  DaemonNetwork net(eng, s);
+  std::vector<double> done;
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 1, 3'000'000);  // 1 s + 10 ms
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc());
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(done[0], 1.01, 1e-9);
+  EXPECT_NEAR(done[1], 2.02, 1e-9);
+}
+
+TEST(NetworkModel, LatencyPaidPerMessage) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::SharedBus, 1000.0, 0.5);
+  SharedBusNetwork net(eng, s);
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 1, 0);  // empty message: pure latency
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(eng.now(), 0.5, 1e-12);
+}
+
+TEST(NetworkModel, AccountsMessagesAndBytes) {
+  Engine eng;
+  auto s = spec_of(NetSpec::Kind::SharedBus, 1.0, 0.0);
+  SharedBusNetwork net(eng, s);
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 1, 100);
+    co_await net.transfer(1, 0, 200);
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+TEST(MakeNetwork, DispatchesOnKind) {
+  Engine eng;
+  auto sw = make_network(eng, spec_of(NetSpec::Kind::Switched, 1, 0), 2);
+  auto bus = make_network(eng, spec_of(NetSpec::Kind::SharedBus, 1, 0), 2);
+  auto dmn = make_network(eng, spec_of(NetSpec::Kind::Daemon, 1, 0), 2);
+  EXPECT_NE(dynamic_cast<SwitchedNetwork*>(sw.get()), nullptr);
+  EXPECT_NE(dynamic_cast<SharedBusNetwork*>(bus.get()), nullptr);
+  EXPECT_NE(dynamic_cast<DaemonNetwork*>(dmn.get()), nullptr);
+}
+
+TEST(Machine, BuildsNodesAndNetwork) {
+  Engine eng;
+  Machine m(eng, opalsim::mach::fast_cops(), 8);
+  EXPECT_EQ(m.num_nodes(), 8);
+  EXPECT_EQ(m.spec().name, "Fast CoPs");
+  EXPECT_EQ(m.network().spec().name, "switched Myrinet");
+  EXPECT_DOUBLE_EQ(m.cpu(3).spec().adjusted_mflops, 102.0);
+}
+
+TEST(Machine, RejectsZeroNodes) {
+  Engine eng;
+  EXPECT_THROW(Machine(eng, opalsim::mach::fast_cops(), 0),
+               std::invalid_argument);
+}
+
+TEST(Machine, TransferUsesPlatformNetwork) {
+  Engine eng;
+  auto spec = opalsim::mach::slow_cops();  // 3 MB/s shared bus, 10 ms
+  Machine m(eng, spec, 2);
+  auto proc = [&]() -> Task<void> { co_await m.transfer(0, 1, 3'000'000); };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(eng.now(), 1.01, 1e-9);
+}
+
+}  // namespace
+
+namespace {
+
+using opalsim::mach::HierarchicalNetwork;
+
+NetSpec hier_spec() {
+  NetSpec s;
+  s.kind = NetSpec::Kind::Hierarchical;
+  s.name = "hier-test";
+  s.observed_MBps = 1.0;   // inter-box: 1 MB/s
+  s.hw_peak_MBps = 2.0;
+  s.latency_s = 1e-3;
+  s.box_size = 2;
+  s.intra_observed_MBps = 100.0;  // intra-box: 100 MB/s
+  s.intra_latency_s = 1e-6;
+  return s;
+}
+
+TEST(HierarchicalNetwork, IntraBoxIsFast) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 4);
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 1, 1'000'000);  // same box (0,1)
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(eng.now(), 1e-6 + 0.01, 1e-6);
+}
+
+TEST(HierarchicalNetwork, InterBoxIsSlow) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 4);
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 2, 1'000'000);  // box 0 -> box 1
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(eng.now(), 1e-3 + 1.0, 1e-6);
+}
+
+TEST(HierarchicalNetwork, BoxOfMapsNodesToBoxes) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 6);
+  EXPECT_EQ(net.box_of(0), 0);
+  EXPECT_EQ(net.box_of(1), 0);
+  EXPECT_EQ(net.box_of(2), 1);
+  EXPECT_EQ(net.box_of(5), 2);
+  EXPECT_EQ(net.num_boxes(), 3);
+}
+
+TEST(HierarchicalNetwork, IntraBoxTransfersInDifferentBoxesRunConcurrently) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 4);
+  std::vector<double> done;
+  auto proc = [&](int a, int b) -> Task<void> {
+    co_await net.transfer(a, b, 10'000'000);  // 0.1 s intra
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(0, 1));  // box 0
+  eng.spawn(proc(2, 3));  // box 1
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 0.1, 0.001);
+  EXPECT_NEAR(done[1], 0.1, 0.001);  // concurrent
+}
+
+TEST(HierarchicalNetwork, SameBoxBusSerializes) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 4);
+  std::vector<double> done;
+  auto proc = [&]() -> Task<void> {
+    co_await net.transfer(0, 1, 10'000'000);  // 0.1 s intra
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc());
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_NEAR(done[1], 0.2, 0.001);
+}
+
+TEST(HierarchicalNetwork, GatewaySerializesInterBoxTraffic) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 6);
+  std::vector<double> done;
+  // Two transfers out of box 0 to different boxes share box 0's gateway.
+  auto proc = [&](int dst) -> Task<void> {
+    co_await net.transfer(0, dst, 1'000'000);  // 1 s inter
+    done.push_back(eng.now());
+  };
+  eng.spawn(proc(2));
+  eng.spawn(proc(4));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.001, 0.01);
+  EXPECT_NEAR(done[1], 2.002, 0.01);
+}
+
+TEST(HierarchicalNetwork, OpposingInterBoxTransfersDoNotDeadlock) {
+  Engine eng;
+  HierarchicalNetwork net(eng, hier_spec(), 4);
+  int finished = 0;
+  auto proc = [&](int a, int b) -> Task<void> {
+    co_await net.transfer(a, b, 1'000'000);
+    ++finished;
+  };
+  eng.spawn(proc(0, 2));  // box 0 -> 1
+  eng.spawn(proc(2, 0));  // box 1 -> 0
+  eng.run();
+  EXPECT_EQ(finished, 2);
+}
+
+TEST(HierarchicalNetwork, RejectsZeroBoxSize) {
+  Engine eng;
+  NetSpec s = hier_spec();
+  s.box_size = 0;
+  EXPECT_THROW(HierarchicalNetwork(eng, s, 4), std::invalid_argument);
+}
+
+TEST(HierarchicalPlatform, RunsParallelOpalAndScalesWithinABox) {
+  // 7 servers + client fit in one 8-CPU box: everything intra-box.
+  using opalsim::mach::hippi_j90_cluster_hierarchical;
+  const auto spec = hippi_j90_cluster_hierarchical(8);
+  EXPECT_EQ(spec.net.kind, NetSpec::Kind::Hierarchical);
+  EXPECT_EQ(spec.net.box_size, 8);
+}
+
+}  // namespace

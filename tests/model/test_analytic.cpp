@@ -1,0 +1,176 @@
+#include "model/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using opalsim::model::AppParams;
+using opalsim::model::ModelBreakdown;
+using opalsim::model::ModelParams;
+using opalsim::model::nbint_pairs;
+using opalsim::model::ntilde_from_cutoff;
+using opalsim::model::predict;
+using opalsim::model::predict_comm;
+using opalsim::model::predict_nbint;
+using opalsim::model::predict_seq;
+using opalsim::model::predict_speedup;
+using opalsim::model::predict_sync;
+using opalsim::model::predict_total;
+using opalsim::model::predict_update;
+using opalsim::model::update_pairs;
+using opalsim::model::UpdateVariant;
+
+ModelParams sample_params() {
+  ModelParams m;
+  m.a1 = 3e6;    // 3 MB/s
+  m.b1 = 0.01;   // 10 ms
+  m.a2 = 1e-7;
+  m.a3 = 5e-7;
+  m.a4 = 1e-6;
+  m.b5 = 5e-3;
+  return m;
+}
+
+AppParams sample_app() {
+  AppParams a;
+  a.s = 10;
+  a.p = 4;
+  a.u = 1.0;
+  a.n = 1000;
+  a.gamma = 0.6;
+  a.ntilde = 0;  // no cut-off
+  return a;
+}
+
+TEST(NtildeFromCutoff, SphereVolumeTimesDensity) {
+  // rho = 0.05, c = 10 A: 0.05 * 4/3 pi 1000 = 209.44.
+  EXPECT_NEAR(ntilde_from_cutoff(0.05, 10.0, 1e9), 209.4395, 1e-3);
+}
+
+TEST(NtildeFromCutoff, CappedAtN) {
+  EXPECT_DOUBLE_EQ(ntilde_from_cutoff(0.05, 100.0, 500.0), 500.0);
+}
+
+TEST(NtildeFromCutoff, NoCutoffGivesN) {
+  EXPECT_DOUBLE_EQ(ntilde_from_cutoff(0.05, -1.0, 500.0), 500.0);
+}
+
+TEST(UpdatePairs, ConsistentIsTriangle) {
+  auto a = sample_app();
+  EXPECT_DOUBLE_EQ(update_pairs(a, UpdateVariant::Consistent),
+                   1000.0 * 999.0 / 2.0);
+}
+
+TEST(UpdatePairs, PaperLiteralUsesGammaFactor) {
+  auto a = sample_app();  // gamma = 0.6 -> (1-2g) = -0.2
+  const double f = -0.2;
+  EXPECT_NEAR(update_pairs(a, UpdateVariant::PaperLiteral),
+              (f * f * 1e6 - f * 1000.0) / 2.0, 1e-9);
+}
+
+TEST(NbintPairs, NoCutoffIsFullTriangle) {
+  auto a = sample_app();
+  EXPECT_DOUBLE_EQ(nbint_pairs(a, UpdateVariant::Consistent),
+                   1000.0 * 999.0 / 2.0);
+  EXPECT_DOUBLE_EQ(nbint_pairs(a, UpdateVariant::PaperLiteral),
+                   1000.0 * 999.0 / 2.0);
+}
+
+TEST(NbintPairs, CutoffRegimes) {
+  auto a = sample_app();
+  a.ntilde = 100;
+  EXPECT_DOUBLE_EQ(nbint_pairs(a, UpdateVariant::Consistent),
+                   100.0 * 1000.0 / 2.0);
+  EXPECT_DOUBLE_EQ(nbint_pairs(a, UpdateVariant::PaperLiteral),
+                   100.0 * 1000.0);
+}
+
+TEST(PredictUpdate, Eq3Shape) {
+  auto m = sample_params();
+  auto a = sample_app();
+  // a2 * s*u/p * n(n-1)/2.
+  EXPECT_NEAR(predict_update(m, a),
+              1e-7 * 10.0 * 1.0 / 4.0 * (1000.0 * 999.0 / 2.0), 1e-9);
+  // Halving update frequency halves it.
+  a.u = 0.5;
+  EXPECT_NEAR(predict_update(m, a),
+              0.5 * 1e-7 * 10.0 / 4.0 * (1000.0 * 999.0 / 2.0), 1e-9);
+}
+
+TEST(PredictNbint, ScalesInverseWithP) {
+  auto m = sample_params();
+  auto a = sample_app();
+  const double t4 = predict_nbint(m, a);
+  a.p = 8;
+  EXPECT_NEAR(predict_nbint(m, a), t4 / 2.0, 1e-12);
+}
+
+TEST(PredictSeq, Eq5IndependentOfP) {
+  auto m = sample_params();
+  auto a = sample_app();
+  EXPECT_NEAR(predict_seq(m, a), 1e-6 * 10.0 * 1000.0, 1e-12);
+  a.p = 7;
+  EXPECT_NEAR(predict_seq(m, a), 1e-6 * 10.0 * 1000.0, 1e-12);
+}
+
+TEST(PredictComm, Eq6Shape) {
+  auto m = sample_params();
+  auto a = sample_app();
+  // s ( p alpha/a1 (u+2) n + 2 p b1 (u+1) ).
+  const double expect =
+      10.0 * (4.0 * 24.0 / 3e6 * 3.0 * 1000.0 + 2.0 * 4.0 * 0.01 * 2.0);
+  EXPECT_NEAR(predict_comm(m, a), expect, 1e-12);
+}
+
+TEST(PredictComm, GrowsLinearlyWithP) {
+  auto m = sample_params();
+  auto a = sample_app();
+  const double t4 = predict_comm(m, a);
+  a.p = 8;
+  EXPECT_NEAR(predict_comm(m, a), 2.0 * t4, 1e-12);
+}
+
+TEST(PredictSync, Eq10Shape) {
+  auto m = sample_params();
+  auto a = sample_app();
+  EXPECT_NEAR(predict_sync(m, a), 2.0 * 10.0 * 2.0 * 5e-3, 1e-12);
+  a.u = 0.1;
+  EXPECT_NEAR(predict_sync(m, a), 2.0 * 10.0 * 1.1 * 5e-3, 1e-12);
+}
+
+TEST(Predict, BreakdownSumsToTotal) {
+  auto m = sample_params();
+  auto a = sample_app();
+  const ModelBreakdown b = predict(m, a);
+  EXPECT_NEAR(b.total(), predict_total(m, a), 1e-12);
+  EXPECT_NEAR(b.total(),
+              b.update + b.nbint + b.seq + b.comm + b.sync, 1e-15);
+}
+
+TEST(PredictSpeedup, OneServerIsUnity) {
+  EXPECT_DOUBLE_EQ(predict_speedup(sample_params(), sample_app(), 1.0), 1.0);
+}
+
+TEST(PredictSpeedup, ComputeBoundNearLinear) {
+  auto m = sample_params();
+  m.a1 = 1e9;  // effectively free communication
+  m.b1 = 1e-9;
+  m.b5 = 1e-9;
+  m.a4 = 1e-12;
+  auto a = sample_app();
+  EXPECT_NEAR(predict_speedup(m, a, 7.0), 7.0, 0.1);
+}
+
+TEST(PredictSpeedup, CommBoundTurnsIntoSlowdown) {
+  // The paper's §4.2 slow-down curves: with a slow network and the cut-off
+  // active, adding servers eventually increases execution time.
+  auto m = sample_params();  // 3 MB/s, 10 ms: J90/slow-CoPs class
+  auto a = sample_app();
+  a.ntilde = 50;  // strong cut-off: little compute left
+  a.u = 0.1;
+  const double s3 = predict_speedup(m, a, 3.0);
+  const double s7 = predict_speedup(m, a, 7.0);
+  EXPECT_LT(s7, s3);
+}
+
+}  // namespace

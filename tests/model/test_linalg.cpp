@@ -1,0 +1,134 @@
+#include "model/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using opalsim::model::cholesky_solve;
+using opalsim::model::fit_through_origin;
+using opalsim::model::Matrix;
+using opalsim::model::matvec;
+using opalsim::model::solve_least_squares;
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = 7.0;
+  Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 7.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matvec, KnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  auto y = matvec(a, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(CholeskySolve, IdentityReturnsRhs) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  auto x = cholesky_solve(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(CholeskySolve, KnownSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  auto x = cholesky_solve(a, {10.0, 9.0});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(SolveLeastSquares, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 2 x1 + 3 x2.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double xs[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = xs[i][0];
+    a(i, 1) = xs[i][1];
+    b[i] = 2.0 * xs[i][0] + 3.0 * xs[i][1];
+  }
+  auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, MinimizesResidualForNoisyData) {
+  // y = 5 x with symmetric noise: LS slope stays 5.
+  Matrix a(4, 1);
+  std::vector<double> b{4.9, 5.1, 9.8, 10.2};
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 2;
+  a(3, 0) = 2;
+  auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 5.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, RejectsUnderdetermined) {
+  Matrix a(1, 2);
+  EXPECT_THROW(solve_least_squares(a, {1.0}), std::invalid_argument);
+}
+
+TEST(FitThroughOrigin, ExactSlope) {
+  EXPECT_NEAR(fit_through_origin({1, 2, 3}, {2, 4, 6}), 2.0, 1e-12);
+}
+
+TEST(FitThroughOrigin, ZeroDesignGivesZero) {
+  EXPECT_DOUBLE_EQ(fit_through_origin({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(FitThroughOrigin, SizeMismatchThrows) {
+  EXPECT_THROW(fit_through_origin({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include "model/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mach/platforms_db.hpp"
+
+namespace {
+
+using opalsim::model::run_performance_study;
+using opalsim::model::StudyConfig;
+using opalsim::model::StudyResult;
+
+StudyConfig small_study() {
+  StudyConfig cfg;
+  cfg.reference = opalsim::mach::cray_j90();
+  cfg.candidates = {opalsim::mach::cray_t3e900(), opalsim::mach::fast_cops(),
+                    opalsim::mach::cray_j90()};
+  opalsim::opal::SyntheticSpec s;
+  s.name = "test workload";
+  s.n_solute = 200;
+  s.n_water = 400;
+  cfg.workload = opalsim::opal::make_synthetic_complex(s);
+  cfg.workload_cfg.steps = 10;
+  cfg.workload_cfg.cutoff = 8.0;
+  cfg.calib_solutes = {80, 160};
+  cfg.calib_servers = {1, 3, 6};
+  cfg.calib_steps = 4;
+  cfg.p_max = 8;
+  return cfg;
+}
+
+TEST(PerformanceStudy, RunsEndToEnd) {
+  const StudyResult r = run_performance_study(small_study());
+  EXPECT_EQ(r.observations.size(), 2u * 3u * 2u * 2u);
+  EXPECT_EQ(r.scalability.size(), 3u);
+  EXPECT_GT(r.calibration.params.a3, 0.0);
+  EXPECT_LT(r.calibration.fit_total.mean_abs_rel_err, 0.15);
+}
+
+TEST(PerformanceStudy, ReportContainsAllSections) {
+  const StudyResult r = run_performance_study(small_study());
+  const std::string& md = r.report_markdown;
+  EXPECT_NE(md.find("# Performance study"), std::string::npos);
+  EXPECT_NE(md.find("## Calibration"), std::string::npos);
+  EXPECT_NE(md.find("## Workload"), std::string::npos);
+  EXPECT_NE(md.find("## Predictions"), std::string::npos);
+  EXPECT_NE(md.find("## Recommendation"), std::string::npos);
+  EXPECT_NE(md.find("Cray T3E-900"), std::string::npos);
+  EXPECT_NE(md.find("Fast CoPs"), std::string::npos);
+  EXPECT_NE(md.find("a3 [s/pair]"), std::string::npos);
+}
+
+TEST(PerformanceStudy, RecommendationBeatsReferenceForCutoffWorkload) {
+  // The paper's conclusion: for the cut-off regime, the fast cluster beats
+  // the PVM-bound J90 — the recommendation must not be the J90.
+  const StudyResult r = run_performance_study(small_study());
+  const auto pos = r.report_markdown.find("## Recommendation");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string tail = r.report_markdown.substr(pos);
+  EXPECT_EQ(tail.find("**Cray J90 Classic**"), std::string::npos);
+}
+
+TEST(PerformanceStudy, ScalabilityOrderFollowsCandidates) {
+  const StudyResult r = run_performance_study(small_study());
+  // T3E should scale further than the J90 (its saturation p is larger).
+  EXPECT_GT(r.scalability[0].saturation_p, r.scalability[2].saturation_p);
+}
+
+TEST(PerformanceStudy, DeterministicMarkdown) {
+  const std::string a = run_performance_study(small_study()).report_markdown;
+  const std::string b = run_performance_study(small_study()).report_markdown;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

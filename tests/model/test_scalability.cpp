@@ -1,0 +1,123 @@
+#include "model/scalability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mach/platforms_db.hpp"
+#include "model/prediction.hpp"
+
+namespace {
+
+using opalsim::model::analyze_scalability;
+using opalsim::model::AppParams;
+using opalsim::model::ModelParams;
+using opalsim::model::optimal_servers_continuous;
+using opalsim::model::ScalabilityAnalysis;
+using opalsim::model::theoretical_params;
+
+AppParams cutoff_app(double n = 4289) {
+  AppParams a;
+  a.s = 10;
+  a.u = 0.1;
+  a.n = n;
+  a.gamma = 0.63;
+  a.ntilde = 210;
+  return a;
+}
+
+TEST(OptimalServers, MatchesClosedFormSqrtCoverD) {
+  ModelParams m;
+  m.a1 = 1e6;
+  m.b1 = 1e-3;
+  m.a2 = 1e-7;
+  m.a3 = 1e-7;
+  m.a4 = 0;
+  m.b5 = 0;
+  AppParams a = cutoff_app(1000);
+  AppParams one = a;
+  one.p = 1;
+  const double c = opalsim::model::predict_update(m, one) +
+                   opalsim::model::predict_nbint(m, one);
+  const double d = opalsim::model::predict_comm(m, one);
+  EXPECT_NEAR(optimal_servers_continuous(m, a), std::sqrt(c / d), 1e-12);
+}
+
+TEST(OptimalServers, InfiniteWhenCommunicationFree) {
+  ModelParams m = theoretical_params(opalsim::mach::fast_cops());
+  m.a1 = std::numeric_limits<double>::infinity();
+  m.b1 = 0.0;
+  EXPECT_TRUE(std::isinf(optimal_servers_continuous(m, cutoff_app())));
+}
+
+TEST(AnalyzeScalability, J90CutoffSlowsDownWithinSeven) {
+  // The paper's measured/predicted J90 behavior: best p ~ 3, slowdown past.
+  const ModelParams j90 = theoretical_params(opalsim::mach::cray_j90());
+  const ScalabilityAnalysis a = analyze_scalability(j90, cutoff_app(), 7);
+  EXPECT_TRUE(a.slows_down);
+  EXPECT_GE(a.best_p, 2.0);
+  EXPECT_LE(a.best_p, 4.0);
+  EXPECT_NEAR(a.continuous_optimum, a.best_p, 1.6);
+}
+
+TEST(AnalyzeScalability, T3ECutoffScalesThroughSeven) {
+  const ModelParams t3e = opalsim::model::derive_platform_params(
+      theoretical_params(opalsim::mach::cray_j90()), opalsim::mach::cray_j90(),
+      opalsim::mach::cray_t3e900());
+  const ScalabilityAnalysis a = analyze_scalability(t3e, cutoff_app(), 7);
+  EXPECT_FALSE(a.slows_down);
+  EXPECT_DOUBLE_EQ(a.best_p, 7.0);
+  EXPECT_GT(a.continuous_optimum, 7.0);
+}
+
+TEST(AnalyzeScalability, LargerProblemPushesOptimumOutward) {
+  // The paper's §4.2 observation about the large molecule.
+  const ModelParams j90 = theoretical_params(opalsim::mach::cray_j90());
+  const double p_med =
+      analyze_scalability(j90, cutoff_app(4289), 32).continuous_optimum;
+  const double p_lrg =
+      analyze_scalability(j90, cutoff_app(6289), 32).continuous_optimum;
+  EXPECT_GT(p_lrg, p_med);
+}
+
+TEST(AnalyzeScalability, CurveStartsAtSpeedupOne) {
+  const ModelParams m = theoretical_params(opalsim::mach::smp_cops());
+  const auto a = analyze_scalability(m, cutoff_app(), 5);
+  ASSERT_EQ(a.curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.curve[0].p, 1.0);
+  EXPECT_DOUBLE_EQ(a.curve[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(a.curve[0].efficiency, 1.0);
+}
+
+TEST(AnalyzeScalability, EfficiencyNonIncreasingForThisModel) {
+  const ModelParams m = theoretical_params(opalsim::mach::fast_cops());
+  const auto a = analyze_scalability(m, cutoff_app(), 7);
+  for (std::size_t i = 0; i + 1 < a.curve.size(); ++i) {
+    EXPECT_LE(a.curve[i + 1].efficiency, a.curve[i].efficiency + 1e-12);
+  }
+}
+
+TEST(AnalyzeScalability, SaturationNotBeyondBestP) {
+  const ModelParams j90 = theoretical_params(opalsim::mach::cray_j90());
+  const auto a = analyze_scalability(j90, cutoff_app(), 7);
+  EXPECT_LE(a.saturation_p, a.best_p + 1.0);
+}
+
+TEST(AnalyzeScalability, RejectsBadPMax) {
+  const ModelParams m = theoretical_params(opalsim::mach::fast_cops());
+  EXPECT_THROW(analyze_scalability(m, cutoff_app(), 0),
+               std::invalid_argument);
+}
+
+TEST(HippiJ90Cluster, FixesTheCommunicationBottleneck) {
+  // The what-if the paper hints at (§3.1/§4.1): the same J90 CPUs with a
+  // clean MPI/HIPPI transport should scale like the T3E, not like PVM.
+  const ModelParams pvm_j90 = theoretical_params(opalsim::mach::cray_j90());
+  const ModelParams hippi =
+      theoretical_params(opalsim::mach::hippi_j90_cluster());
+  const auto a_pvm = analyze_scalability(pvm_j90, cutoff_app(), 7);
+  const auto a_hippi = analyze_scalability(hippi, cutoff_app(), 7);
+  EXPECT_TRUE(a_pvm.slows_down);
+  EXPECT_FALSE(a_hippi.slows_down);
+  EXPECT_LT(a_hippi.best_time, a_pvm.best_time);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Edge cases across the Opal application: solvent-free and solute-free
+// complexes (gamma = 0 and gamma -> 1), tiny systems, extreme cut-offs,
+// and model-variant behaviour at the gamma boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mach/platforms_db.hpp"
+#include "model/analytic.hpp"
+#include "model/prediction.hpp"
+#include "opal/parallel.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using opalsim::opal::make_synthetic_complex;
+using opalsim::opal::MolecularComplex;
+using opalsim::opal::ParallelOpal;
+using opalsim::opal::SerialOpal;
+using opalsim::opal::SimulationConfig;
+using opalsim::opal::SyntheticSpec;
+
+TEST(OpalEdge, SolventFreeComplexRuns) {
+  SyntheticSpec s;
+  s.n_solute = 60;
+  s.n_water = 0;  // gamma = 0: pure protein
+  auto mc = make_synthetic_complex(s);
+  EXPECT_DOUBLE_EQ(mc.gamma(), 0.0);
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  SerialOpal serial(mc, cfg);
+  const auto want = serial.run();
+  ParallelOpal par(opalsim::mach::fast_cops(), mc, 3, cfg);
+  const auto got = par.run();
+  EXPECT_NEAR(got.physics.potential(), want.potential(),
+              1e-8 * std::abs(want.potential()));
+}
+
+TEST(OpalEdge, SoluteFreeComplexRuns) {
+  SyntheticSpec s;
+  s.n_solute = 0;
+  s.n_water = 80;  // gamma = 1: pure solvent, no bonded terms at all
+  auto mc = make_synthetic_complex(s);
+  EXPECT_DOUBLE_EQ(mc.gamma(), 1.0);
+  EXPECT_TRUE(mc.bonds.empty());
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  SerialOpal serial(mc, cfg);
+  const auto r = serial.run();
+  EXPECT_DOUBLE_EQ(r.bonded.total(), 0.0);
+  EXPECT_NE(r.evdw, 0.0);
+}
+
+TEST(OpalEdge, TwoCenterSystem) {
+  SyntheticSpec s;
+  s.n_solute = 2;
+  s.n_water = 0;
+  auto mc = make_synthetic_complex(s);
+  SimulationConfig cfg;
+  cfg.steps = 2;
+  SerialOpal serial(mc, cfg);
+  const auto r = serial.run();
+  EXPECT_TRUE(std::isfinite(r.potential()));
+  EXPECT_EQ(serial.pairs_evaluated(), 2u);  // 1 pair x 2 steps
+}
+
+TEST(OpalEdge, HugeCutoffEqualsNoCutoffPhysics) {
+  SyntheticSpec s;
+  s.n_solute = 40;
+  s.n_water = 40;
+  auto mc = make_synthetic_complex(s);
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = -1.0;
+  SerialOpal none(mc, cfg);
+  const auto r_none = none.run();
+  cfg.cutoff = 1e6;  // larger than any distance in the box
+  SerialOpal huge(mc, cfg);
+  const auto r_huge = huge.run();
+  EXPECT_DOUBLE_EQ(r_none.evdw, r_huge.evdw);
+  EXPECT_DOUBLE_EQ(r_none.ecoul, r_huge.ecoul);
+}
+
+TEST(OpalEdge, TinyCutoffLeavesNoActivePairs) {
+  SyntheticSpec s;
+  s.n_solute = 30;
+  auto mc = make_synthetic_complex(s);
+  SimulationConfig cfg;
+  cfg.steps = 2;
+  cfg.cutoff = 0.1;  // smaller than the minimum separation
+  SerialOpal eng(mc, cfg);
+  const auto r = eng.run();
+  EXPECT_EQ(eng.pairs_evaluated(), 0u);
+  EXPECT_DOUBLE_EQ(r.evdw, 0.0);
+  EXPECT_DOUBLE_EQ(r.ecoul, 0.0);
+  EXPECT_GT(r.bonded.total(), 0.0);  // bonded terms unaffected
+}
+
+TEST(OpalEdge, ServersExceedingCentersStillCorrect) {
+  // More servers than there are pairs per server: some servers may own
+  // nearly nothing; physics must still match.
+  SyntheticSpec s;
+  s.n_solute = 6;
+  s.n_water = 0;  // 15 pairs, 7 servers
+  auto mc = make_synthetic_complex(s);
+  SimulationConfig cfg;
+  cfg.steps = 3;
+  SerialOpal serial(mc, cfg);
+  const auto want = serial.run();
+  ParallelOpal par(opalsim::mach::smp_cops(), mc, 7, cfg);
+  const auto got = par.run();
+  EXPECT_NEAR(got.physics.potential(), want.potential(),
+              1e-8 * std::max(1.0, std::abs(want.potential())));
+}
+
+TEST(ModelEdge, PaperLiteralUpdatePairsPositiveForGammaBelowHalf) {
+  // For gamma < 0.5 the paper's (1-2 gamma) factor is positive and the
+  // literal formula is well-behaved.
+  opalsim::model::AppParams a;
+  a.n = 1000;
+  a.gamma = 0.2;
+  EXPECT_GT(opalsim::model::update_pairs(
+                a, opalsim::model::UpdateVariant::PaperLiteral),
+            0.0);
+  // At gamma = 0.5 the literal formula degenerates to zero — the
+  // documented reason the Consistent variant is the default.
+  a.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(opalsim::model::update_pairs(
+                       a, opalsim::model::UpdateVariant::PaperLiteral),
+                   0.0);
+}
+
+TEST(ModelEdge, MeasuredNtildeHandlesDegenerateInputs) {
+  SyntheticSpec s;
+  s.n_solute = 20;
+  auto mc = make_synthetic_complex(s);
+  EXPECT_DOUBLE_EQ(opalsim::model::measured_ntilde(mc, -1.0), 20.0);
+  EXPECT_DOUBLE_EQ(opalsim::model::measured_ntilde(mc, 0.01), 0.0);
+  // Huge cutoff: every centre neighbours all others.
+  EXPECT_NEAR(opalsim::model::measured_ntilde(mc, 1e6), 19.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mach/platforms_db.hpp"
+#include "opal/complex.hpp"
+#include "opal/parallel.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using opalsim::opal::make_synthetic_complex;
+using opalsim::opal::MolecularComplex;
+using opalsim::opal::ParallelOpal;
+using opalsim::opal::RunMode;
+using opalsim::opal::SerialOpal;
+using opalsim::opal::SimResult;
+using opalsim::opal::SimulationConfig;
+using opalsim::opal::SteepestDescent;
+using opalsim::opal::SyntheticSpec;
+using opalsim::opal::Vec3;
+
+MolecularComplex small_mc() {
+  SyntheticSpec s;
+  s.n_solute = 30;
+  s.n_water = 60;
+  return make_synthetic_complex(s);
+}
+
+TEST(SteepestDescent, MinimizesQuadraticBowl) {
+  // Single particle in V = |r - c|^2: gradient 2(r - c).
+  MolecularComplex mc;
+  opalsim::opal::MassCenter center;
+  center.position = Vec3{5.0, -3.0, 2.0};
+  center.mass = 1.0;
+  mc.centers.push_back(center);
+  mc.box_length = 100.0;
+  const Vec3 target{1.0, 1.0, 1.0};
+
+  SteepestDescent sd(0.05);
+  for (int it = 0; it < 200; ++it) {
+    const Vec3 d = mc.centers[0].position - target;
+    const double e = d.norm2();
+    std::vector<Vec3> grad{d * 2.0};
+    sd.advance(mc, e, grad);
+  }
+  const Vec3 d = mc.centers[0].position - target;
+  EXPECT_LT(d.norm(), 1e-3);
+  EXPECT_GT(sd.accepted(), 0u);
+}
+
+TEST(SteepestDescent, BacktracksOnEnergyIncrease) {
+  MolecularComplex mc;
+  opalsim::opal::MassCenter center;
+  center.position = Vec3{10.0, 0.0, 0.0};
+  center.mass = 1.0;
+  mc.centers.push_back(center);
+  mc.box_length = 100.0;
+
+  // Huge initial step forces overshoot and rejection.
+  SteepestDescent sd(100.0);
+  double e_prev = 1e300;
+  for (int it = 0; it < 50; ++it) {
+    const Vec3 d = mc.centers[0].position;
+    const double e = d.norm2();
+    std::vector<Vec3> grad{d * 2.0};
+    sd.advance(mc, e, grad);
+    e_prev = e;
+  }
+  (void)e_prev;
+  EXPECT_GT(sd.rejected(), 0u);
+  // Step shrank from its wild start.
+  EXPECT_LT(sd.step_size(), 100.0);
+}
+
+TEST(Minimization, SerialReducesPotentialEnergy) {
+  SimulationConfig ref_cfg;
+  ref_cfg.steps = 1;
+  ref_cfg.integrate = false;
+  SerialOpal ref(small_mc(), ref_cfg);
+  const double e0 = ref.run().potential();
+
+  SimulationConfig cfg;
+  cfg.steps = 50;
+  cfg.mode = RunMode::Minimization;
+  SerialOpal eng(small_mc(), cfg);
+  const double e1 = eng.run().potential();
+  EXPECT_LT(e1, e0);
+}
+
+TEST(Minimization, AcceptedEnergiesMonotonicallyDecrease) {
+  // Run twice with different step counts: more steps never end higher than
+  // fewer steps by more than the last rejected trial's bound.
+  SimulationConfig cfg;
+  cfg.mode = RunMode::Minimization;
+  cfg.steps = 20;
+  SerialOpal a(small_mc(), cfg);
+  const double e20 = a.run().potential();
+  cfg.steps = 60;
+  SerialOpal b(small_mc(), cfg);
+  const double e60 = b.run().potential();
+  EXPECT_LE(e60, e20 + 1e-9 * std::abs(e20));
+}
+
+TEST(Minimization, ParallelMatchesSerial) {
+  SimulationConfig cfg;
+  cfg.steps = 25;
+  cfg.mode = RunMode::Minimization;
+  cfg.cutoff = 9.0;
+  cfg.update_every = 5;
+  SerialOpal serial(small_mc(), cfg);
+  const SimResult want = serial.run();
+  ParallelOpal par(opalsim::mach::fast_cops(), small_mc(), 4, cfg);
+  const auto got = par.run();
+  const double scale = std::max(1.0, std::abs(want.potential()));
+  EXPECT_NEAR(got.physics.potential(), want.potential(), 1e-7 * scale);
+}
+
+TEST(Minimization, SameWorkProfileAsDynamics) {
+  // One energy/gradient evaluation per step: pair counts identical to a
+  // dynamics run of the same length.
+  SimulationConfig cfg;
+  cfg.steps = 10;
+  SerialOpal dyn(small_mc(), cfg);
+  dyn.run();
+  cfg.mode = RunMode::Minimization;
+  SerialOpal min(small_mc(), cfg);
+  min.run();
+  EXPECT_EQ(dyn.pairs_evaluated(), min.pairs_evaluated());
+  EXPECT_EQ(dyn.pairs_checked(), min.pairs_checked());
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "opal/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+#include "opal/serial.hpp"
+
+namespace {
+
+using opalsim::opal::make_synthetic_complex;
+using opalsim::opal::ParallelOpal;
+using opalsim::opal::SerialOpal;
+using opalsim::opal::SimResult;
+using opalsim::opal::SimulationConfig;
+using opalsim::opal::SyntheticSpec;
+using opalsim::opal::Trajectory;
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.n_solute = 30;
+  s.n_water = 60;
+  return s;
+}
+
+TEST(Trajectory, RecordsOneFramePerStep) {
+  Trajectory traj;
+  SimulationConfig cfg;
+  cfg.steps = 7;
+  cfg.trajectory = &traj;
+  SerialOpal eng(make_synthetic_complex(small_spec()), cfg);
+  eng.run();
+  ASSERT_EQ(traj.size(), 7u);
+  EXPECT_EQ(traj.frames().front().step, 0);
+  EXPECT_EQ(traj.frames().back().step, 6);
+}
+
+TEST(Trajectory, ParallelRecordsIdenticalEnergiesToSerial) {
+  Trajectory serial_traj, par_traj;
+  SimulationConfig cfg;
+  cfg.steps = 5;
+  cfg.cutoff = 9.0;
+  cfg.trajectory = &serial_traj;
+  SerialOpal serial(make_synthetic_complex(small_spec()), cfg);
+  serial.run();
+  cfg.trajectory = &par_traj;
+  ParallelOpal par(opalsim::mach::fast_cops(),
+                   make_synthetic_complex(small_spec()), 3, cfg);
+  par.run();
+  ASSERT_EQ(serial_traj.size(), par_traj.size());
+  for (std::size_t i = 0; i < serial_traj.size(); ++i) {
+    const auto& a = serial_traj.frames()[i];
+    const auto& b = par_traj.frames()[i];
+    EXPECT_NEAR(a.potential(), b.potential(),
+                1e-8 * std::max(1.0, std::abs(a.potential())))
+        << "frame " << i;
+  }
+}
+
+TEST(Trajectory, DynamicsEnergyDriftIsSmall) {
+  // Leapfrog with a small dt conserves total energy to a tight bound over
+  // a short run.
+  Trajectory traj;
+  SimulationConfig cfg;
+  cfg.steps = 50;
+  cfg.dt = 2e-4;
+  cfg.trajectory = &traj;
+  SerialOpal eng(make_synthetic_complex(small_spec()), cfg);
+  eng.run();
+  EXPECT_LT(traj.relative_energy_drift(), 0.02);
+}
+
+TEST(Trajectory, MinimizationPotentialNonIncreasingOverAcceptedFrames) {
+  Trajectory traj;
+  SimulationConfig cfg;
+  cfg.steps = 40;
+  cfg.mode = opalsim::opal::RunMode::Minimization;
+  cfg.trajectory = &traj;
+  SerialOpal eng(make_synthetic_complex(small_spec()), cfg);
+  eng.run();
+  // The best (accepted) potential improves on the start; individual later
+  // frames may be rejected overshoot trials.
+  double best = traj.frames().front().potential();
+  for (const auto& f : traj.frames()) best = std::min(best, f.potential());
+  EXPECT_LT(best, traj.frames().front().potential());
+}
+
+TEST(Trajectory, CsvHasHeaderAndAllFrames) {
+  Trajectory traj;
+  SimResult r;
+  r.evdw = 1.0;
+  traj.record(0, r);
+  traj.record(1, r);
+  std::ostringstream oss;
+  traj.write_energies_csv(oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("step,evdw"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Trajectory, XyzSnapshotFormat) {
+  auto mc = make_synthetic_complex(small_spec());
+  std::ostringstream oss;
+  Trajectory::write_xyz(oss, mc, "test frame");
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(line, "90");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "test frame");
+  std::getline(iss, line);
+  EXPECT_EQ(line[0], 'C');  // first centers are solute
+}
+
+TEST(Trajectory, DriftZeroForFewFrames) {
+  Trajectory traj;
+  EXPECT_DOUBLE_EQ(traj.relative_energy_drift(), 0.0);
+  SimResult r;
+  traj.record(0, r);
+  EXPECT_DOUBLE_EQ(traj.relative_energy_drift(), 0.0);
+}
+
+TEST(Trajectory, ClearEmpties) {
+  Trajectory traj;
+  traj.record(0, SimResult{});
+  traj.clear();
+  EXPECT_TRUE(traj.empty());
+}
+
+}  // namespace

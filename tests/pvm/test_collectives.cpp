@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mach/platforms_db.hpp"
+#include "pvm/pvm_system.hpp"
+
+namespace {
+
+using opalsim::mach::Machine;
+using opalsim::mach::NetSpec;
+using opalsim::mach::PlatformSpec;
+using opalsim::pvm::Message;
+using opalsim::pvm::PackBuffer;
+using opalsim::pvm::PvmSystem;
+using opalsim::pvm::PvmTask;
+using opalsim::sim::Engine;
+using opalsim::sim::Task;
+
+PlatformSpec net_platform(double mbps, double latency) {
+  PlatformSpec p;
+  p.name = "coll-test";
+  p.cpu.clock_mhz = 100;
+  p.cpu.adjusted_mflops = 100;
+  p.net.kind = NetSpec::Kind::Switched;
+  p.net.observed_MBps = mbps;
+  p.net.hw_peak_MBps = mbps;
+  p.net.latency_s = latency;
+  p.sync_time_s = 1e-4;
+  return p;
+}
+
+struct CollectiveFixture {
+  explicit CollectiveFixture(int n, double mbps = 100.0,
+                             double latency = 1e-5)
+      : machine(engine, net_platform(mbps, latency), n), pvm(machine) {}
+  Engine engine;
+  Machine machine;
+  PvmSystem pvm;
+};
+
+TEST(Gather, RootCollectsAllContributions) {
+  constexpr int kN = 5;
+  CollectiveFixture f(kN);
+  std::vector<int> members;
+  std::vector<double> got;
+  for (int i = 0; i < kN; ++i) members.push_back(i);
+  for (int i = 0; i < kN; ++i) {
+    f.pvm.spawn(i, [&, i](PvmTask& t) -> Task<void> {
+      PackBuffer b;
+      b.pack_f64(10.0 * i);
+      auto msgs = co_await t.gather(members, /*root=*/2, /*tag=*/50,
+                                    std::move(b));
+      if (t.tid() == 2) {
+        for (std::size_t r = 0; r < msgs.size(); ++r) {
+          if (static_cast<int>(r) == 2) continue;
+          got.push_back(msgs[r].body.unpack_f64());
+        }
+      } else {
+        EXPECT_TRUE(msgs.empty());
+      }
+    });
+  }
+  f.engine.run();
+  EXPECT_EQ(got, (std::vector<double>{0.0, 10.0, 30.0, 40.0}));
+}
+
+TEST(ReduceSum, RootGetsTotal) {
+  for (int n : {1, 2, 3, 5, 8}) {
+    CollectiveFixture f(n);
+    std::vector<int> members(n);
+    std::iota(members.begin(), members.end(), 0);
+    double at_root = -1.0;
+    for (int i = 0; i < n; ++i) {
+      f.pvm.spawn(i, [&, i, members](PvmTask& t) -> Task<void> {
+        const double v = co_await t.reduce_sum(members, 0, 60, i + 1.0);
+        if (t.tid() == 0) at_root = v;
+      });
+    }
+    f.engine.run();
+    EXPECT_DOUBLE_EQ(at_root, n * (n + 1) / 2.0) << "n=" << n;
+  }
+}
+
+TEST(ReduceSum, NonZeroRoot) {
+  constexpr int kN = 6;
+  CollectiveFixture f(kN);
+  std::vector<int> members(kN);
+  std::iota(members.begin(), members.end(), 0);
+  double at_root = -1.0;
+  for (int i = 0; i < kN; ++i) {
+    f.pvm.spawn(i, [&, i, members](PvmTask& t) -> Task<void> {
+      const double v = co_await t.reduce_sum(members, 4, 61, 1.0);
+      if (t.tid() == 4) at_root = v;
+    });
+  }
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(at_root, 6.0);
+}
+
+TEST(Bcast, EveryoneReceivesRootPayload) {
+  for (int n : {1, 2, 4, 7}) {
+    CollectiveFixture f(n);
+    std::vector<int> members(n);
+    std::iota(members.begin(), members.end(), 0);
+    int received = 0;
+    for (int i = 0; i < n; ++i) {
+      f.pvm.spawn(i, [&, i, members](PvmTask& t) -> Task<void> {
+        PackBuffer b;
+        if (t.tid() == 0) b.pack_string("payload");
+        PackBuffer got = co_await t.bcast(members, 0, 70, std::move(b));
+        EXPECT_EQ(got.unpack_string(), "payload") << "tid " << t.tid();
+        ++received;
+      });
+    }
+    f.engine.run();
+    EXPECT_EQ(received, n) << "n=" << n;
+  }
+}
+
+TEST(Bcast, NonZeroRoot) {
+  constexpr int kN = 5;
+  CollectiveFixture f(kN);
+  std::vector<int> members(kN);
+  std::iota(members.begin(), members.end(), 0);
+  int ok = 0;
+  for (int i = 0; i < kN; ++i) {
+    f.pvm.spawn(i, [&, i, members](PvmTask& t) -> Task<void> {
+      PackBuffer b;
+      if (t.tid() == 3) b.pack_i32(99);
+      PackBuffer got = co_await t.bcast(members, 3, 71, std::move(b));
+      if (got.unpack_i32() == 99) ++ok;
+    });
+  }
+  f.engine.run();
+  EXPECT_EQ(ok, kN);
+}
+
+TEST(Bcast, BinomialTreeBeatsFlatSendTime) {
+  // With 8 members and latency-dominated messages, the binomial tree takes
+  // ~3 latency steps vs 7 for a flat root-sends-all loop.
+  constexpr int kN = 8;
+  const double latency = 1e-3;
+  // Tree bcast:
+  CollectiveFixture tree(kN, 1e9, latency);
+  std::vector<int> members(kN);
+  std::iota(members.begin(), members.end(), 0);
+  for (int i = 0; i < kN; ++i) {
+    tree.pvm.spawn(i, [&, members](PvmTask& t) -> Task<void> {
+      PackBuffer b;
+      if (t.tid() == 0) b.pack_i32(1);
+      (void)co_await t.bcast(members, 0, 72, std::move(b));
+    });
+  }
+  tree.engine.run();
+  const double t_tree = tree.engine.now();
+
+  // Flat mcast from root:
+  CollectiveFixture flat(kN, 1e9, latency);
+  for (int i = 0; i < kN; ++i) {
+    flat.pvm.spawn(i, [&](PvmTask& t) -> Task<void> {
+      if (t.tid() == 0) {
+        PackBuffer b;
+        b.pack_i32(1);
+        std::vector<int> dsts;
+        for (int d = 1; d < kN; ++d) dsts.push_back(d);
+        co_await t.mcast(dsts, 73, b);
+      } else {
+        (void)co_await t.recv(opalsim::pvm::kAny, 73);
+      }
+    });
+  }
+  flat.engine.run();
+  const double t_flat = flat.engine.now();
+  EXPECT_LT(t_tree, 0.7 * t_flat);
+}
+
+TEST(Collectives, CallerMustBeMember) {
+  CollectiveFixture f(2);
+  f.pvm.spawn(0, [&](PvmTask& t) -> Task<void> {
+    std::vector<int> members{1};  // caller tid 0 absent
+    (void)co_await t.reduce_sum(members, 1, 80, 1.0);
+  });
+  EXPECT_THROW(f.engine.run(), std::invalid_argument);
+}
+
+TEST(Gather, SingleMemberIsTrivial) {
+  CollectiveFixture f(1);
+  bool done = false;
+  f.pvm.spawn(0, [&](PvmTask& t) -> Task<void> {
+    PackBuffer b;
+    b.pack_i32(5);
+    const std::vector<int> members{0};
+    auto msgs = co_await t.gather(members, 0, 81, std::move(b));
+    EXPECT_EQ(msgs.size(), 1u);
+    done = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+#include "pvm/pack_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using opalsim::pvm::PackBuffer;
+
+TEST(PackBuffer, RoundTripsScalars) {
+  PackBuffer b;
+  b.pack_i32(-42);
+  b.pack_u64(1234567890123ull);
+  b.pack_f64(3.14159);
+  EXPECT_EQ(b.unpack_i32(), -42);
+  EXPECT_EQ(b.unpack_u64(), 1234567890123ull);
+  EXPECT_DOUBLE_EQ(b.unpack_f64(), 3.14159);
+  EXPECT_TRUE(b.fully_consumed());
+}
+
+TEST(PackBuffer, RoundTripsString) {
+  PackBuffer b;
+  b.pack_string("update_lists");
+  EXPECT_EQ(b.unpack_string(), "update_lists");
+}
+
+TEST(PackBuffer, RoundTripsEmptyString) {
+  PackBuffer b;
+  b.pack_string("");
+  EXPECT_EQ(b.unpack_string(), "");
+}
+
+TEST(PackBuffer, RoundTripsDoubleArray) {
+  PackBuffer b;
+  std::vector<double> xs{1.0, -2.5, 1e300, 0.0};
+  b.pack_f64_array(xs);
+  EXPECT_EQ(b.unpack_f64_array(), xs);
+}
+
+TEST(PackBuffer, RoundTripsLargeArray) {
+  PackBuffer b;
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = 0.25 * i;
+  b.pack_f64_array(xs);
+  EXPECT_EQ(b.unpack_f64_array(), xs);
+}
+
+TEST(PackBuffer, ByteSizeCountsPayload) {
+  PackBuffer b;
+  b.pack_f64(1.0);                         // 8
+  b.pack_f64_array(std::vector<double>(10, 0.0));  // 8 (len) + 80
+  EXPECT_EQ(b.byte_size(), 8u + 8u + 80u);
+}
+
+TEST(PackBuffer, EmptyBufferHasZeroSize) {
+  PackBuffer b;
+  EXPECT_EQ(b.byte_size(), 0u);
+  EXPECT_TRUE(b.fully_consumed());
+}
+
+TEST(PackBuffer, TypeMismatchThrows) {
+  PackBuffer b;
+  b.pack_f64(1.0);
+  EXPECT_THROW((void)b.unpack_i32(), std::runtime_error);
+}
+
+TEST(PackBuffer, UnpackPastEndThrows) {
+  PackBuffer b;
+  b.pack_i32(1);
+  (void)b.unpack_i32();
+  EXPECT_THROW((void)b.unpack_i32(), std::out_of_range);
+}
+
+TEST(PackBuffer, OrderMatters) {
+  PackBuffer b;
+  b.pack_i32(1);
+  b.pack_f64(2.0);
+  EXPECT_EQ(b.unpack_i32(), 1);
+  EXPECT_DOUBLE_EQ(b.unpack_f64(), 2.0);
+}
+
+TEST(PackBuffer, RewindAllowsRereading) {
+  PackBuffer b;
+  b.pack_i32(7);
+  EXPECT_EQ(b.unpack_i32(), 7);
+  b.rewind();
+  EXPECT_EQ(b.unpack_i32(), 7);
+}
+
+TEST(PackBuffer, InterleavedTypesRoundTrip) {
+  PackBuffer b;
+  b.pack_string("nbint");
+  b.pack_u64(99);
+  b.pack_f64_array(std::vector<double>{1, 2, 3});
+  b.pack_i32(-1);
+  EXPECT_EQ(b.unpack_string(), "nbint");
+  EXPECT_EQ(b.unpack_u64(), 99u);
+  EXPECT_EQ(b.unpack_f64_array(), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(b.unpack_i32(), -1);
+  EXPECT_TRUE(b.fully_consumed());
+}
+
+}  // namespace
+
+namespace {
+
+TEST(PackBuffer, RoundTripsU32Array) {
+  opalsim::pvm::PackBuffer b;
+  std::vector<std::uint32_t> xs{0, 1, 4289, 0xffffffffu};
+  b.pack_u32_array(xs);
+  EXPECT_EQ(b.unpack_u32_array(), xs);
+}
+
+TEST(PackBuffer, U32ArrayByteSizeIsFourPerEntry) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_u32_array(std::vector<std::uint32_t>(10, 7));
+  EXPECT_EQ(b.byte_size(), 8u + 40u);  // length header + 10 * 4
+}
+
+TEST(PackBuffer, AppendConcatenatesItems) {
+  opalsim::pvm::PackBuffer a, b;
+  a.pack_i32(1);
+  b.pack_f64(2.5);
+  b.pack_string("x");
+  a.append(b);
+  EXPECT_EQ(a.unpack_i32(), 1);
+  EXPECT_DOUBLE_EQ(a.unpack_f64(), 2.5);
+  EXPECT_EQ(a.unpack_string(), "x");
+  EXPECT_TRUE(a.fully_consumed());
+  EXPECT_EQ(a.byte_size(), 4u + 8u + 8u + 1u);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "sciddle/perf_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.hpp"
+
+namespace {
+
+using opalsim::sciddle::PerfMonitor;
+using opalsim::sim::Engine;
+using opalsim::sim::Task;
+
+TEST(PerfMonitor, AttributesIntervalsToPhases) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  auto proc = [&]() -> Task<void> {
+    mon.start("compute");
+    co_await eng.delay(2.0);
+    mon.set_phase("comm");
+    co_await eng.delay(1.0);
+    mon.set_phase("compute");
+    co_await eng.delay(0.5);
+    mon.stop();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(mon.total("compute"), 2.5);
+  EXPECT_DOUBLE_EQ(mon.total("comm"), 1.0);
+  EXPECT_DOUBLE_EQ(mon.grand_total(), 3.5);
+}
+
+TEST(PerfMonitor, UnknownPhaseIsZero) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  EXPECT_DOUBLE_EQ(mon.total("nope"), 0.0);
+}
+
+TEST(PerfMonitor, TimeBeforeStartIsNotAttributed) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  auto proc = [&]() -> Task<void> {
+    co_await eng.delay(5.0);  // unattributed
+    mon.start("work");
+    co_await eng.delay(1.0);
+    mon.stop();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(mon.grand_total(), 1.0);
+}
+
+TEST(PerfMonitor, AddAccruesDirectly) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  mon.add("return_nbi", 0.25);
+  mon.add("return_nbi", 0.25);
+  EXPECT_DOUBLE_EQ(mon.total("return_nbi"), 0.5);
+}
+
+TEST(PerfMonitor, ScopeRestoresPreviousPhase) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  auto proc = [&]() -> Task<void> {
+    mon.start("outer");
+    co_await eng.delay(1.0);
+    {
+      PerfMonitor::Scope scope(mon, "inner");
+      co_await eng.delay(2.0);
+    }
+    co_await eng.delay(3.0);
+    mon.stop();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(mon.total("outer"), 4.0);
+  EXPECT_DOUBLE_EQ(mon.total("inner"), 2.0);
+}
+
+TEST(PerfMonitor, StopFreezesAccrual) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  auto proc = [&]() -> Task<void> {
+    mon.start("w");
+    co_await eng.delay(1.0);
+    mon.stop();
+    co_await eng.delay(9.0);
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(mon.grand_total(), 1.0);
+}
+
+TEST(PerfMonitor, ResetClearsBuckets) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  mon.add("x", 1.0);
+  mon.reset();
+  EXPECT_DOUBLE_EQ(mon.grand_total(), 0.0);
+}
+
+TEST(PerfMonitor, BucketsSumToWallClockByConstruction) {
+  Engine eng;
+  PerfMonitor mon(eng);
+  auto proc = [&]() -> Task<void> {
+    mon.start("a");
+    co_await eng.delay(1.5);
+    mon.set_phase("b");
+    co_await eng.delay(2.5);
+    mon.set_phase("c");
+    co_await eng.delay(3.0);
+    mon.stop();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(mon.grand_total(), eng.now());
+}
+
+}  // namespace

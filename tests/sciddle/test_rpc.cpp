@@ -1,0 +1,278 @@
+#include "sciddle/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpm/op_counts.hpp"
+#include "mach/platforms_db.hpp"
+
+namespace {
+
+using opalsim::hpm::OpCounts;
+using opalsim::mach::Machine;
+using opalsim::mach::NetSpec;
+using opalsim::mach::PlatformSpec;
+using opalsim::pvm::PackBuffer;
+using opalsim::pvm::PvmSystem;
+using opalsim::pvm::PvmTask;
+using opalsim::sciddle::CallAllStats;
+using opalsim::sciddle::Options;
+using opalsim::sciddle::Rpc;
+using opalsim::sciddle::ServerContext;
+using opalsim::sim::Engine;
+using opalsim::sim::Task;
+
+PlatformSpec test_platform() {
+  PlatformSpec p;
+  p.name = "test";
+  p.cpu.name = "cpu";
+  p.cpu.clock_mhz = 100;
+  p.cpu.adjusted_mflops = 100;  // 1e8 canonical flops/s
+  p.net.kind = NetSpec::Kind::Switched;
+  p.net.observed_MBps = 1.0;
+  p.net.hw_peak_MBps = 2.0;
+  p.net.latency_s = 1e-3;
+  p.sync_time_s = 1e-4;
+  return p;
+}
+
+// Echo handler: returns the args payload doubled values.
+Task<PackBuffer> echo_handler(PackBuffer args, ServerContext& ctx) {
+  (void)ctx;
+  auto xs = args.unpack_f64_array();
+  for (double& x : xs) x *= 2.0;
+  PackBuffer out;
+  out.pack_f64_array(xs);
+  co_return out;
+}
+
+// Busy handler: charges `seconds * rank_factor` of CPU time.
+Task<PackBuffer> busy_handler(PackBuffer args, ServerContext& ctx) {
+  const double seconds = args.unpack_f64();
+  // adjusted 100 MFlop/s, canonical weight add=1*1.1 -> ops for t seconds:
+  const auto ops = static_cast<std::uint64_t>(seconds * 100e6 / 1.1);
+  co_await ctx.task.cpu().compute(OpCounts{ops, 0, 0, 0, 0, 0}, 1000);
+  PackBuffer out;
+  out.pack_i32(ctx.server_index);
+  co_return out;
+}
+
+struct Fixture {
+  Fixture(int servers, Options opts = {})
+      : machine(engine, test_platform(), servers + 1),
+        pvm(machine),
+        rpc(pvm, servers, opts) {}
+  Engine engine;
+  Machine machine;
+  PvmSystem pvm;
+  Rpc rpc;
+};
+
+TEST(Rpc, RejectsZeroServers) {
+  Engine eng;
+  Machine m(eng, test_platform(), 2);
+  PvmSystem pvm(m);
+  EXPECT_THROW(Rpc(pvm, 0), std::invalid_argument);
+}
+
+TEST(Rpc, RejectsMachineTooSmall) {
+  Engine eng;
+  Machine m(eng, test_platform(), 2);
+  PvmSystem pvm(m);
+  EXPECT_THROW(Rpc(pvm, 2), std::invalid_argument);  // needs 3 nodes
+}
+
+TEST(Rpc, CallAllRoundTripsPayloads) {
+  Fixture f(3);
+  f.rpc.register_proc("echo", echo_handler);
+  f.rpc.start();
+  std::vector<std::vector<double>> results;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(3);
+    for (int s = 0; s < 3; ++s) {
+      std::vector<double> xs{1.0 * s, 2.0 * s};
+      args[s].pack_f64_array(xs);
+    }
+    std::vector<PackBuffer> replies;
+    co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+    for (auto& r : replies) results.push_back(r.unpack_f64_array());
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1], (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(results[2], (std::vector<double>{4.0, 8.0}));
+}
+
+TEST(Rpc, ServerBusyTimesReported) {
+  Fixture f(2);
+  f.rpc.register_proc("busy", busy_handler);
+  f.rpc.start();
+  CallAllStats stats;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(2);
+    args[0].pack_f64(0.5);
+    args[1].pack_f64(1.0);
+    stats = co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  ASSERT_EQ(stats.server_busy.size(), 2u);
+  EXPECT_NEAR(stats.server_busy[0], 0.5, 0.01);
+  EXPECT_NEAR(stats.server_busy[1], 1.0, 0.01);
+  EXPECT_NEAR(stats.par_time(), 0.75, 0.01);
+}
+
+TEST(Rpc, BarrierModeSeparatesComputeFromReturn) {
+  Fixture f(2);
+  f.rpc.register_proc("busy", busy_handler);
+  f.rpc.start();
+  CallAllStats stats;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(2);
+    args[0].pack_f64(1.0);
+    args[1].pack_f64(1.0);
+    stats = co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  // compute_wall ~ max busy = 1.0 (handlers start staggered by call sends).
+  EXPECT_NEAR(stats.compute_wall, 1.0, 0.05);
+  // return: 2 small replies at 1 ms latency each.
+  EXPECT_GT(stats.return_time, 0.0);
+  EXPECT_LT(stats.return_time, 0.05);
+  // sync: 2 * b5.
+  EXPECT_NEAR(stats.sync_time, 2e-4, 1e-9);
+  // call: 2 sends of tiny messages ~ 2 * (latency + ~bytes).
+  EXPECT_GT(stats.call_time, 2e-3 * 0.9);
+}
+
+TEST(Rpc, IdleTimeReflectsLoadImbalance) {
+  Fixture f(2);
+  f.rpc.register_proc("busy", busy_handler);
+  f.rpc.start();
+  CallAllStats stats;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(2);
+    args[0].pack_f64(0.2);
+    args[1].pack_f64(1.0);  // heavily imbalanced
+    stats = co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  // par = 0.6, wall ~ 1.0 -> idle ~ 0.4.
+  EXPECT_NEAR(stats.par_time(), 0.6, 0.01);
+  EXPECT_NEAR(stats.idle_time(), 0.4, 0.05);
+}
+
+TEST(Rpc, OverlapModeLumpsWaitIntoComputeWall) {
+  Fixture f(2, Options{.barrier_mode = false});
+  f.rpc.register_proc("busy", busy_handler);
+  f.rpc.start();
+  CallAllStats stats;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(2);
+    args[0].pack_f64(0.5);
+    args[1].pack_f64(0.5);
+    stats = co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(stats.return_time, 0.0);
+  EXPECT_GT(stats.compute_wall, 0.45);
+}
+
+TEST(Rpc, OverlapModeIsFasterOrEqual) {
+  auto run = [](bool barrier) {
+    Fixture f(3, Options{.barrier_mode = barrier});
+    f.rpc.register_proc("busy", busy_handler);
+    f.rpc.start();
+    f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+      for (int step = 0; step < 5; ++step) {
+        std::vector<PackBuffer> args(3);
+        for (auto& a : args) a.pack_f64(0.1);
+        co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+      }
+      co_await f.rpc.shutdown(client);
+    });
+    f.engine.run();
+    return f.engine.now();
+  };
+  const double overlapped = run(false);
+  const double barriered = run(true);
+  EXPECT_LE(overlapped, barriered);
+  // The paper accepts <5% slowdown for exact accounting.
+  EXPECT_LT((barriered - overlapped) / overlapped, 0.05);
+}
+
+TEST(Rpc, SequentialCallsUseDistinctCallIds) {
+  Fixture f(2);
+  f.rpc.register_proc("echo", echo_handler);
+  f.rpc.start();
+  int rounds_done = 0;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      std::vector<PackBuffer> args(2);
+      for (auto& a : args) a.pack_f64_array(std::vector<double>{1.0});
+      std::vector<PackBuffer> replies;
+      co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+      EXPECT_EQ(replies.size(), 2u);
+      ++rounds_done;
+    }
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  EXPECT_EQ(rounds_done, 3);
+}
+
+TEST(Rpc, UnknownProcedureFailsLoudly) {
+  Fixture f(1);
+  f.rpc.register_proc("known", echo_handler);
+  f.rpc.start();
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(1);
+    args[0].pack_f64_array(std::vector<double>{1.0});
+    co_await f.rpc.call_all(client, "unknown", std::move(args), nullptr);
+  });
+  EXPECT_THROW(f.engine.run(), std::runtime_error);
+}
+
+TEST(Rpc, RegisterAfterStartThrows) {
+  Fixture f(1);
+  f.rpc.register_proc("a", echo_handler);
+  f.rpc.start();
+  EXPECT_THROW(f.rpc.register_proc("b", echo_handler), std::logic_error);
+}
+
+TEST(Rpc, ArgsSizeMismatchThrows) {
+  Fixture f(2);
+  f.rpc.register_proc("echo", echo_handler);
+  f.rpc.start();
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(1);  // wrong: 2 servers
+    co_await f.rpc.call_all(client, "echo", std::move(args), nullptr);
+  });
+  EXPECT_THROW(f.engine.run(), std::invalid_argument);
+}
+
+TEST(Rpc, StatsTotalIsSumOfComponents) {
+  Fixture f(2);
+  f.rpc.register_proc("busy", busy_handler);
+  f.rpc.start();
+  CallAllStats stats;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(2);
+    args[0].pack_f64(0.3);
+    args[1].pack_f64(0.3);
+    stats = co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  EXPECT_NEAR(stats.total(),
+              stats.call_time + stats.compute_wall + stats.return_time +
+                  stats.sync_time,
+              1e-12);
+}
+
+}  // namespace

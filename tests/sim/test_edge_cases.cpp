@@ -1,0 +1,217 @@
+// Edge-case and stress tests for the simulation engine beyond the basic
+// contracts: resumption after run_until, spawning during a run, large event
+// volumes, and interleaving patterns that exercise the primitives together.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/barrier.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/queue.hpp"
+#include "sim/resource.hpp"
+
+namespace {
+
+using opalsim::sim::Barrier;
+using opalsim::sim::Engine;
+using opalsim::sim::Event;
+using opalsim::sim::Queue;
+using opalsim::sim::Resource;
+using opalsim::sim::Task;
+
+TEST(EngineEdge, RunUntilThenRunResumesSeamlessly) {
+  Engine eng;
+  std::vector<double> ticks;
+  auto proc = [&]() -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await eng.delay(1.0);
+      ticks.push_back(eng.now());
+    }
+  };
+  eng.spawn(proc());
+  eng.run_until(3.5);
+  EXPECT_EQ(ticks.size(), 3u);
+  eng.run_until(7.0);
+  EXPECT_EQ(ticks.size(), 7u);
+  eng.run();
+  ASSERT_EQ(ticks.size(), 10u);
+  EXPECT_DOUBLE_EQ(ticks.back(), 10.0);
+}
+
+TEST(EngineEdge, SpawnDuringRunIsScheduled) {
+  Engine eng;
+  bool child_ran = false;
+  auto child = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    child_ran = true;
+  };
+  auto parent = [&]() -> Task<void> {
+    co_await eng.delay(2.0);
+    eng.spawn(child());
+    co_await eng.delay(5.0);
+  };
+  eng.spawn(parent());
+  eng.run();
+  EXPECT_TRUE(child_ran);
+  EXPECT_DOUBLE_EQ(eng.now(), 7.0);
+}
+
+TEST(EngineEdge, TenThousandProcessesComplete) {
+  Engine eng;
+  int done = 0;
+  auto proc = [&](int k) -> Task<void> {
+    co_await eng.delay(0.001 * (k % 97));
+    ++done;
+  };
+  for (int k = 0; k < 10'000; ++k) eng.spawn(proc(k));
+  eng.run();
+  EXPECT_EQ(done, 10'000);
+}
+
+TEST(EngineEdge, ZeroDelayPreservesFifoWithinTimestamp) {
+  Engine eng;
+  std::vector<int> order;
+  auto proc = [&](int id) -> Task<void> {
+    co_await eng.delay(0.0);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) eng.spawn(proc(i));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEdge, SetDuringWaiterResumptionWavesNextGeneration) {
+  Engine eng;
+  Event ev(eng);
+  int first_wave = 0, second_wave = 0;
+  auto waiter1 = [&]() -> Task<void> {
+    co_await ev.wait();
+    ++first_wave;
+    ev.reset();  // re-arm from inside a resumed waiter
+  };
+  auto waiter2 = [&]() -> Task<void> {
+    co_await eng.delay(2.0);  // waits on the re-armed generation
+    co_await ev.wait();
+    ++second_wave;
+  };
+  eng.spawn(waiter1());
+  eng.spawn(waiter2());
+  auto setter = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    ev.set();
+    co_await eng.delay(2.0);
+    ev.set();
+  };
+  eng.spawn(setter());
+  eng.run();
+  EXPECT_EQ(first_wave, 1);
+  EXPECT_EQ(second_wave, 1);
+}
+
+TEST(QueueEdge, ProducerConsumerPipelinePreservesOrderUnderBackpressure) {
+  Engine eng;
+  Queue<int> q1(eng), q2(eng);
+  std::vector<int> out;
+  auto stage1 = [&]() -> Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      q1.put(i);
+      if (i % 7 == 0) co_await eng.delay(0.01);
+    }
+  };
+  auto stage2 = [&]() -> Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      const int v = co_await q1.get();
+      if (v % 13 == 0) co_await eng.delay(0.02);
+      q2.put(v * 2);
+    }
+  };
+  auto sink = [&]() -> Task<void> {
+    for (int i = 0; i < 100; ++i) out.push_back(co_await q2.get());
+  };
+  eng.spawn(stage1());
+  eng.spawn(stage2());
+  eng.spawn(sink());
+  eng.run();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(ResourceEdge, InterleavedAcquireReleaseKeepsInvariant) {
+  Engine eng;
+  Resource r(eng, 3);
+  int max_concurrent = 0, current = 0;
+  auto worker = [&](int k) -> Task<void> {
+    co_await eng.delay(0.1 * (k % 5));
+    auto lock = co_await r.scoped_acquire();
+    ++current;
+    max_concurrent = std::max(max_concurrent, current);
+    EXPECT_LE(current, 3);
+    co_await eng.delay(0.25);
+    --current;
+  };
+  for (int k = 0; k < 20; ++k) eng.spawn(worker(k));
+  eng.run();
+  EXPECT_EQ(current, 0);
+  EXPECT_EQ(max_concurrent, 3);
+  EXPECT_EQ(r.in_use(), 0);
+}
+
+Task<void> barrier_rounds(Engine& eng, Barrier& b, int p, int rounds,
+                          std::vector<int>& done) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await eng.delay(0.001 * ((p * 7 + r) % 11));
+    co_await b.arrive();
+    ++done[p];
+  }
+}
+
+TEST(BarrierEdge, ManyRoundsManyParties) {
+  Engine eng;
+  constexpr int kParties = 8;
+  constexpr int kRounds = 50;
+  Barrier b(eng, kParties);
+  std::vector<int> rounds(kParties, 0);
+  for (int p = 0; p < kParties; ++p) {
+    // Parameters live in the coroutine frame (a loop-local lambda's captures
+    // would dangle once the loop iteration ends).
+    eng.spawn(barrier_rounds(eng, b, p, kRounds, rounds));
+  }
+  eng.run();
+  for (int p = 0; p < kParties; ++p) EXPECT_EQ(rounds[p], kRounds);
+  EXPECT_EQ(b.generation(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(EngineEdge, DeterminismAcrossPrimitivesMix) {
+  auto run_once = [] {
+    Engine eng;
+    Queue<int> q(eng);
+    Resource r(eng, 2);
+    Barrier b(eng, 3);
+    double checksum = 0.0;
+    auto worker = [&](int id) -> Task<void> {
+      for (int k = 0; k < 5; ++k) {
+        auto lock = co_await r.scoped_acquire();
+        co_await eng.delay(0.01 * ((id + k) % 3));
+        q.put(id * 100 + k);
+        checksum += eng.now();
+      }
+      co_await b.arrive();
+    };
+    auto drain = [&]() -> Task<void> {
+      for (int k = 0; k < 10; ++k) {
+        const int v = co_await q.get();
+        checksum += v * 1e-3;
+      }
+      co_await b.arrive();
+    };
+    eng.spawn(worker(1));
+    eng.spawn(worker(2));
+    eng.spawn(drain());
+    eng.run();
+    return checksum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::Event;
+using opalsim::sim::Task;
+
+TEST(Event, WaitOnSetEventIsImmediate) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  bool passed = false;
+  auto proc = [&]() -> Task<void> {
+    co_await ev.wait();
+    passed = true;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Event, WakesAllWaiters) {
+  Engine eng;
+  Event ev(eng);
+  int woken = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    ++woken;
+  };
+  for (int i = 0; i < 4; ++i) eng.spawn(waiter());
+  auto setter = [&]() -> Task<void> {
+    co_await eng.delay(5.0);
+    ev.set();
+  };
+  eng.spawn(setter());
+  eng.run();
+  EXPECT_EQ(woken, 4);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+TEST(Event, WaitersResumeAtSetTime) {
+  Engine eng;
+  Event ev(eng);
+  double resumed_at = -1.0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    resumed_at = eng.now();
+  };
+  eng.spawn(waiter());
+  auto setter = [&]() -> Task<void> {
+    co_await eng.delay(3.25);
+    ev.set();
+  };
+  eng.spawn(setter());
+  eng.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 3.25);
+}
+
+TEST(Event, DoubleSetIsIdempotent) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(Event, ResetReArms) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+  int woken = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    ++woken;
+  };
+  eng.spawn(waiter());
+  auto setter = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    ev.set();
+  };
+  eng.spawn(setter());
+  eng.run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(Event, WakeOrderFollowsWaitOrder) {
+  Engine eng;
+  Event ev(eng);
+  std::vector<int> order;
+  auto waiter = [&](int id) -> Task<void> {
+    co_await ev.wait();
+    order.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(waiter(i));
+  auto setter = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    ev.set();
+  };
+  eng.spawn(setter());
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::Mailbox;
+using opalsim::sim::Task;
+
+struct Msg {
+  int src;
+  int tag;
+  std::string body;
+};
+
+TEST(Mailbox, SelectiveReceiveByTag) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  mb.put({1, 100, "a"});
+  mb.put({1, 200, "b"});
+  std::string got;
+  auto proc = [&]() -> Task<void> {
+    Msg m = co_await mb.get([](const Msg& x) { return x.tag == 200; });
+    got = m.body;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, "b");
+  EXPECT_EQ(mb.size(), 1u);  // tag-100 message still stored
+}
+
+TEST(Mailbox, OldestMatchingDeliveredFirst) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  mb.put({1, 7, "first"});
+  mb.put({2, 7, "second"});
+  std::string got;
+  auto proc = [&]() -> Task<void> {
+    Msg m = co_await mb.get([](const Msg& x) { return x.tag == 7; });
+    got = m.body;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, "first");
+}
+
+TEST(Mailbox, BlocksUntilMatchArrives) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  double got_at = -1.0;
+  auto consumer = [&]() -> Task<void> {
+    (void)co_await mb.get([](const Msg& x) { return x.src == 9; });
+    got_at = eng.now();
+  };
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    mb.put({3, 0, "wrong src"});  // must not wake the consumer
+    co_await eng.delay(1.0);
+    mb.put({9, 0, "right"});
+  };
+  eng.spawn(consumer());
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_DOUBLE_EQ(got_at, 2.0);
+  EXPECT_EQ(mb.size(), 1u);
+}
+
+TEST(Mailbox, DeliversToOldestMatchingGetter) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  std::vector<int> order;
+  auto consumer = [&](int id, int want_tag) -> Task<void> {
+    (void)co_await mb.get([want_tag](const Msg& x) { return x.tag == want_tag; });
+    order.push_back(id);
+  };
+  eng.spawn(consumer(0, 5));
+  eng.spawn(consumer(1, 5));
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    mb.put({0, 5, ""});
+    mb.put({0, 5, ""});
+    co_return;
+  };
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Mailbox, PutSkipsNonMatchingGetters) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  int tag5_got = 0, tag6_got = 0;
+  auto c5 = [&]() -> Task<void> {
+    (void)co_await mb.get([](const Msg& x) { return x.tag == 5; });
+    tag5_got = 1;
+  };
+  auto c6 = [&]() -> Task<void> {
+    (void)co_await mb.get([](const Msg& x) { return x.tag == 6; });
+    tag6_got = 1;
+  };
+  eng.spawn(c5());
+  eng.spawn(c6());
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    mb.put({0, 6, ""});  // matches the SECOND parked getter only
+    co_return;
+  };
+  eng.spawn(producer());
+  eng.run_until(5.0);
+  EXPECT_EQ(tag5_got, 0);
+  EXPECT_EQ(tag6_got, 1);
+}
+
+TEST(Mailbox, GetAnyTakesFirstStored) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  mb.put({4, 1, "x"});
+  mb.put({5, 2, "y"});
+  int src = 0;
+  auto proc = [&]() -> Task<void> {
+    Msg m = co_await mb.get_any();
+    src = m.src;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(src, 4);
+}
+
+TEST(Mailbox, TryGetMatchesOrNullopt) {
+  Engine eng;
+  Mailbox<Msg> mb(eng);
+  mb.put({1, 10, "a"});
+  EXPECT_FALSE(mb.try_get([](const Msg& m) { return m.tag == 99; }).has_value());
+  auto v = mb.try_get([](const Msg& m) { return m.tag == 10; });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->body, "a");
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+}  // namespace

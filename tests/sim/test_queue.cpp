@@ -1,0 +1,147 @@
+#include "sim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::Queue;
+using opalsim::sim::Task;
+
+TEST(Queue, GetAfterPutIsImmediate) {
+  Engine eng;
+  Queue<int> q(eng);
+  q.put(5);
+  int got = 0;
+  auto proc = [&]() -> Task<void> { got = co_await q.get(); };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Queue, GetBlocksUntilPut) {
+  Engine eng;
+  Queue<int> q(eng);
+  double got_at = -1.0;
+  int got = 0;
+  auto consumer = [&]() -> Task<void> {
+    got = co_await q.get();
+    got_at = eng.now();
+  };
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(2.0);
+    q.put(9);
+  };
+  eng.spawn(consumer());
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_EQ(got, 9);
+  EXPECT_DOUBLE_EQ(got_at, 2.0);
+}
+
+TEST(Queue, FifoOrderPreserved) {
+  Engine eng;
+  Queue<int> q(eng);
+  std::vector<int> got;
+  auto consumer = [&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await q.get());
+  };
+  eng.spawn(consumer());
+  auto producer = [&]() -> Task<void> {
+    q.put(1);
+    q.put(2);
+    q.put(3);
+    co_return;
+  };
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Queue, MultipleConsumersServedInWaitOrder) {
+  Engine eng;
+  Queue<int> q(eng);
+  std::vector<std::pair<int, int>> got;  // (consumer, value)
+  auto consumer = [&](int id) -> Task<void> {
+    const int v = co_await q.get();
+    got.emplace_back(id, v);
+  };
+  eng.spawn(consumer(0));
+  eng.spawn(consumer(1));
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    q.put(10);
+    q.put(20);
+  };
+  eng.spawn(producer());
+  eng.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 10}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 20}));
+}
+
+TEST(Queue, NoValueStealingBetweenWakeAndResume) {
+  // Two parked getters, two puts at the same instant: each getter must get
+  // exactly one value (direct handoff prevents the first-resumed from
+  // draining both).
+  Engine eng;
+  Queue<int> q(eng);
+  std::vector<int> got;
+  auto consumer = [&]() -> Task<void> { got.push_back(co_await q.get()); };
+  eng.spawn(consumer());
+  eng.spawn(consumer());
+  auto producer = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    q.put(1);
+    q.put(2);
+  };
+  eng.spawn(producer());
+  eng.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Queue, TryGet) {
+  Engine eng;
+  Queue<int> q(eng);
+  EXPECT_FALSE(q.try_get().has_value());
+  q.put(3);
+  auto v = q.try_get();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, MoveOnlyPayload) {
+  Engine eng;
+  Queue<std::unique_ptr<int>> q(eng);
+  int got = 0;
+  auto consumer = [&]() -> Task<void> {
+    auto p = co_await q.get();
+    got = *p;
+  };
+  eng.spawn(consumer());
+  auto producer = [&]() -> Task<void> {
+    q.put(std::make_unique<int>(77));
+    co_return;
+  };
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_EQ(got, 77);
+}
+
+TEST(Queue, SizeTracksContents) {
+  Engine eng;
+  Queue<int> q(eng);
+  EXPECT_EQ(q.size(), 0u);
+  q.put(1);
+  q.put(2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.try_get();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace

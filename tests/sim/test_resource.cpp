@@ -1,0 +1,194 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::Resource;
+using opalsim::sim::ResourceLock;
+using opalsim::sim::Task;
+
+TEST(Resource, UncontendedAcquireIsImmediate) {
+  Engine eng;
+  Resource r(eng, 2);
+  double acquired_at = -1.0;
+  auto proc = [&]() -> Task<void> {
+    co_await r.acquire();
+    acquired_at = eng.now();
+    r.release();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_DOUBLE_EQ(acquired_at, 0.0);
+  EXPECT_EQ(r.in_use(), 0);
+}
+
+TEST(Resource, ContentionSerializes) {
+  Engine eng;
+  Resource r(eng, 1);
+  std::vector<double> start_times;
+  auto proc = [&]() -> Task<void> {
+    co_await r.acquire();
+    start_times.push_back(eng.now());
+    co_await eng.delay(2.0);  // hold for 2s
+    r.release();
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(proc());
+  eng.run();
+  ASSERT_EQ(start_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(start_times[2], 4.0);
+}
+
+TEST(Resource, CapacityTwoAllowsTwoConcurrent) {
+  Engine eng;
+  Resource r(eng, 2);
+  std::vector<double> start_times;
+  auto proc = [&]() -> Task<void> {
+    co_await r.acquire();
+    start_times.push_back(eng.now());
+    co_await eng.delay(1.0);
+    r.release();
+  };
+  for (int i = 0; i < 4; ++i) eng.spawn(proc());
+  eng.run();
+  ASSERT_EQ(start_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[2], 1.0);
+  EXPECT_DOUBLE_EQ(start_times[3], 1.0);
+}
+
+TEST(Resource, FifoGrantOrder) {
+  Engine eng;
+  Resource r(eng, 1);
+  std::vector<int> order;
+  auto proc = [&](int id) -> Task<void> {
+    co_await eng.delay(0.1 * id);  // stagger arrivals
+    co_await r.acquire();
+    order.push_back(id);
+    co_await eng.delay(10.0);
+    r.release();
+  };
+  for (int i = 0; i < 4; ++i) eng.spawn(proc(i));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Resource, LargeRequestBlocksUntilEnoughFree) {
+  Engine eng;
+  Resource r(eng, 3);
+  double big_at = -1.0;
+  auto small = [&]() -> Task<void> {
+    co_await r.acquire(1);
+    co_await eng.delay(5.0);
+    r.release(1);
+  };
+  auto big = [&]() -> Task<void> {
+    co_await eng.delay(1.0);  // arrive after smalls hold 2 units
+    co_await r.acquire(3);
+    big_at = eng.now();
+    r.release(3);
+  };
+  eng.spawn(small());
+  eng.spawn(small());
+  eng.spawn(big());
+  eng.run();
+  EXPECT_DOUBLE_EQ(big_at, 5.0);
+}
+
+TEST(Resource, FifoPreventsSmallRequestOvertakingBig) {
+  // A big request at the head of the queue must not be starved by later
+  // small requests that would fit.
+  Engine eng;
+  Resource r(eng, 2);
+  std::vector<std::string> order;
+  auto holder = [&]() -> Task<void> {
+    co_await r.acquire(2);
+    co_await eng.delay(1.0);
+    r.release(2);
+  };
+  auto big = [&]() -> Task<void> {
+    co_await eng.delay(0.1);
+    co_await r.acquire(2);
+    order.push_back("big");
+    r.release(2);
+  };
+  auto small = [&]() -> Task<void> {
+    co_await eng.delay(0.2);
+    co_await r.acquire(1);
+    order.push_back("small");
+    r.release(1);
+  };
+  eng.spawn(holder());
+  eng.spawn(big());
+  eng.spawn(small());
+  eng.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"big", "small"}));
+}
+
+TEST(Resource, ScopedAcquireReleasesOnScopeExit) {
+  Engine eng;
+  Resource r(eng, 1);
+  double second_at = -1.0;
+  auto first = [&]() -> Task<void> {
+    {
+      ResourceLock lock = co_await r.scoped_acquire();
+      co_await eng.delay(3.0);
+    }  // released here
+    co_await eng.delay(100.0);
+  };
+  auto second = [&]() -> Task<void> {
+    co_await eng.delay(0.5);
+    ResourceLock lock = co_await r.scoped_acquire();
+    second_at = eng.now();
+  };
+  eng.spawn(first());
+  eng.spawn(second());
+  eng.run();
+  EXPECT_DOUBLE_EQ(second_at, 3.0);
+}
+
+TEST(Resource, ScopedLockMoveTransfersOwnership) {
+  Engine eng;
+  Resource r(eng, 1);
+  auto proc = [&]() -> Task<void> {
+    ResourceLock a = co_await r.scoped_acquire();
+    EXPECT_TRUE(a.owns());
+    ResourceLock b = std::move(a);
+    EXPECT_FALSE(a.owns());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.owns());
+    EXPECT_EQ(r.in_use(), 1);
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(r.in_use(), 0);
+}
+
+TEST(Resource, QueueLengthReflectsWaiters) {
+  Engine eng;
+  Resource r(eng, 1);
+  std::size_t observed = 0;
+  auto holder = [&]() -> Task<void> {
+    co_await r.acquire();
+    co_await eng.delay(2.0);
+    observed = r.queue_length();
+    r.release();
+  };
+  auto waiter = [&]() -> Task<void> {
+    co_await eng.delay(1.0);
+    co_await r.acquire();
+    r.release();
+  };
+  eng.spawn(holder());
+  eng.spawn(waiter());
+  eng.spawn(waiter());
+  eng.run();
+  EXPECT_EQ(observed, 2u);
+}
+
+}  // namespace

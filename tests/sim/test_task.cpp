@@ -1,0 +1,142 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::Task;
+
+Task<int> forty_two() { co_return 42; }
+
+Task<int> add(Engine& eng, int a, int b) {
+  co_await eng.delay(1.0);
+  co_return a + b;
+}
+
+TEST(Task, ReturnsValueThroughAwait) {
+  Engine eng;
+  int got = 0;
+  auto proc = [&]() -> Task<void> { got = co_await forty_two(); };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, NestedTasksComposeAndAdvanceTime) {
+  Engine eng;
+  int got = 0;
+  auto proc = [&]() -> Task<void> {
+    const int x = co_await add(eng, 1, 2);
+    const int y = co_await add(eng, x, 10);
+    got = y;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, 13);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Task, MoveOnlyValue) {
+  Engine eng;
+  auto make = []() -> Task<std::unique_ptr<int>> {
+    co_return std::make_unique<int>(7);
+  };
+  int got = 0;
+  auto proc = [&]() -> Task<void> {
+    auto p = co_await make();
+    got = *p;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Task, StringValue) {
+  Engine eng;
+  auto make = []() -> Task<std::string> { co_return std::string("hello"); };
+  std::string got;
+  auto proc = [&]() -> Task<void> { got = co_await make(); };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Task, LazyUntilAwaited) {
+  Engine eng;
+  bool started = false;
+  auto lazy = [&]() -> Task<void> {
+    started = true;
+    co_return;
+  };
+  auto proc = [&](Task<void> t) -> Task<void> {
+    EXPECT_FALSE(started);
+    co_await std::move(t);
+    EXPECT_TRUE(started);
+  };
+  eng.spawn(proc(lazy()));
+  eng.run();
+  EXPECT_TRUE(started);
+}
+
+TEST(Task, ExceptionPropagatesThroughNestedAwaits) {
+  Engine eng;
+  auto inner = []() -> Task<int> {
+    throw std::logic_error("inner");
+    co_return 0;  // unreachable
+  };
+  auto middle = [&]() -> Task<int> { co_return co_await inner(); };
+  bool caught = false;
+  auto proc = [&]() -> Task<void> {
+    try {
+      (void)co_await middle();
+    } catch (const std::logic_error& e) {
+      caught = std::string(e.what()) == "inner";
+    }
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, UnawaitedTaskIsDestroyedWithoutRunning) {
+  bool ran = false;
+  {
+    auto t = [&]() -> Task<void> {
+      ran = true;
+      co_return;
+    }();
+    EXPECT_TRUE(t.valid());
+  }  // destroyed unawaited
+  EXPECT_FALSE(ran);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  auto t1 = forty_two();
+  EXPECT_TRUE(t1.valid());
+  Task<int> t2 = std::move(t1);
+  EXPECT_FALSE(t1.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(t2.valid());
+}
+
+TEST(Task, DeepNestingDoesNotOverflow) {
+  Engine eng;
+  // 10k-deep recursive awaits exercise symmetric transfer (would overflow the
+  // stack with naive recursive resume()).
+  std::function<Task<int>(int)> down = [&](int depth) -> Task<int> {
+    if (depth == 0) co_return 0;
+    co_return 1 + co_await down(depth - 1);
+  };
+  int got = 0;
+  auto proc = [&]() -> Task<void> { got = co_await down(10000); };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(got, 10000);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace {
+
+using opalsim::util::CsvWriter;
+using opalsim::util::Table;
+using opalsim::util::write_csv_file;
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row({"a", "b,c"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(oss.str(), "a,\"b,c\"\n1,2\n");
+}
+
+TEST(CsvWriter, WritesTable) {
+  Table t({"x", "y"});
+  t.row().add(1).add(2);
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_table(t);
+  EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(WriteCsvFile, RoundTrips) {
+  Table t({"k", "v"});
+  t.row().add("a").add(3.5, 1);
+  const auto path =
+      std::filesystem::temp_directory_path() / "opalsim_test_csv.csv";
+  ASSERT_TRUE(write_csv_file(path.string(), t));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "k,v\na,3.5\n");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteCsvFile, FailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(write_csv_file("/nonexistent_dir_zzz/file.csv", t));
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace {
+
+using opalsim::util::env_flag;
+using opalsim::util::env_long;
+using opalsim::util::env_string;
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("OPALSIM_TEST_VAR"); }
+  void set(const char* v) { ::setenv("OPALSIM_TEST_VAR", v, 1); }
+};
+
+TEST_F(EnvTest, UnsetReturnsNullopt) {
+  EXPECT_FALSE(env_string("OPALSIM_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, EmptyTreatedAsUnset) {
+  set("");
+  EXPECT_FALSE(env_string("OPALSIM_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringRoundTrip) {
+  set("hello");
+  EXPECT_EQ(env_string("OPALSIM_TEST_VAR").value(), "hello");
+}
+
+TEST_F(EnvTest, LongParses) {
+  set("42");
+  EXPECT_EQ(env_long("OPALSIM_TEST_VAR", -1), 42);
+}
+
+TEST_F(EnvTest, LongFallbackOnGarbage) {
+  set("xyz");
+  EXPECT_EQ(env_long("OPALSIM_TEST_VAR", -1), -1);
+}
+
+TEST_F(EnvTest, LongFallbackWhenUnset) {
+  EXPECT_EQ(env_long("OPALSIM_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, FlagTruthyValues) {
+  for (const char* v : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    set(v);
+    EXPECT_TRUE(env_flag("OPALSIM_TEST_VAR")) << v;
+  }
+}
+
+TEST_F(EnvTest, FlagFalsyValues) {
+  for (const char* v : {"0", "false", "no", "off", "banana"}) {
+    set(v);
+    EXPECT_FALSE(env_flag("OPALSIM_TEST_VAR")) << v;
+  }
+}
+
+}  // namespace

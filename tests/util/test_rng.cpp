@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace {
+
+using opalsim::util::SplitMix64;
+using opalsim::util::splitmix64_hash;
+using opalsim::util::Xoshiro256;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64Hash, MatchesGeneratorFirstOutput) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    SplitMix64 g(seed);
+    EXPECT_EQ(splitmix64_hash(seed), g.next());
+  }
+}
+
+TEST(SplitMix64Hash, SpreadsLowBits) {
+  // Consecutive inputs should not produce parity-correlated outputs.
+  int parity_matches = 0;
+  constexpr int kTrials = 1000;
+  for (int i = 0; i < kTrials; ++i) {
+    if ((splitmix64_hash(i) & 1) == (static_cast<std::uint64_t>(i) & 1))
+      ++parity_matches;
+  }
+  EXPECT_GT(parity_matches, kTrials / 2 - 100);
+  EXPECT_LT(parity_matches, kTrials / 2 + 100);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 g(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 g(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 g(99);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 g(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.below(7), 7u);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 g(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 g(17);
+  std::array<int, 4> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) counts[g.below(4)]++;
+  for (int c : counts) EXPECT_NEAR(c, kN / 4, kN / 40);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace

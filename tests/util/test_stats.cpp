@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using opalsim::util::fit_quality;
+using opalsim::util::median;
+using opalsim::util::RunningStats;
+using opalsim::util::summarize;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) rs.add(offset + x);
+  EXPECT_NEAR(rs.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  auto s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Median, OddCount) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Median, EvenCount) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Median, Empty) { EXPECT_EQ(median({}), 0.0); }
+
+TEST(FitQuality, PerfectFit) {
+  std::vector<double> m{1.0, 2.0, 3.0};
+  auto q = fit_quality(m, m);
+  EXPECT_DOUBLE_EQ(q.mean_abs_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(q.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(q.r_squared, 1.0);
+}
+
+TEST(FitQuality, KnownError) {
+  std::vector<double> m{1.0, 2.0, 4.0};
+  std::vector<double> p{1.1, 1.8, 4.0};
+  auto q = fit_quality(m, p);
+  EXPECT_NEAR(q.mean_abs_rel_err, (0.1 + 0.1 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(q.max_abs_rel_err, 0.1, 1e-12);
+  EXPECT_NEAR(q.rmse, std::sqrt((0.01 + 0.04) / 3.0), 1e-12);
+  EXPECT_LT(q.r_squared, 1.0);
+  EXPECT_GT(q.r_squared, 0.9);
+}
+
+TEST(FitQuality, SkipsNearZeroMeasurementsInRelativeError) {
+  std::vector<double> m{0.0, 2.0};
+  std::vector<double> p{0.5, 2.0};
+  auto q = fit_quality(m, p);
+  EXPECT_DOUBLE_EQ(q.mean_abs_rel_err, 0.0);  // only m=2 entry counted
+  EXPECT_GT(q.rmse, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace {
+
+using opalsim::util::format_number;
+using opalsim::util::Table;
+
+TEST(FormatNumber, FixedForModerateMagnitudes) {
+  EXPECT_EQ(format_number(1.5, 2), "1.50");
+  EXPECT_EQ(format_number(-3.14159, 3), "-3.142");
+  EXPECT_EQ(format_number(0.0, 1), "0.0");
+}
+
+TEST(FormatNumber, ScientificForExtremes) {
+  EXPECT_NE(format_number(1e-7, 3).find('e'), std::string::npos);
+  EXPECT_NE(format_number(1e12, 3).find('e'), std::string::npos);
+}
+
+TEST(FormatNumber, NonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::nan("")), "nan");
+}
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, BuildsRows) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2.5, 1);
+  t.row().add("x").add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0], "1");
+  EXPECT_EQ(t.rows()[0][1], "2.5");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), std::out_of_range);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("x").add(10);
+  t.row().add("longer").add(2);
+  const std::string s = t.str();
+  // Header present, rule present, both rows present.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // All lines equally terminated.
+  std::istringstream iss(s);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(iss, line)) ++lines;
+  EXPECT_EQ(lines, 4u);  // header + rule + 2 rows
+}
+
+TEST(Table, ImplicitRowOnFirstAdd) {
+  Table t({"a"});
+  t.add("v");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
