@@ -53,7 +53,8 @@ inline int run_breakdown_figure(
   for (const auto& panel : figure_panels()) {
     std::cout << "--- Panel " << panel.label << " ---\n";
     util::Table t({"servers", "par comp [s]", "seq comp [s]", "comm [s]",
-                   "sync [s]", "idle [s]", "total wall [s]"});
+                   "sync [s]", "idle [s]", "recovery [s]", "retries",
+                   "total wall [s]"});
     for (int p = 1; p <= 7; ++p) {
       opal::SimulationConfig cfg;
       cfg.steps = steps();
@@ -69,6 +70,8 @@ inline int run_breakdown_figure(
           .add(m.tot_comm(), 3)
           .add(m.sync, 3)
           .add(m.idle, 3)
+          .add(m.recovery, 3)
+          .add(m.retries)
           .add(m.wall, 3);
     }
     emit(t, figure_name + "_panel_" + std::string(1, 'a' + panel_idx));

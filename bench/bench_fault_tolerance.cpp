@@ -1,0 +1,93 @@
+// Fault-tolerance sweep: cost of surviving a lossy network.  For each
+// platform the baseline row runs the seed configuration (faults off, legacy
+// middleware) and must reproduce the seed numbers exactly; the remaining
+// rows enable the fault-tolerant middleware under increasing message-loss
+// rates and report what the retry/recovery machinery spends to keep the
+// physics identical.
+#include "bench_common.hpp"
+#include "mach/platforms_db.hpp"
+#include "opal/parallel.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+using namespace opalsim;
+
+opal::ParallelRunResult run_once(const mach::PlatformSpec& spec, int servers,
+                                 double loss_rate, bool fault_tolerant,
+                                 double timeout_s = 5.0) {
+  opal::SimulationConfig cfg;
+  cfg.steps = bench::steps();
+  cfg.cutoff = 10.0;
+  cfg.update_every = 2;
+  sciddle::Options opts;
+  opts.retry.enabled = fault_tolerant;
+  opts.retry.timeout_s = timeout_s;
+  opts.retry.heartbeat_timeout_s = timeout_s;
+  mach::PlatformSpec platform = spec;
+  if (loss_rate > 0.0) {
+    sim::FaultSpec fault;
+    fault.seed = 0xfa17;
+    fault.drop_rate = loss_rate;
+    platform = mach::with_faults(platform, fault);
+  }
+  opal::ParallelOpal run(platform, bench::medium_complex(), servers, cfg,
+                         opts);
+  return run.run();
+}
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fault tolerance — completion time vs message-loss rate",
+      "robustness extension; physics invariant under loss (cf. §2 protocol)");
+
+  const int servers = 4;
+  util::Table t({"platform", "loss [%]", "middleware", "wall [s]",
+                 "overhead [%]", "retries", "timeouts", "dropped",
+                 "recovery [s]"});
+
+  for (const auto& spec :
+       {mach::cray_j90(), mach::fast_cops(), mach::cray_t3e900()}) {
+    const auto seed = run_once(spec, servers, 0.0, false);
+    t.row()
+        .add(spec.name)
+        .add(0.0, 2)
+        .add("legacy")
+        .add(seed.metrics.wall, 3)
+        .add(0.0, 2)
+        .add(seed.metrics.retries)
+        .add(seed.metrics.timeouts)
+        .add(seed.metrics.msgs_dropped)
+        .add(seed.metrics.recovery, 3);
+    // Retry timeout sized from the platform's own clean step time: long
+    // enough to never fire on a healthy round, short enough that a lost
+    // message costs a round, not an eternity.
+    const double timeout_s =
+        2.0 * seed.metrics.wall / static_cast<double>(bench::steps());
+    for (double loss : {0.0, 0.001, 0.01, 0.05}) {
+      const auto r = run_once(spec, servers, loss, true, timeout_s);
+      t.row()
+          .add(spec.name)
+          .add(100.0 * loss, 2)
+          .add("fault-tolerant")
+          .add(r.metrics.wall, 3)
+          .add(100.0 * (r.metrics.wall - seed.metrics.wall) /
+                   seed.metrics.wall,
+               2)
+          .add(r.metrics.retries)
+          .add(r.metrics.timeouts)
+          .add(r.metrics.msgs_dropped)
+          .add(r.metrics.recovery, 3);
+    }
+  }
+  bench::emit(t, "fault_tolerance");
+
+  std::cout
+      << "Expected: the legacy and 0%-loss fault-tolerant rows bracket the\n"
+      << "protocol's intrinsic cost (the extra done/release round-trips,\n"
+      << "small on every platform).  As the loss rate grows, retries climb\n"
+      << "and the recovery phase absorbs the repeated transfers; wall time\n"
+      << "rises fastest on the high-latency commodity network, slowest on\n"
+      << "the T3E's fast interconnect.  Physics is identical in every row.\n";
+  return 0;
+}

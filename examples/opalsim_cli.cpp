@@ -4,6 +4,10 @@
 //       --steps 10 --cutoff 10 --update-every 10 --method rd [--trace]
 //       [--minimize] [--overlap] [--strategy uniform] [--predict]
 //
+// Fault injection (enables the fault-tolerant middleware automatically):
+//   --fault-seed X --loss-rate R --corrupt-rate R --dup-rate R
+//   --kill-server S --kill-step K [--retry]
+//
 // Platforms: t3e | j90 | slow-cops | smp-cops | fast-cops | hippi-j90
 // Sizes:     small | medium | large   (or --solute N --water M)
 // Methods:   rd | sd | fd
@@ -13,6 +17,7 @@
 #include "model/prediction.hpp"
 #include "opal/decomp.hpp"
 #include "sciddle/trace.hpp"
+#include "sim/fault.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -28,6 +33,8 @@ int usage(const char* prog) {
          "       [--strategy historical|uniform|rowcyclic|folded]\n"
          "       [--minimize] [--overlap] [--trace] [--predict]\n"
          "       [--solute N --water M] [--seed X]\n"
+         "       [--fault-seed X] [--loss-rate R] [--corrupt-rate R]\n"
+         "       [--dup-rate R] [--kill-server S --kill-step K] [--retry]\n"
          "platforms: t3e j90 slow-cops smp-cops fast-cops hippi-j90\n";
   return 2;
 }
@@ -93,16 +100,39 @@ int main(int argc, char** argv) {
 
   const int servers = static_cast<int>(args.get_long("servers", 4));
 
+  // Fault injection.  Any fault on the wire (or a scheduled server kill)
+  // switches on the fault-tolerant middleware: the legacy barrier protocol
+  // deadlocks on the first lost message.
+  mach::PlatformSpec plat = *platform;
+  const double loss_rate = args.get_double("loss-rate", 0.0);
+  const double corrupt_rate = args.get_double("corrupt-rate", 0.0);
+  const double dup_rate = args.get_double("dup-rate", 0.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(args.get_long("fault-seed", 1));
+  if (loss_rate > 0.0 || corrupt_rate > 0.0 || dup_rate > 0.0) {
+    sim::FaultSpec fault;
+    fault.seed = fault_seed;
+    fault.drop_rate = loss_rate;
+    fault.corrupt_rate = corrupt_rate;
+    fault.duplicate_rate = dup_rate;
+    plat = mach::with_faults(plat, fault);
+  }
+  cfg.kill_server = static_cast<int>(args.get_long("kill-server", -1));
+  cfg.kill_at_step = static_cast<int>(args.get_long("kill-step", -1));
+
   sciddle::Tracer tracer;
   sciddle::Options mw;
   mw.barrier_mode = !args.get_flag("overlap");
+  mw.retry.enabled = args.get_flag("retry") || loss_rate > 0.0 ||
+                     corrupt_rate > 0.0 || dup_rate > 0.0 ||
+                     cfg.kill_server >= 0;
   if (args.get_flag("trace")) mw.tracer = &tracer;
 
   for (const auto& k : args.unused()) {
     std::cerr << "warning: unknown option --" << k << "\n";
   }
 
-  std::cout << "platform: " << platform->name << ", method "
+  std::cout << "platform: " << plat.name << ", method "
             << opal::to_string(method) << ", p = " << servers
             << ", n = " << mc.n() << ", steps = " << cfg.steps
             << (cfg.has_cutoff()
@@ -110,7 +140,13 @@ int main(int argc, char** argv) {
                     : ", no cut-off")
             << ", update every " << cfg.update_every << "\n\n";
 
-  const auto r = opal::run_with_method(method, *platform, mc, servers, cfg, mw);
+  opal::ParallelRunResult r;
+  try {
+    r = opal::run_with_method(method, plat, mc, servers, cfg, mw);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   util::Table phys({"observable", "value"});
   phys.row().add("vdW energy").add(r.physics.evdw, 3);
@@ -132,8 +168,23 @@ int main(int argc, char** argv) {
   brk.row().add("comm: return nbint").add(m.return_nbi, 4);
   brk.row().add("synchronization").add(m.sync, 4);
   brk.row().add("idle (imbalance)").add(m.idle, 4);
+  brk.row().add("recovery (faults)").add(m.recovery, 4);
   brk.row().add("TOTAL wall (virtual)").add(m.wall, 4);
   brk.print(std::cout);
+
+  if (mw.retry.enabled) {
+    util::Table ft({"robustness counter", "value"});
+    ft.row().add("messages dropped").add(m.msgs_dropped);
+    ft.row().add("messages duplicated").add(m.msgs_duplicated);
+    ft.row().add("messages corrupted").add(m.msgs_corrupted);
+    ft.row().add("RPC retries").add(m.retries);
+    ft.row().add("RPC timeouts").add(m.timeouts);
+    ft.row().add("heartbeat probes").add(m.heartbeats);
+    ft.row().add("servers failed").add(m.servers_failed);
+    ft.row().add("failovers").add(m.failovers);
+    std::cout << "\n";
+    ft.print(std::cout);
+  }
 
   if (args.get_flag("predict")) {
     const auto params = model::theoretical_params(*platform);

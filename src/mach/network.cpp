@@ -24,7 +24,7 @@ sim::Task<void> SwitchedNetwork::transfer(int src, int dst,
   account(bytes);
   auto send_lock = co_await send_links_[src]->scoped_acquire();
   auto recv_lock = co_await recv_links_[dst]->scoped_acquire();
-  co_await engine_->delay(unloaded_time(bytes));
+  co_await engine_->delay(effective_time(bytes, engine_->now()));
 }
 
 SharedBusNetwork::SharedBusNetwork(sim::Engine& engine, NetSpec spec)
@@ -34,7 +34,7 @@ sim::Task<void> SharedBusNetwork::transfer(int /*src*/, int /*dst*/,
                                            std::size_t bytes) {
   account(bytes);
   auto lock = co_await bus_.scoped_acquire();
-  co_await engine_->delay(unloaded_time(bytes));
+  co_await engine_->delay(effective_time(bytes, engine_->now()));
 }
 
 DaemonNetwork::DaemonNetwork(sim::Engine& engine, NetSpec spec)
@@ -44,7 +44,13 @@ sim::Task<void> DaemonNetwork::transfer(int /*src*/, int /*dst*/,
                                         std::size_t bytes) {
   account(bytes);
   auto lock = co_await daemon_.scoped_acquire();
-  co_await engine_->delay(unloaded_time(bytes));
+  double t = effective_time(bytes, engine_->now());
+  // The daemon can stall mid-service (paper §3.1's pathological path); the
+  // stall is paid while holding the daemon, so it backs up all traffic.
+  if (auto* fault = fault_model(); fault != nullptr && fault->enabled()) {
+    t += fault->next_daemon_stall(engine_->now());
+  }
+  co_await engine_->delay(t);
 }
 
 HierarchicalNetwork::HierarchicalNetwork(sim::Engine& engine, NetSpec spec,
@@ -68,7 +74,14 @@ sim::Task<void> HierarchicalNetwork::transfer(int src, int dst,
   const int db = box_of(dst);
   if (sb == db) {
     auto bus = co_await buses_[sb]->scoped_acquire();
-    co_await engine_->delay(intra_unloaded_time(bytes));
+    double t = intra_unloaded_time(bytes);
+    if (auto* fault = fault_model(); fault != nullptr && fault->enabled()) {
+      const double now = engine_->now();
+      t = spec().intra_latency_s * fault->latency_factor(now) +
+          static_cast<double>(bytes) /
+              (spec().intra_bytes_per_second() * fault->bandwidth_factor(now));
+    }
+    co_await engine_->delay(t);
     co_return;
   }
   // Acquire both gateways in box order to avoid deadlock between opposing
@@ -77,7 +90,7 @@ sim::Task<void> HierarchicalNetwork::transfer(int src, int dst,
   const int second = std::max(sb, db);
   auto g1 = co_await gateways_[first]->scoped_acquire();
   auto g2 = co_await gateways_[second]->scoped_acquire();
-  co_await engine_->delay(unloaded_time(bytes));
+  co_await engine_->delay(effective_time(bytes, engine_->now()));
 }
 
 std::unique_ptr<NetworkModel> make_network(sim::Engine& engine, NetSpec spec,

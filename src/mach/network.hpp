@@ -17,6 +17,7 @@
 #include <string>
 
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 
@@ -68,14 +69,31 @@ class NetworkModel {
   std::uint64_t messages_sent() const noexcept { return messages_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_total_; }
 
+  /// Attaches a fault model (not owned; may be null).  Link degradation
+  /// windows scale subsequent transfer times; the daemon variant also draws
+  /// stall delays from it.
+  void set_fault_model(sim::FaultModel* fault) noexcept { fault_ = fault; }
+  sim::FaultModel* fault_model() const noexcept { return fault_; }
+
  protected:
   void account(std::size_t bytes) noexcept {
     ++messages_;
     bytes_total_ += bytes;
   }
 
+  /// Transfer time at virtual time `now`, including any active degradation
+  /// window.  Identical to unloaded_time() when no fault model is attached
+  /// (the default), so fault-free runs are bit-for-bit unperturbed.
+  double effective_time(std::size_t bytes, double now) const noexcept {
+    if (fault_ == nullptr || !fault_->enabled()) return unloaded_time(bytes);
+    return spec_.latency_s * fault_->latency_factor(now) +
+           static_cast<double>(bytes) /
+               (spec_.bytes_per_second() * fault_->bandwidth_factor(now));
+  }
+
  private:
   NetSpec spec_;
+  sim::FaultModel* fault_ = nullptr;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_total_ = 0;
 };

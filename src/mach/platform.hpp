@@ -13,6 +13,7 @@
 #include "mach/cpu.hpp"
 #include "mach/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace opalsim::mach {
 
@@ -25,7 +26,17 @@ struct PlatformSpec {
   int smp_width = 1;
   /// Time for a bare synchronization message exchange — the model's b5.
   double sync_time_s = 0.0;
+  /// Fault-injection schedule; default-disabled, in which case the machine
+  /// behaves bit-for-bit like the fault-free seed model.  Any paper platform
+  /// can thus be instantiated "lossy" by filling this in.
+  sim::FaultSpec fault;
 };
+
+/// Copy of `p` with a fault schedule attached (convenience for sweeps).
+inline PlatformSpec with_faults(PlatformSpec p, sim::FaultSpec fault) {
+  p.fault = std::move(fault);
+  return p;
+}
 
 class Machine {
  public:
@@ -41,6 +52,11 @@ class Machine {
   NetworkModel& network() noexcept { return *network_; }
   const NetworkModel& network() const noexcept { return *network_; }
 
+  /// The machine's fault model (always present; disabled when the platform
+  /// spec carries no fault schedule).
+  sim::FaultModel& fault() noexcept { return fault_; }
+  const sim::FaultModel& fault() const noexcept { return fault_; }
+
   /// Awaitable message transfer between nodes (contention included).
   sim::Task<void> transfer(int src, int dst, std::size_t bytes) {
     return network_->transfer(src, dst, bytes);
@@ -49,6 +65,7 @@ class Machine {
  private:
   sim::Engine* engine_;
   PlatformSpec spec_;
+  sim::FaultModel fault_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::unique_ptr<NetworkModel> network_;
 };

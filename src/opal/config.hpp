@@ -38,6 +38,11 @@ struct SimulationConfig {
   /// When non-null, per-step observables are recorded here (not owned).
   Trajectory* trajectory = nullptr;
   std::uint64_t seed = 1;
+  /// Fault-injection convenience: crash server `kill_server` (0-based) when
+  /// the client begins step `kill_at_step`.  Either < 0 disables the kill.
+  /// Requires fault-tolerant middleware (Options::retry.enabled) to survive.
+  int kill_server = -1;
+  int kill_at_step = -1;
 
   /// The model's update-frequency parameter u in (0, 1].
   double u() const noexcept { return 1.0 / update_every; }

@@ -28,6 +28,10 @@ struct RunMetrics {
   double sync = 0.0;
   // Client wait not covered by useful parallel computation (load imbalance).
   double idle = 0.0;
+  // Time lost to the fault-tolerance machinery: timeouts, retransmissions,
+  // heartbeat probes, failover (pair redistribution) and redone rounds.
+  // Zero on fault-free runs.
+  double recovery = 0.0;
   // Total wall clock of the measured section.
   double wall = 0.0;
 
@@ -37,13 +41,23 @@ struct RunMetrics {
   }
   /// Accounted time: should track `wall` closely in barrier mode.
   double accounted() const noexcept {
-    return tot_par_comp() + seq_comp + tot_comm() + sync + idle;
+    return tot_par_comp() + seq_comp + tot_comm() + sync + idle + recovery;
   }
 
   // Work counters (for space/ops validation).
   std::uint64_t pairs_checked = 0;   ///< distance checks in update sweeps
   std::uint64_t pairs_evaluated = 0; ///< nonbonded pair evaluations
   std::uint64_t list_updates = 0;    ///< number of update RPCs
+
+  // Robustness counters (zero on fault-free runs).
+  std::uint64_t retries = 0;         ///< retransmitted RPC requests
+  std::uint64_t timeouts = 0;        ///< client waits that expired
+  std::uint64_t heartbeats = 0;      ///< failure-detector probes sent
+  std::uint64_t failovers = 0;       ///< servers whose work was redistributed
+  std::uint64_t servers_failed = 0;  ///< servers declared dead
+  std::uint64_t msgs_dropped = 0;    ///< messages lost by fault injection
+  std::uint64_t msgs_duplicated = 0; ///< messages duplicated in flight
+  std::uint64_t msgs_corrupted = 0;  ///< messages corrupted in flight
 };
 
 /// Physics outcome of a run — what the real Opal prints at the end of each

@@ -72,6 +72,13 @@ class ServerDomain {
                          : std::span<const PairIdx>(domain_);
   }
 
+  /// Failover: takes ownership of `extra` pairs (a dead server's share).
+  /// The active list is stale until the next update(); callers force an
+  /// update round after adoption.
+  void adopt(std::span<const PairIdx> extra) {
+    domain_.insert(domain_.end(), extra.begin(), extra.end());
+  }
+
   std::size_t domain_size() const noexcept { return domain_.size(); }
   std::size_t active_size() const noexcept {
     return materialized_ ? active_.size() : domain_.size();

@@ -22,6 +22,10 @@ struct ServerState {
   std::vector<Vec3> grad;
   std::uint64_t pairs_checked = 0;
   std::uint64_t pairs_evaluated = 0;
+  /// Highest failover epoch applied — makes the "adopt" handler idempotent
+  /// under any re-issue policy (a redone handoff round must not graft the
+  /// same pairs twice).
+  std::uint64_t adopt_epoch = 0;
 
   std::size_t working_set_bytes() const {
     return replica.n() * (sizeof(MassCenter) + sizeof(Vec3)) +
@@ -42,6 +46,13 @@ ParallelOpal::ParallelOpal(mach::PlatformSpec platform, MolecularComplex mc,
   cfg_.validate();
   if (num_servers <= 0)
     throw std::invalid_argument("ParallelOpal: need at least one server");
+  if (cfg_.kill_server >= num_servers)
+    throw std::invalid_argument("ParallelOpal: kill_server out of range");
+  if (cfg_.kill_server >= 0 && cfg_.kill_at_step >= 0 &&
+      !middleware_.retry.enabled)
+    throw std::invalid_argument(
+        "ParallelOpal: killing a server requires fault-tolerant middleware "
+        "(Options::retry.enabled)");
 }
 
 ParallelRunResult ParallelOpal::run() {
@@ -55,6 +66,11 @@ ParallelRunResult ParallelOpal::run() {
 
   const auto n = static_cast<std::uint32_t>(mc_.n());
   auto domains = build_domains(n, num_servers_, cfg_.strategy, cfg_.seed);
+  // Client-side copy of the pair assignment, kept only in fault-tolerant
+  // mode: the failover source of truth for redistributing a dead server's
+  // work among the survivors.
+  std::vector<std::vector<PairIdx>> assignment;
+  if (middleware_.retry.enabled) assignment = domains;
   std::vector<ServerState> servers;
   servers.reserve(num_servers_);
   for (int s = 0; s < num_servers_; ++s) {
@@ -105,11 +121,31 @@ ParallelRunResult ParallelOpal::run() {
         co_return out;
       });
 
+  rpc.register_proc(
+      "adopt",
+      [&servers](pvm::PackBuffer args, sciddle::ServerContext& ctx)
+          -> sim::Task<pvm::PackBuffer> {
+        ServerState& st = servers[ctx.server_index];
+        const std::uint64_t epoch = args.unpack_u64();
+        const std::vector<std::uint32_t> flat = args.unpack_u32_array();
+        if (epoch > st.adopt_epoch) {
+          st.adopt_epoch = epoch;
+          std::vector<PairIdx> extra(flat.size() / 2);
+          for (std::size_t k = 0; k < extra.size(); ++k) {
+            extra[k] = PairIdx{flat[2 * k], flat[2 * k + 1]};
+          }
+          st.domain.adopt(extra);
+        }
+        co_return pvm::PackBuffer{};
+      });
+
   rpc.start();
 
   // --- client ----------------------------------------------------------
   ParallelRunResult result;
   RunMetrics& metrics = result.metrics;
+
+  std::uint64_t failover_epoch = 0;
 
   pvm.spawn(0, [&](pvm::PvmTask& client) -> sim::Task<void> {
     std::vector<Vec3> velocities(mc_.n());
@@ -117,33 +153,134 @@ ParallelRunResult ParallelOpal::run() {
     SteepestDescent minimizer(cfg_.min_step);
     const double t_start = engine.now();
 
+    // Failover: move every dead server's pairs to the survivors and ship
+    // the delta over an "adopt" round.  Loops because a survivor can die
+    // during the handoff itself, in which case its (already enlarged) share
+    // is what the next pass redistributes.
+    auto heal = [&](pvm::PvmTask& cl) -> sim::Task<void> {
+      for (;;) {
+        std::vector<int> dead, survivors;
+        for (int s = 0; s < num_servers_; ++s) {
+          if (rpc.server_alive(s)) {
+            survivors.push_back(s);
+          } else if (!assignment[s].empty()) {
+            dead.push_back(s);
+          }
+        }
+        if (dead.empty()) co_return;
+        if (survivors.empty())
+          throw std::runtime_error("ParallelOpal: all servers failed");
+
+        std::vector<std::vector<PairIdx>> extra(num_servers_);
+        for (int d : dead) {
+          std::vector<PairIdx>& pairs = assignment[d];
+          for (std::size_t k = 0; k < pairs.size(); ++k) {
+            extra[survivors[k % survivors.size()]].push_back(pairs[k]);
+          }
+          pairs.clear();
+          ++metrics.failovers;
+        }
+        // Commit the client-side copy before shipping: if an adoptee dies
+        // mid-handoff, its enlarged share is what must be redistributed.
+        const std::uint64_t epoch = ++failover_epoch;
+        std::vector<pvm::PackBuffer> args(num_servers_);
+        for (int s = 0; s < num_servers_; ++s) {
+          std::vector<std::uint32_t> flat;
+          flat.reserve(extra[s].size() * 2);
+          for (const PairIdx& pr : extra[s]) {
+            flat.push_back(pr.i);
+            flat.push_back(pr.j);
+          }
+          args[s].pack_u64(epoch);
+          args[s].pack_u32_array(flat);
+          assignment[s].insert(assignment[s].end(), extra[s].begin(),
+                               extra[s].end());
+        }
+        const sciddle::CallAllStats st =
+            co_await rpc.call_all(cl, "adopt", std::move(args), nullptr);
+        metrics.recovery += st.total();  // the whole handoff is recovery
+      }
+    };
+
+    bool force_update = false;
+    // Coordinates of the last *scheduled* list rebuild.  A failover-forced
+    // update re-ships these instead of the current positions: the adopters
+    // then rebuild exactly the active set the dead server held, keeping the
+    // cut-off list schedule — and hence the physics — identical to the
+    // serial reference.
+    std::vector<double> update_coords;
     for (int step = 0; step < cfg_.steps; ++step) {
+      if (step == cfg_.kill_at_step && cfg_.kill_server >= 0) {
+        machine.fault().kill_node(cfg_.kill_server + 1, engine.now());
+      }
       const std::vector<double> coords = mc_.flat_coordinates();
+      const bool scheduled_update = step % cfg_.update_every == 0;
+      if (scheduled_update) update_coords = coords;
       auto coord_args = [&] {
         std::vector<pvm::PackBuffer> args(num_servers_);
         for (auto& a : args) a.pack_f64_array(coords);
         return args;
       };
+      auto update_args = [&] {
+        std::vector<pvm::PackBuffer> args(num_servers_);
+        for (auto& a : args) a.pack_f64_array(update_coords);
+        return args;
+      };
 
-      if (step % cfg_.update_every == 0) {
-        const sciddle::CallAllStats st =
-            co_await rpc.call_all(client, "update", coord_args(), nullptr);
-        metrics.call_upd += st.call_time;
-        metrics.return_upd += st.return_time;
-        metrics.sync += st.sync_time;
-        metrics.par_update += st.par_time();
-        metrics.idle += st.idle_time();
-        ++metrics.list_updates;
-      }
-
+      // A step can take several passes in fault-tolerant mode: a round in
+      // which a server died is void (its results are incomplete) and is
+      // re-issued after failover.  Handlers recompute from the shipped
+      // coordinates, so re-execution is idempotent.  With faults disabled
+      // every round succeeds and the body runs exactly once, matching the
+      // seed step loop.
       std::vector<pvm::PackBuffer> replies;
-      const sciddle::CallAllStats st =
-          co_await rpc.call_all(client, "nbint", coord_args(), &replies);
-      metrics.call_nbi += st.call_time;
-      metrics.return_nbi += st.return_time;
-      metrics.sync += st.sync_time;
-      metrics.par_nbint += st.par_time();
-      metrics.idle += st.idle_time();
+      bool update_done = false;  // this step's scheduled update succeeded
+      for (bool step_done = false; !step_done;) {
+        if (force_update || (scheduled_update && !update_done)) {
+          const sciddle::CallAllStats st =
+              co_await rpc.call_all(client, "update", update_args(), nullptr);
+          if (!st.failed_servers.empty()) {
+            metrics.recovery += st.total();  // void round, redo after heal
+            co_await heal(client);
+            force_update = true;
+            continue;
+          }
+          ++metrics.list_updates;
+          if (scheduled_update && !update_done) {
+            metrics.call_upd += st.call_time;
+            metrics.return_upd += st.return_time;
+            metrics.sync += st.sync_time;
+            metrics.recovery += st.recovery_time;
+            metrics.par_update += st.par_time();
+            metrics.idle += st.idle_time();
+            update_done = true;
+          } else {
+            // An off-schedule rebuild exists only to serve failover: its
+            // whole cost is recovery, not the model's update phases.
+            metrics.recovery += st.total();
+          }
+          force_update = false;
+        }
+
+        replies.clear();
+        const sciddle::CallAllStats st =
+            co_await rpc.call_all(client, "nbint", coord_args(), &replies);
+        if (!st.failed_servers.empty()) {
+          metrics.recovery += st.total();  // void round, redo after heal
+          co_await heal(client);
+          // Adopted pairs need fresh active lists before the re-issued
+          // nbint sees them.
+          force_update = true;
+          continue;
+        }
+        metrics.call_nbi += st.call_time;
+        metrics.return_nbi += st.return_time;
+        metrics.sync += st.sync_time;
+        metrics.recovery += st.recovery_time;
+        metrics.par_nbint += st.par_time();
+        metrics.idle += st.idle_time();
+        step_done = true;
+      }
 
       // Sequential part: reductions, bonded terms, integration (eq. 5).
       const double t_seq0 = engine.now();
@@ -186,6 +323,16 @@ ParallelRunResult ParallelOpal::run() {
   });
 
   engine.run();
+
+  const sim::FaultModel::Counters& fc = machine.fault().counters();
+  metrics.msgs_dropped = fc.dropped;
+  metrics.msgs_duplicated = fc.duplicated;
+  metrics.msgs_corrupted = fc.corrupted;
+  const sciddle::RecoveryTotals& rt = rpc.recovery_totals();
+  metrics.retries = rt.retries;
+  metrics.timeouts = rt.timeouts;
+  metrics.heartbeats = rt.heartbeats;
+  metrics.servers_failed = rt.servers_failed;
 
   for (int s = 0; s < num_servers_; ++s) {
     metrics.pairs_checked += servers[s].pairs_checked;

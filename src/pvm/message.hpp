@@ -1,5 +1,10 @@
-// A PVM message: source task id, user tag, packed body.
+// A PVM message: source task id, user tag, packed body — plus the
+// reliability metadata the fault-tolerant middleware rides on: a per-system
+// sequence number (duplicate detection / idempotent replay) and a payload
+// checksum stamped at send and verified at delivery (corruption detection).
 #pragma once
+
+#include <cstdint>
 
 #include "pvm/pack_buffer.hpp"
 
@@ -11,6 +16,16 @@ inline constexpr int kAny = -1;
 struct Message {
   int src = kAny;   ///< sender task id
   int tag = 0;      ///< user message tag
+  /// Monotone per-system send sequence number.  A duplicated message keeps
+  /// its original seq, which is what receivers dedup on.
+  std::uint64_t seq = 0;
+  /// Body checksum stamped at send when fault injection is active
+  /// (0 = unchecked; checksums are skipped entirely on fault-free runs).
+  std::uint64_t checksum = 0;
+  /// Delivery-side verdict: true when the body failed checksum verification
+  /// (the payload was corrupted in flight).  Receivers must not trust the
+  /// body of a corrupted message.
+  bool corrupted = false;
   PackBuffer body;
 
   bool matches(int want_src, int want_tag) const noexcept {

@@ -3,6 +3,11 @@
 // unpacked in the same order and with the same types; a type tag per item is
 // stored and checked so marshalling mismatches fail loudly instead of
 // silently corrupting a simulation.
+//
+// Every unpack path is bounds-checked against the actual buffer contents:
+// a truncated or corrupted buffer throws a typed UnpackError instead of
+// reading past the end, which is what lets the fault-injection layer flip
+// arbitrary bytes on the wire and still keep the receiver memory-safe.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,14 @@
 #include <vector>
 
 namespace opalsim::pvm {
+
+/// Thrown when a buffer cannot be unpacked as requested: read past the end,
+/// truncated item, type-tag mismatch, or a length field exceeding the data
+/// actually present (all of which corruption or truncation can produce).
+class UnpackError : public std::runtime_error {
+ public:
+  explicit UnpackError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class PackBuffer {
  public:
@@ -52,19 +65,21 @@ class PackBuffer {
     return v;
   }
   std::string unpack_string() {
-    const std::uint64_t n = unpack_u64();
+    const std::uint64_t n = checked_count(unpack_u64(), 1, "string");
     std::string s(n, '\0');
     get_raw(Tag::Str, s.data(), n);
     return s;
   }
   std::vector<double> unpack_f64_array() {
-    const std::uint64_t n = unpack_u64();
+    const std::uint64_t n =
+        checked_count(unpack_u64(), sizeof(double), "f64 array");
     std::vector<double> xs(n);
     get_raw(Tag::F64Arr, xs.data(), n * sizeof(double));
     return xs;
   }
   std::vector<std::uint32_t> unpack_u32_array() {
-    const std::uint64_t n = unpack_u64();
+    const std::uint64_t n =
+        checked_count(unpack_u64(), sizeof(std::uint32_t), "u32 array");
     std::vector<std::uint32_t> xs(n);
     get_raw(Tag::U32Arr, xs.data(), n * sizeof(std::uint32_t));
     return xs;
@@ -79,13 +94,45 @@ class PackBuffer {
 
   /// Wire size in bytes (payload; tags are bookkeeping, not charged).
   std::size_t byte_size() const noexcept { return payload_bytes_; }
+  /// Encoded size including type tags (what checksum/corruption act on).
+  std::size_t raw_size() const noexcept { return data_.size(); }
   /// True when every packed item has been unpacked.
   bool fully_consumed() const noexcept { return cursor_ == data_.size(); }
   /// Rewinds the read cursor (e.g. to re-read a received buffer).
   void rewind() noexcept { cursor_ = 0; }
 
+  /// FNV-1a over the encoded bytes — the payload checksum stamped on
+  /// messages when fault injection is active.
+  std::uint64_t checksum() const noexcept {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const std::uint8_t b : data_) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  /// Fault injection: inverts one encoded byte (type tags included, so
+  /// corruption can also surface as an UnpackError downstream).  No-op on an
+  /// empty buffer.
+  void corrupt_byte(std::size_t position) noexcept {
+    if (!data_.empty()) data_[position % data_.size()] ^= 0xff;
+  }
+
  private:
   enum class Tag : std::uint8_t { I32, U64, F64, Str, F64Arr, U32Arr };
+
+  /// Validates a decoded element count against the bytes actually present
+  /// before any allocation, so a corrupted length field cannot trigger a
+  /// huge allocation or an overflowing size computation.
+  std::uint64_t checked_count(std::uint64_t n, std::size_t elem_size,
+                              const char* what) const {
+    const std::size_t remaining = data_.size() - cursor_;
+    if (n > remaining / elem_size)
+      throw UnpackError(std::string("PackBuffer: ") + what +
+                        " length exceeds buffer");
+    return n;
+  }
 
   void put(Tag tag, const void* p, std::size_t n) { put_raw(tag, p, n); }
 
@@ -100,13 +147,15 @@ class PackBuffer {
 
   void get_raw(Tag tag, void* p, std::size_t n) {
     if (cursor_ >= data_.size())
-      throw std::out_of_range("PackBuffer: unpack past end");
+      throw UnpackError("PackBuffer: unpack past end");
     const Tag actual = static_cast<Tag>(data_[cursor_]);
-    if (actual != tag)
-      throw std::runtime_error("PackBuffer: type mismatch on unpack");
+    if (actual != tag) throw UnpackError("PackBuffer: type mismatch on unpack");
     ++cursor_;
-    if (cursor_ + n > data_.size())
-      throw std::out_of_range("PackBuffer: truncated item");
+    // Overflow-safe: `cursor_ + n > size` would wrap for huge n (a decoded
+    // length from a corrupted buffer), silently passing the check and
+    // reading out of bounds.  Compare against the remaining bytes instead.
+    if (n > data_.size() - cursor_)
+      throw UnpackError("PackBuffer: truncated item");
     std::memcpy(p, data_.data() + cursor_, n);
     cursor_ += n;
   }

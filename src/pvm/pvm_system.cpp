@@ -20,6 +20,74 @@ sim::Task<Message> PvmTask::recv(int src, int tag) {
   co_return m;
 }
 
+namespace {
+
+/// Shared flag block of one recv_timeout call: which side settled the race.
+struct TimedRecvShared {
+  bool fulfilled = false;  ///< mailbox delivered before the deadline
+  bool cancelled = false;  ///< timer removed the parked getter
+};
+
+/// Timer process backing recv_timeout: after `dt`, cancels the parked getter
+/// (unless the mailbox delivered first) and resumes the receiver empty-
+/// handed.  Arguments are taken by value — a lambda coroutine's captures
+/// would die with the lambda object.  `getter` is only ever compared by
+/// pointer inside Mailbox::cancel, never dereferenced, so a stale pointer
+/// (receiver long since resumed) is harmless; the `fulfilled` flag guards
+/// the pointer-reuse case where a new getter occupies the same address.
+sim::Task<void> recv_timeout_timer(
+    sim::Engine* engine, sim::Mailbox<Message>* mb,
+    std::shared_ptr<TimedRecvShared> shared,
+    const sim::Mailbox<Message>::GetAwaiter* getter,
+    std::coroutine_handle<> receiver, double dt) {
+  co_await engine->delay(dt);
+  if (shared->fulfilled) co_return;
+  if (mb->cancel(getter)) {
+    shared->cancelled = true;
+    engine->schedule_now(receiver);
+  }
+}
+
+/// Races a mailbox getter against a timer process.
+struct TimedRecvAwaiter {
+  sim::Engine* engine;
+  sim::Mailbox<Message>* mb;
+  sim::Mailbox<Message>::GetAwaiter inner;
+  std::shared_ptr<TimedRecvShared> shared;
+  double timeout;
+
+  bool await_ready() { return inner.await_ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    inner.await_suspend(h);
+    engine->spawn(
+        recv_timeout_timer(engine, mb, shared, &inner, h, timeout));
+  }
+  std::optional<Message> await_resume() {
+    if (shared->cancelled) return std::nullopt;
+    shared->fulfilled = true;
+    return std::move(inner.slot);
+  }
+};
+
+}  // namespace
+
+sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
+                                                        double timeout) {
+  auto& mb = system_->mailbox(tid_);
+  sim::Mailbox<Message>::Predicate pred = [src, tag](const Message& x) {
+    return x.matches(src, tag);
+  };
+  if (timeout <= 0.0) co_return mb.try_get(pred);
+  TimedRecvAwaiter awaiter{
+      &engine(),
+      &mb,
+      sim::Mailbox<Message>::GetAwaiter{&mb, std::move(pred), std::nullopt,
+                                        {}},
+      std::make_shared<TimedRecvShared>(),
+      timeout};
+  co_return co_await awaiter;
+}
+
 std::optional<Message> PvmTask::try_recv(int src, int tag) {
   return system_->mailbox(tid_).try_get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
@@ -156,12 +224,45 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
   const int src_node = tasks_.at(src_tid).task->node();
   const int dst_node = tasks_.at(dst_tid).task->node();
   const std::size_t bytes = body.byte_size();
-  co_await machine_->transfer(src_node, dst_node, bytes);
+  sim::FaultModel& fault = machine_->fault();
   Message m;
   m.src = src_tid;
   m.tag = tag;
+  m.seq = next_send_seq_++;
+  if (!fault.enabled()) {
+    // Fault-free fast path: no checksumming, no extra RNG draws — runs with
+    // faults disabled stay bit-for-bit identical to the seed model.
+    m.body = std::move(body);
+    co_await machine_->transfer(src_node, dst_node, bytes);
+    mailbox(dst_tid).put(std::move(m));
+    co_return;
+  }
+
+  // A crashed sender transmits nothing.
+  if (fault.node_dead(src_node, engine().now())) co_return;
+  m.checksum = body.checksum();
   m.body = std::move(body);
-  mailbox(dst_tid).put(std::move(m));
+  co_await machine_->transfer(src_node, dst_node, bytes);
+  // A message addressed to a node that is dead at delivery time vanishes.
+  if (fault.node_dead(dst_node, engine().now())) co_return;
+
+  switch (fault.next_message_fault(src_node, dst_node)) {
+    case sim::MessageFault::Drop:
+      co_return;
+    case sim::MessageFault::Duplicate: {
+      Message copy = m;  // same seq: receivers dedup on it
+      mailbox(dst_tid).put(std::move(copy));
+      mailbox(dst_tid).put(std::move(m));
+      co_return;
+    }
+    case sim::MessageFault::Corrupt:
+      m.body.corrupt_byte(fault.next_corrupt_position(m.body.raw_size()));
+      [[fallthrough]];
+    case sim::MessageFault::None:
+      m.corrupted = m.body.checksum() != m.checksum;
+      mailbox(dst_tid).put(std::move(m));
+      co_return;
+  }
 }
 
 sim::Task<void> PvmSystem::do_barrier(const std::string& group, int count) {

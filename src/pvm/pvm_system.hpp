@@ -46,6 +46,13 @@ class PvmTask {
   /// Receives the oldest message matching (src, tag); kAny is a wildcard.
   sim::Task<Message> recv(int src = kAny, int tag = kAny);
 
+  /// Receives the oldest message matching (src, tag), or returns nullopt
+  /// once `timeout` seconds of virtual time pass without a match — the
+  /// primitive the fault-tolerant RPC layer builds timeouts/retries on.
+  /// A non-positive timeout degenerates to try_recv.
+  sim::Task<std::optional<Message>> recv_timeout(int src, int tag,
+                                                 double timeout);
+
   /// Non-blocking probe-and-receive.
   std::optional<Message> try_recv(int src = kAny, int tag = kAny);
 
@@ -146,6 +153,7 @@ class PvmSystem {
   mach::Machine* machine_;
   std::vector<TaskEntry> tasks_;
   std::map<std::string, BarrierState> barriers_;
+  std::uint64_t next_send_seq_ = 1;
 };
 
 }  // namespace opalsim::pvm

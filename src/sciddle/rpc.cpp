@@ -3,18 +3,42 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+
 namespace opalsim::sciddle {
 
 namespace {
 constexpr const char* kBarrierName = "sciddle-rpc-barrier";
 }
 
+void RetryPolicy::validate() const {
+  if (!enabled) return;
+  if (timeout_s <= 0.0)
+    throw std::invalid_argument("RetryPolicy: timeout_s must be > 0");
+  if (backoff < 1.0)
+    throw std::invalid_argument("RetryPolicy: backoff must be >= 1");
+  if (max_timeout_s < timeout_s)
+    throw std::invalid_argument("RetryPolicy: max_timeout_s < timeout_s");
+  if (max_attempts < 1)
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  if (jitter_frac < 0.0 || jitter_frac >= 1.0)
+    throw std::invalid_argument("RetryPolicy: jitter_frac out of [0, 1)");
+  if (heartbeat_timeout_s <= 0.0)
+    throw std::invalid_argument("RetryPolicy: heartbeat_timeout_s must be > 0");
+}
+
 Rpc::Rpc(pvm::PvmSystem& pvm, int num_servers, Options opts)
-    : pvm_(&pvm), num_servers_(num_servers), options_(opts) {
+    : pvm_(&pvm),
+      num_servers_(num_servers),
+      options_(opts),
+      alive_(static_cast<std::size_t>(num_servers > 0 ? num_servers : 0),
+             true),
+      jitter_rng_(opts.retry.jitter_seed) {
   if (num_servers <= 0)
     throw std::invalid_argument("Rpc: need at least one server");
   if (pvm.machine().num_nodes() < num_servers + 1)
     throw std::invalid_argument("Rpc: machine too small for servers+client");
+  options_.retry.validate();
 }
 
 void Rpc::register_proc(std::string name, Handler handler) {
@@ -27,15 +51,24 @@ void Rpc::start() {
   if (started_) throw std::logic_error("Rpc: start() called twice");
   started_ = true;
   server_tids_.reserve(num_servers_);
+  const bool ft = options_.retry.enabled;
   for (int s = 0; s < num_servers_; ++s) {
     // Server s runs on node s+1 (node 0 is the client's).
     const int tid = pvm_->spawn(
-        s + 1, [this, s](pvm::PvmTask& task) -> sim::Task<void> {
-          return server_loop(task, s);
+        s + 1, [this, s, ft](pvm::PvmTask& task) -> sim::Task<void> {
+          return ft ? server_loop_ft(task, s) : server_loop(task, s);
         });
     server_tids_.push_back(tid);
   }
 }
+
+void Rpc::record(int task, const char* phase, double t0, double t1) {
+  if (options_.tracer != nullptr) options_.tracer->record(task, phase, t0, t1);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (fault-free) protocol — byte-for-byte the seed middleware.
+// ---------------------------------------------------------------------------
 
 sim::Task<void> Rpc::server_loop(pvm::PvmTask& task, int server_index) {
   ServerContext ctx{task, server_index};
@@ -54,9 +87,7 @@ sim::Task<void> Rpc::server_loop(pvm::PvmTask& task, int server_index) {
     const double t0 = task.engine().now();
     pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
     const double busy = task.engine().now() - t0;
-    if (options_.tracer != nullptr) {
-      options_.tracer->record(server_index, "compute", t0, t0 + busy);
-    }
+    record(server_index, "compute", t0, t0 + busy);
 
     if (options_.barrier_mode) {
       // §3.3: separate computation from the reply phase.
@@ -78,6 +109,8 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   if (!started_) throw std::logic_error("Rpc: call_all before start()");
   if (static_cast<int>(args.size()) != num_servers_)
     throw std::invalid_argument("Rpc: args size != num_servers");
+  if (options_.retry.enabled)
+    co_return co_await call_all_ft(client, proc, std::move(args), replies);
 
   auto& engine = client.engine();
   const double b5 = pvm_->machine().spec().sync_time_s;
@@ -89,9 +122,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   // (the model's t_str component).
   co_await engine.delay(b5);
   stats.sync_time += b5;
-  if (options_.tracer != nullptr) {
-    options_.tracer->record(-1, "sync", engine.now() - b5, engine.now());
-  }
+  record(-1, "sync", engine.now() - b5, engine.now());
 
   // Send the call to every server; the client's link serializes these, so
   // call_time grows linearly in p as the model assumes.
@@ -104,9 +135,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
     co_await client.send(server_tids_[s], kTagCall, std::move(envelope));
   }
   stats.call_time = engine.now() - t_call0;
-  if (options_.tracer != nullptr) {
-    options_.tracer->record(-1, "call", t_call0, engine.now());
-  }
+  record(-1, "call", t_call0, engine.now());
 
   if (options_.barrier_mode) {
     // Wait for all handlers to finish: the barrier trips b5 after the last
@@ -130,9 +159,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
     if (replies != nullptr) replies->push_back(std::move(m.body));
   }
   const double t_ret = engine.now() - t_ret0;
-  if (options_.tracer != nullptr) {
-    options_.tracer->record(-1, "return", t_ret0, engine.now());
-  }
+  record(-1, "return", t_ret0, engine.now());
 
   if (options_.barrier_mode) {
     stats.return_time = t_ret;
@@ -146,12 +173,324 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   co_return stats;
 }
 
-sim::Task<void> Rpc::shutdown(pvm::PvmTask& client) {
-  for (int tid : server_tids_) {
-    co_await client.send(tid, kTagStop, pvm::PackBuffer{});
+// ---------------------------------------------------------------------------
+// Fault-tolerant protocol.
+//
+// Round shape (one call_all):
+//   client: b5 | call*p | { done-wait }*p | release*p | { reply-wait }*p
+//   server: recv call -> handler -> done ; recv release -> reply
+// The explicit done/release exchange reproduces the barrier-mode phase
+// separation (compute vs return) without a p+1-party barrier, which would
+// deadlock on the first lost message or dead server.  Every client wait is
+// bounded by a timeout; expiry retransmits the request (servers dedup and
+// replay by call id), and exhausted attempts escalate to a heartbeat probe
+// that declares the server dead.  All lost time lands in the "recovery"
+// phase bucket.
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Rpc::server_loop_ft(pvm::PvmTask& task, int server_index) {
+  ServerContext ctx{task, server_index};
+  sim::FaultModel& fault = pvm_->machine().fault();
+  const int node = task.node();
+  std::uint64_t last_call_id = 0;
+  double last_busy = 0.0;
+  pvm::PackBuffer last_payload;  // cached handler payload for replay
+  bool have_reply = false;
+
+  for (;;) {
+    pvm::Message m = co_await task.recv(pvm::kAny, pvm::kAny);
+    // A crashed node neither serves nor replies (its parked process simply
+    // never produces events again; delivery to it is already suppressed).
+    if (fault.node_dead(node, task.engine().now())) co_return;
+    if (m.tag == kTagStop) break;
+    if (m.corrupted) continue;  // client's timeout machinery heals this
+
+    if (m.tag == kTagPing) {
+      pvm::PackBuffer pong;
+      std::uint64_t nonce = 0;
+      try {
+        nonce = m.body.unpack_u64();
+      } catch (const pvm::UnpackError&) {
+        continue;
+      }
+      pong.pack_u64(nonce);
+      co_await task.send(m.src, kTagPong, std::move(pong));
+      continue;
+    }
+
+    if (m.tag == kTagRelease) {
+      std::uint64_t rel_id = 0;
+      try {
+        rel_id = m.body.unpack_u64();
+      } catch (const pvm::UnpackError&) {
+        continue;
+      }
+      // Replay-safe: a duplicated or retransmitted release just resends the
+      // cached reply; a stale release (older round) is ignored.
+      if (rel_id == last_call_id && have_reply) {
+        pvm::PackBuffer reply;
+        reply.pack_u64(last_call_id);
+        reply.pack_f64(last_busy);
+        reply.append(last_payload);
+        co_await task.send(m.src, kTagReply, std::move(reply));
+      }
+      continue;
+    }
+
+    if (m.tag != kTagCall) continue;  // unknown tag: drop, stay alive
+
+    std::uint64_t call_id = 0;
+    std::string proc;
+    try {
+      call_id = m.body.unpack_u64();
+      if (call_id < last_call_id) continue;  // stale duplicate of old round
+      if (call_id == last_call_id) {
+        // Retransmitted call for the round we already computed: replay the
+        // completion notification without re-running the handler
+        // (idempotent dedup by sequence number).
+        pvm::PackBuffer done;
+        done.pack_u64(call_id);
+        done.pack_f64(last_busy);
+        co_await task.send(m.src, kTagDone, std::move(done));
+        continue;
+      }
+      proc = m.body.unpack_string();
+    } catch (const pvm::UnpackError&) {
+      continue;  // corruption hit a tag/length byte: drop, client retries
+    }
+
+    auto it = procs_.find(proc);
+    if (it == procs_.end())
+      throw std::runtime_error("sciddle server: unknown procedure " + proc);
+
+    const double t0 = task.engine().now();
+    pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
+    const double busy = task.engine().now() - t0;
+    record(server_index, "compute", t0, t0 + busy);
+    last_call_id = call_id;
+    last_busy = busy;
+    last_payload = std::move(payload);
+    have_reply = true;
+    if (fault.node_dead(node, task.engine().now())) co_return;
+    pvm::PackBuffer done;
+    done.pack_u64(call_id);
+    done.pack_f64(busy);
+    co_await task.send(m.src, kTagDone, std::move(done));
   }
-  for (int tid : server_tids_) {
-    co_await pvm_->process(tid).join();
+}
+
+double Rpc::jittered(double timeout) {
+  const double f =
+      1.0 + options_.retry.jitter_frac * (2.0 * jitter_rng_.uniform() - 1.0);
+  const double t = timeout * f;
+  return t < options_.retry.max_timeout_s ? t : options_.retry.max_timeout_s;
+}
+
+sim::Task<bool> Rpc::probe(pvm::PvmTask& client, int server_index,
+                           CallAllStats& stats) {
+  auto& engine = client.engine();
+  const int tid = server_tids_[server_index];
+  // A single lost ping must not condemn a live server: probe a few times.
+  constexpr int kProbeAttempts = 3;
+  for (int attempt = 0; attempt < kProbeAttempts; ++attempt) {
+    ++stats.heartbeats;
+    ++totals_.heartbeats;
+    const std::uint64_t nonce = next_probe_id_++;
+    pvm::PackBuffer ping;
+    ping.pack_u64(nonce);
+    co_await client.send(tid, kTagPing, std::move(ping));
+    const double deadline = engine.now() + options_.retry.heartbeat_timeout_s;
+    while (engine.now() < deadline) {
+      auto m = co_await client.recv_timeout(tid, kTagPong,
+                                            deadline - engine.now());
+      if (!m) break;  // probe window expired
+      if (m->corrupted) {
+        ++stats.stale_discarded;
+        continue;
+      }
+      std::uint64_t got = 0;
+      try {
+        got = m->body.unpack_u64();
+      } catch (const pvm::UnpackError&) {
+        ++stats.stale_discarded;
+        continue;
+      }
+      if (got == nonce) co_return true;
+      ++stats.stale_discarded;  // pong of an older probe
+    }
+  }
+  co_return false;
+}
+
+sim::Task<std::optional<pvm::Message>> Rpc::await_server(
+    pvm::PvmTask& client, int server_index, int tag, std::uint64_t call_id,
+    std::function<pvm::PackBuffer()> make_request, int request_tag,
+    CallAllStats& stats, double* good_wait) {
+  auto& engine = client.engine();
+  const int tid = server_tids_[server_index];
+  double timeout = options_.retry.timeout_s;
+  int attempts = 1;  // the caller already sent the first request
+  int graces = 0;
+  constexpr int kMaxGraces = 4;
+
+  for (;;) {
+    const double deadline = engine.now() + timeout;
+    while (engine.now() < deadline) {
+      const double t0 = engine.now();
+      auto m = co_await client.recv_timeout(tid, tag, deadline - engine.now());
+      if (!m) {
+        // Wait expired empty-handed.
+        stats.recovery_time += engine.now() - t0;
+        record(-1, "recovery", t0, engine.now());
+        break;
+      }
+      bool good = !m->corrupted;
+      std::uint64_t got_id = 0;
+      if (good) {
+        try {
+          got_id = m->body.unpack_u64();
+        } catch (const pvm::UnpackError&) {
+          good = false;
+        }
+      }
+      if (good && got_id == call_id) {
+        *good_wait += engine.now() - t0;
+        co_return m;
+      }
+      // Corrupt or stale (old round / duplicate): discard and keep waiting
+      // out the same deadline.
+      ++stats.stale_discarded;
+      ++totals_.stale_discarded;
+      stats.recovery_time += engine.now() - t0;
+      record(-1, "recovery", t0, engine.now());
+    }
+    ++stats.timeouts;
+    ++totals_.timeouts;
+
+    if (attempts >= options_.retry.max_attempts) {
+      // Slow or dead?  Ask the failure detector.
+      const double t_probe0 = engine.now();
+      const bool is_alive = co_await probe(client, server_index, stats);
+      stats.recovery_time += engine.now() - t_probe0;
+      record(-1, "recovery", t_probe0, engine.now());
+      if (!is_alive || graces >= kMaxGraces) {
+        alive_[server_index] = false;
+        stats.failed_servers.push_back(server_index);
+        ++totals_.servers_failed;
+        co_return std::nullopt;
+      }
+      // The server answered: it is alive but slow (or our requests keep
+      // getting lost).  Grant a grace period and keep retrying.
+      ++graces;
+      attempts = 0;
+    }
+
+    // Retransmit the request (the server stub dedups by call id) and back
+    // off the timeout, with deterministic jitter to avoid lockstep retries.
+    const double t_send0 = engine.now();
+    co_await client.send(tid, request_tag, make_request());
+    stats.recovery_time += engine.now() - t_send0;
+    record(-1, "recovery", t_send0, engine.now());
+    ++attempts;
+    ++stats.retries;
+    ++totals_.retries;
+    timeout = jittered(timeout * options_.retry.backoff);
+  }
+}
+
+sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
+                                         const std::string& proc,
+                                         std::vector<pvm::PackBuffer> args,
+                                         std::vector<pvm::PackBuffer>* replies) {
+  auto& engine = client.engine();
+  const double b5 = pvm_->machine().spec().sync_time_s;
+  CallAllStats stats;
+  stats.server_busy.assign(num_servers_, 0.0);
+  stats.participants = num_alive();
+  if (stats.participants == 0)
+    throw std::runtime_error("sciddle: no live servers left");
+  const std::uint64_t call_id = next_call_id_++;
+
+  // Start synchronization (t_str), as in barrier mode.
+  co_await engine.delay(b5);
+  stats.sync_time += b5;
+  record(-1, "sync", engine.now() - b5, engine.now());
+
+  auto call_envelope = [&args, &proc, call_id](int s) {
+    pvm::PackBuffer env;
+    env.pack_u64(call_id);
+    env.pack_string(proc);
+    env.append(args[s]);
+    return env;
+  };
+  auto release_envelope = [call_id]() {
+    pvm::PackBuffer env;
+    env.pack_u64(call_id);
+    return env;
+  };
+
+  // Call phase: first-attempt sends to every live server.
+  const double t_call0 = engine.now();
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;
+    co_await client.send(server_tids_[s], kTagCall, call_envelope(s));
+  }
+  stats.call_time = engine.now() - t_call0;
+  record(-1, "call", t_call0, engine.now());
+
+  // Compute phase: one completion notification per live server.
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;
+    auto m = co_await await_server(client, s, kTagDone, call_id,
+                                   [&call_envelope, s] { return call_envelope(s); },
+                                   kTagCall, stats, &stats.compute_wall);
+    if (!m) continue;  // declared dead; round will be re-issued
+    stats.server_busy[s] = m->body.unpack_f64();
+  }
+  if (!stats.failed_servers.empty()) {
+    // Incomplete round: skip release/reply — the caller redistributes the
+    // dead servers' work and re-issues the round under a fresh call id
+    // (survivors abandon this round the moment the new call arrives).
+    totals_.recovery_time_s += stats.recovery_time;
+    co_return stats;
+  }
+
+  // End synchronization: the release fan-out separates compute from reply,
+  // playing the role barrier mode's closing b5 plays.
+  const double t_rel0 = engine.now();
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;
+    co_await client.send(server_tids_[s], kTagRelease, release_envelope());
+  }
+  stats.sync_time += engine.now() - t_rel0;
+  record(-1, "sync", t_rel0, engine.now());
+
+  // Return phase: collect the replies.
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;
+    auto m = co_await await_server(client, s, kTagReply, call_id,
+                                   release_envelope, kTagRelease, stats,
+                                   &stats.return_time);
+    if (!m) continue;  // declared dead; round will be re-issued
+    stats.server_busy[s] = m->body.unpack_f64();
+    if (replies != nullptr) replies->push_back(std::move(m->body));
+  }
+  if (stats.return_time > 0.0) {
+    // One coarse span for the whole collection (mirrors the legacy trace).
+    record(-1, "return", engine.now() - stats.return_time, engine.now());
+  }
+  totals_.recovery_time_s += stats.recovery_time;
+  co_return stats;
+}
+
+sim::Task<void> Rpc::shutdown(pvm::PvmTask& client) {
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;  // a dead server's loop is parked forever
+    co_await client.send(server_tids_[s], kTagStop, pvm::PackBuffer{});
+  }
+  for (int s = 0; s < num_servers_; ++s) {
+    if (!alive_[s]) continue;
+    co_await pvm_->process(server_tids_[s]).join();
   }
 }
 

@@ -76,6 +76,20 @@ class Mailbox {
     return get([](const T&) { return true; });
   }
 
+  /// Removes a parked getter (timeout cancellation).  Compares pointers
+  /// only — never dereferences `g` — so callers may pass a pointer whose
+  /// awaiter has already been resumed and destroyed.  Returns true when the
+  /// getter was still parked (and is now removed).
+  bool cancel(const GetAwaiter* g) {
+    for (auto it = getters_.begin(); it != getters_.end(); ++it) {
+      if (*it == g) {
+        getters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Non-blocking matching receive.
   std::optional<T> try_get(const Predicate& pred) {
     for (auto it = items_.begin(); it != items_.end(); ++it) {

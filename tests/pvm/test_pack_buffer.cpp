@@ -69,7 +69,7 @@ TEST(PackBuffer, UnpackPastEndThrows) {
   PackBuffer b;
   b.pack_i32(1);
   (void)b.unpack_i32();
-  EXPECT_THROW((void)b.unpack_i32(), std::out_of_range);
+  EXPECT_THROW((void)b.unpack_i32(), opalsim::pvm::UnpackError);
 }
 
 TEST(PackBuffer, OrderMatters) {
@@ -116,6 +116,74 @@ TEST(PackBuffer, U32ArrayByteSizeIsFourPerEntry) {
   opalsim::pvm::PackBuffer b;
   b.pack_u32_array(std::vector<std::uint32_t>(10, 7));
   EXPECT_EQ(b.byte_size(), 8u + 40u);  // length header + 10 * 4
+}
+
+using opalsim::pvm::UnpackError;
+
+TEST(PackBuffer, UnpackErrorIsRuntimeError) {
+  // Callers that caught the old generic exceptions keep working.
+  opalsim::pvm::PackBuffer b;
+  EXPECT_THROW((void)b.unpack_u64(), std::runtime_error);
+}
+
+TEST(PackBuffer, TypeMismatchThrowsUnpackError) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64(1.0);
+  EXPECT_THROW((void)b.unpack_u64(), UnpackError);
+}
+
+TEST(PackBuffer, CorruptedLengthFieldThrowsInsteadOfAllocating) {
+  // A corrupted length word can decode to a huge count; the old size check
+  // `cursor + n > size` would overflow and pass, reading out of bounds (or
+  // the allocation would throw bad_alloc).  The count must be validated
+  // against the bytes actually present before anything else.
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>{1.0, 2.0, 3.0});
+  // The u64 length sits at bytes [1, 9) (after the U64 tag byte); flip its
+  // high byte so it decodes to ~2^56 elements.
+  b.corrupt_byte(8);
+  EXPECT_THROW((void)b.unpack_f64_array(), UnpackError);
+}
+
+TEST(PackBuffer, CorruptedStringLengthThrows) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_string("nbint");
+  b.corrupt_byte(8);  // high byte of the length word
+  EXPECT_THROW((void)b.unpack_string(), UnpackError);
+}
+
+TEST(PackBuffer, ChecksumDetectsSingleByteCorruption) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>{1.0, -2.5, 4.0});
+  const std::uint64_t clean = b.checksum();
+  for (std::size_t pos = 0; pos < b.raw_size(); ++pos) {
+    opalsim::pvm::PackBuffer c = b;
+    c.corrupt_byte(pos);
+    EXPECT_NE(c.checksum(), clean) << "missed corruption at byte " << pos;
+  }
+}
+
+TEST(PackBuffer, ChecksumIsStableAcrossCopies) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_string("update");
+  b.pack_f64(2.0);
+  const opalsim::pvm::PackBuffer c = b;
+  EXPECT_EQ(b.checksum(), c.checksum());
+}
+
+TEST(PackBuffer, CorruptByteOnEmptyBufferIsNoop) {
+  opalsim::pvm::PackBuffer b;
+  b.corrupt_byte(17);  // must not crash or divide by zero
+  EXPECT_EQ(b.raw_size(), 0u);
+}
+
+TEST(PackBuffer, CorruptPositionWrapsAroundBufferSize) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_i32(7);
+  const std::uint64_t clean = b.checksum();
+  b.corrupt_byte(b.raw_size());  // wraps to byte 0 (the type tag)
+  EXPECT_NE(b.checksum(), clean);
+  EXPECT_THROW((void)b.unpack_i32(), UnpackError);
 }
 
 TEST(PackBuffer, AppendConcatenatesItems) {

@@ -1,0 +1,403 @@
+// Fault-tolerant Sciddle middleware: retry/backoff healing message loss,
+// dedup/replay on the server stub, the recovery phase bucket, and the
+// barrier-mode accounting invariants the fault-free modes must keep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpm/op_counts.hpp"
+#include "mach/platforms_db.hpp"
+#include "sciddle/rpc.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+
+using opalsim::hpm::OpCounts;
+using opalsim::mach::Machine;
+using opalsim::mach::NetSpec;
+using opalsim::mach::PlatformSpec;
+using opalsim::pvm::PackBuffer;
+using opalsim::pvm::PvmSystem;
+using opalsim::pvm::PvmTask;
+using opalsim::sciddle::CallAllStats;
+using opalsim::sciddle::Options;
+using opalsim::sciddle::RetryPolicy;
+using opalsim::sciddle::Rpc;
+using opalsim::sciddle::ServerContext;
+using opalsim::sim::Engine;
+using opalsim::sim::FaultSpec;
+using opalsim::sim::Task;
+
+PlatformSpec test_platform() {
+  PlatformSpec p;
+  p.name = "test";
+  p.cpu.name = "cpu";
+  p.cpu.clock_mhz = 100;
+  p.cpu.adjusted_mflops = 100;
+  p.net.kind = NetSpec::Kind::Switched;
+  p.net.observed_MBps = 1.0;
+  p.net.hw_peak_MBps = 2.0;
+  p.net.latency_s = 1e-3;
+  p.sync_time_s = 1e-4;
+  return p;
+}
+
+RetryPolicy test_retry() {
+  RetryPolicy r;
+  r.enabled = true;
+  r.timeout_s = 0.5;
+  r.backoff = 2.0;
+  r.max_timeout_s = 30.0;
+  r.max_attempts = 4;
+  r.heartbeat_timeout_s = 1.0;
+  return r;
+}
+
+// Handler that counts its executions (exposes dedup violations: a
+// retransmitted call must never re-run the handler).
+struct CountingEcho {
+  std::vector<int> runs;
+  explicit CountingEcho(int servers) : runs(servers, 0) {}
+  Task<PackBuffer> operator()(PackBuffer args, ServerContext& ctx) {
+    ++runs[ctx.server_index];
+    auto xs = args.unpack_f64_array();
+    for (double& x : xs) x *= 2.0;
+    PackBuffer out;
+    out.pack_f64_array(xs);
+    co_return out;
+  }
+};
+
+struct Fixture {
+  Fixture(int servers, PlatformSpec platform, Options opts)
+      : machine(engine, platform, servers + 1),
+        pvm(machine),
+        rpc(pvm, servers, opts) {}
+  Engine engine;
+  Machine machine;
+  PvmSystem pvm;
+  Rpc rpc;
+};
+
+TEST(RetryPolicy, ValidatesParameters) {
+  RetryPolicy r = test_retry();
+  r.timeout_s = 0.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = test_retry();
+  r.backoff = 0.5;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = test_retry();
+  r.max_attempts = 0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = test_retry();
+  r.jitter_frac = 1.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = test_retry();
+  r.max_timeout_s = 0.1;  // below timeout_s
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  RetryPolicy off;  // disabled policies are never validated against
+  off.enabled = false;
+  EXPECT_NO_THROW(off.validate());
+}
+
+TEST(FaultTolerantRpc, FaultFreeRoundTripMatchesPayloads) {
+  Options opts;
+  opts.retry = test_retry();
+  Fixture f(3, test_platform(), opts);
+  auto counter = std::make_shared<CountingEcho>(3);
+  f.rpc.register_proc("echo", [counter](PackBuffer a, ServerContext& c) {
+    return (*counter)(std::move(a), c);
+  });
+  f.rpc.start();
+  std::vector<std::vector<double>> results;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    std::vector<PackBuffer> args(3);
+    for (int s = 0; s < 3; ++s) {
+      args[s].pack_f64_array(std::vector<double>{1.0 * s, 2.0 * s});
+    }
+    std::vector<PackBuffer> replies;
+    const CallAllStats st =
+        co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+    EXPECT_EQ(st.retries, 0u);
+    EXPECT_EQ(st.timeouts, 0u);
+    EXPECT_DOUBLE_EQ(st.recovery_time, 0.0);
+    EXPECT_TRUE(st.failed_servers.empty());
+    for (auto& r : replies) results.push_back(r.unpack_f64_array());
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1], (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(counter->runs, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(FaultTolerantRpc, HealsMessageLossWithoutRerunningHandlers) {
+  PlatformSpec platform = test_platform();
+  platform.fault.seed = 21;
+  platform.fault.drop_rate = 0.15;
+  Options opts;
+  opts.retry = test_retry();
+  Fixture f(4, platform, opts);
+  auto counter = std::make_shared<CountingEcho>(4);
+  f.rpc.register_proc("echo", [counter](PackBuffer a, ServerContext& c) {
+    return (*counter)(std::move(a), c);
+  });
+  f.rpc.start();
+  int rounds_ok = 0;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<PackBuffer> args(4);
+      for (auto& a : args) a.pack_f64_array(std::vector<double>(64, 1.0));
+      std::vector<PackBuffer> replies;
+      const CallAllStats st =
+          co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+      EXPECT_TRUE(st.failed_servers.empty());
+      EXPECT_EQ(replies.size(), 4u);
+      ++rounds_ok;
+    }
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  EXPECT_EQ(rounds_ok, 10);
+  // 15% loss over ~10 rounds of 4 servers is all but guaranteed to hit at
+  // least one message; the middleware must have retried.
+  EXPECT_GT(f.rpc.recovery_totals().retries, 0u);
+  // Dedup: despite retransmitted calls, each handler ran exactly once per
+  // round — a re-run would double-count physics in the real application.
+  EXPECT_EQ(counter->runs, (std::vector<int>{10, 10, 10, 10}));
+  EXPECT_EQ(f.rpc.recovery_totals().servers_failed, 0u);
+}
+
+TEST(FaultTolerantRpc, HealsDuplicationAndCorruption) {
+  PlatformSpec platform = test_platform();
+  platform.fault.seed = 5;
+  platform.fault.duplicate_rate = 0.10;
+  platform.fault.corrupt_rate = 0.10;
+  Options opts;
+  opts.retry = test_retry();
+  Fixture f(3, platform, opts);
+  auto counter = std::make_shared<CountingEcho>(3);
+  f.rpc.register_proc("echo", [counter](PackBuffer a, ServerContext& c) {
+    return (*counter)(std::move(a), c);
+  });
+  f.rpc.start();
+  std::vector<std::vector<double>> last;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<PackBuffer> args(3);
+      for (auto& a : args) a.pack_f64_array(std::vector<double>{3.0, 4.0});
+      std::vector<PackBuffer> replies;
+      const CallAllStats st =
+          co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+      EXPECT_TRUE(st.failed_servers.empty());
+      EXPECT_EQ(replies.size(), 3u);
+      last.clear();
+      for (auto& r : replies) last.push_back(r.unpack_f64_array());
+    }
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  // Payload integrity end to end: corrupted replies were discarded and
+  // re-fetched, never surfaced to the caller.
+  ASSERT_EQ(last.size(), 3u);
+  for (const auto& xs : last) {
+    EXPECT_EQ(xs, (std::vector<double>{6.0, 8.0}));
+  }
+  EXPECT_EQ(counter->runs, (std::vector<int>{8, 8, 8}));
+}
+
+TEST(FaultTolerantRpc, DetectsDeadServerAndReportsIt) {
+  Options opts;
+  opts.retry = test_retry();
+  Fixture f(3, test_platform(), opts);
+  auto counter = std::make_shared<CountingEcho>(3);
+  f.rpc.register_proc("echo", [counter](PackBuffer a, ServerContext& c) {
+    return (*counter)(std::move(a), c);
+  });
+  f.rpc.start();
+  CallAllStats failed_round;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    // Kill server 1's node (node 2) before the first call lands.
+    f.machine.fault().kill_node(2, 0.0);
+    std::vector<PackBuffer> args(3);
+    for (auto& a : args) a.pack_f64_array(std::vector<double>{1.0});
+    std::vector<PackBuffer> replies;
+    failed_round =
+        co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  ASSERT_EQ(failed_round.failed_servers.size(), 1u);
+  EXPECT_EQ(failed_round.failed_servers[0], 1);
+  EXPECT_FALSE(f.rpc.server_alive(1));
+  EXPECT_EQ(f.rpc.num_alive(), 2);
+  EXPECT_GT(failed_round.heartbeats, 0u);  // the detector was consulted
+  EXPECT_GT(failed_round.recovery_time, 0.0);
+  EXPECT_EQ(f.rpc.recovery_totals().servers_failed, 1u);
+}
+
+TEST(FaultTolerantRpc, SurvivorsServeAfterAFailure) {
+  Options opts;
+  opts.retry = test_retry();
+  Fixture f(3, test_platform(), opts);
+  auto counter = std::make_shared<CountingEcho>(3);
+  f.rpc.register_proc("echo", [counter](PackBuffer a, ServerContext& c) {
+    return (*counter)(std::move(a), c);
+  });
+  f.rpc.start();
+  std::size_t second_round_replies = 0;
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    f.machine.fault().kill_node(2, 0.0);
+    std::vector<PackBuffer> args(3);
+    for (auto& a : args) a.pack_f64_array(std::vector<double>{1.0});
+    std::vector<PackBuffer> replies;
+    (void)co_await f.rpc.call_all(client, "echo", std::move(args), &replies);
+    // Re-issued round: only the survivors participate.
+    std::vector<PackBuffer> args2(3);
+    for (auto& a : args2) a.pack_f64_array(std::vector<double>{1.0});
+    std::vector<PackBuffer> replies2;
+    const CallAllStats st =
+        co_await f.rpc.call_all(client, "echo", std::move(args2), &replies2);
+    EXPECT_TRUE(st.failed_servers.empty());
+    EXPECT_EQ(st.participants, 2);
+    second_round_replies = replies2.size();
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+  EXPECT_EQ(second_round_replies, 2u);
+  EXPECT_EQ(counter->runs[1], 0);  // the dead server never computed
+}
+
+TEST(FaultTolerantRpc, PhasesSumToWallWithRecovery) {
+  // The five phase buckets must partition the round's wall time exactly,
+  // faults or not — the paper's accounting discipline extended by the
+  // recovery phase.
+  for (const double drop : {0.0, 0.2}) {
+    PlatformSpec platform = test_platform();
+    platform.fault.seed = 33;
+    platform.fault.drop_rate = drop;
+    Options opts;
+    opts.retry = test_retry();
+    Fixture f(3, platform, opts);
+    f.rpc.register_proc("busy",
+                        [](PackBuffer args, ServerContext& ctx) -> Task<PackBuffer> {
+                          (void)args;
+                          co_await ctx.task.cpu().compute(
+                              OpCounts{1000000, 0, 0, 0, 0, 0}, 1000);
+                          co_return PackBuffer{};
+                        });
+    f.rpc.start();
+    f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+      for (int round = 0; round < 5; ++round) {
+        const double t0 = f.engine.now();
+        std::vector<PackBuffer> args(3);
+        const CallAllStats st =
+            co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+        const double wall = f.engine.now() - t0;
+        EXPECT_TRUE(st.failed_servers.empty());
+        EXPECT_NEAR(st.total(), wall, 1e-9 * (1.0 + wall))
+            << "drop=" << drop << " round=" << round;
+        if (drop == 0.0) {
+          EXPECT_DOUBLE_EQ(st.recovery_time, 0.0);
+        }
+      }
+      co_await f.rpc.shutdown(client);
+    });
+    f.engine.run();
+  }
+}
+
+TEST(FaultTolerantRpc, DeterministicUnderFaultSeed) {
+  // Same fault seed: identical completion time and identical retry counters.
+  auto run_once = [](std::uint64_t seed) {
+    PlatformSpec platform = test_platform();
+    platform.fault.seed = seed;
+    platform.fault.drop_rate = 0.15;
+    platform.fault.corrupt_rate = 0.05;
+    Options opts;
+    opts.retry = test_retry();
+    Fixture f(3, platform, opts);
+    f.rpc.register_proc("echo",
+                        [](PackBuffer a, ServerContext&) -> Task<PackBuffer> {
+                          auto xs = a.unpack_f64_array();
+                          PackBuffer out;
+                          out.pack_f64_array(xs);
+                          co_return out;
+                        });
+    f.rpc.start();
+    f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+      for (int round = 0; round < 6; ++round) {
+        std::vector<PackBuffer> args(3);
+        for (auto& a : args) a.pack_f64_array(std::vector<double>(32, 1.0));
+        (void)co_await f.rpc.call_all(client, "echo", std::move(args),
+                                      nullptr);
+      }
+      co_await f.rpc.shutdown(client);
+    });
+    f.engine.run();
+    return std::make_tuple(f.engine.now(), f.rpc.recovery_totals().retries,
+                           f.rpc.recovery_totals().timeouts,
+                           f.rpc.recovery_totals().stale_discarded);
+  };
+  EXPECT_EQ(run_once(101), run_once(101));
+  EXPECT_NE(run_once(101), run_once(102));
+}
+
+TEST(BarrierMode, OverheadUnderFivePercentAtZeroLoss) {
+  // The paper's §3.3 claim: the accounting barriers cost <5% wall time.
+  // Verified here for the middleware in isolation at 0% loss (the repo's
+  // bench_ablation_sync sweeps the full application).
+  auto run_once = [](bool barrier_mode) {
+    Options opts;
+    opts.barrier_mode = barrier_mode;
+    Fixture f(4, test_platform(), opts);
+    f.rpc.register_proc("busy",
+                        [](PackBuffer args, ServerContext& ctx) -> Task<PackBuffer> {
+                          (void)args;
+                          co_await ctx.task.cpu().compute(
+                              OpCounts{20000000, 0, 0, 0, 0, 0}, 1000);
+                          co_return PackBuffer{};
+                        });
+    f.rpc.start();
+    f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+      for (int round = 0; round < 10; ++round) {
+        std::vector<PackBuffer> args(4);
+        (void)co_await f.rpc.call_all(client, "busy", std::move(args),
+                                      nullptr);
+      }
+      co_await f.rpc.shutdown(client);
+    });
+    f.engine.run();
+    return f.engine.now();
+  };
+  const double t_overlap = run_once(false);
+  const double t_barrier = run_once(true);
+  EXPECT_GE(t_barrier, t_overlap);  // barriers can only add time
+  EXPECT_LT((t_barrier - t_overlap) / t_overlap, 0.05);
+}
+
+TEST(BarrierMode, PhasesSumToWallAtZeroLoss) {
+  Options opts;  // barrier mode, no retry: the seed accounting discipline
+  Fixture f(3, test_platform(), opts);
+  f.rpc.register_proc("busy",
+                      [](PackBuffer args, ServerContext& ctx) -> Task<PackBuffer> {
+                        (void)args;
+                        co_await ctx.task.cpu().compute(
+                            OpCounts{2000000, 0, 0, 0, 0, 0}, 1000);
+                        co_return PackBuffer{};
+                      });
+  f.rpc.start();
+  f.pvm.spawn(0, [&](PvmTask& client) -> Task<void> {
+    const double t0 = f.engine.now();
+    std::vector<PackBuffer> args(3);
+    const CallAllStats st =
+        co_await f.rpc.call_all(client, "busy", std::move(args), nullptr);
+    const double wall = f.engine.now() - t0;
+    EXPECT_NEAR(st.total(), wall, 1e-12);
+    EXPECT_DOUBLE_EQ(st.recovery_time, 0.0);  // no recovery without faults
+    co_await f.rpc.shutdown(client);
+  });
+  f.engine.run();
+}
+
+}  // namespace
