@@ -4,10 +4,12 @@
 // pair-distribution strategies, measured as idle time and per-server busy
 // spread on the fast CoPs platform (compute-dominated regime).
 #include <algorithm>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "mach/platforms_db.hpp"
 #include "opal/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 using namespace opalsim;
@@ -26,18 +28,37 @@ int main() {
       opal::DistributionStrategy::EvenMultiplierBug,
   };
 
-  for (const auto strategy : strategies) {
+  // 5 strategies x 7 server counts = 35 independent DES runs: fan them
+  // across the thread pool, commit by index, print tables serially so the
+  // output is byte-identical to a serial sweep.
+  constexpr int kMaxServers = 7;
+  constexpr std::size_t kNumStrategies = std::size(strategies);
+  struct RunOut {
+    opal::RunMetrics metrics;
+    std::vector<double> server_busy;
+  };
+  std::vector<RunOut> results(kNumStrategies * kMaxServers);
+  util::ThreadPool pool;
+  util::parallel_for_indexed(pool, results.size(), [&](std::size_t idx) {
+    const auto strategy = strategies[idx / kMaxServers];
+    const int p = static_cast<int>(idx % kMaxServers) + 1;
+    opal::SimulationConfig cfg;
+    cfg.steps = bench::steps();
+    cfg.strategy = strategy;
+    // Medium molecule, no cut-off: compute-dominated on fast CoPs.
+    opal::ParallelOpal run(mach::fast_cops(), bench::medium_complex(), p,
+                           cfg);
+    auto r = run.run();
+    results[idx] = RunOut{r.metrics, std::move(r.server_busy)};
+  });
+
+  for (std::size_t s = 0; s < kNumStrategies; ++s) {
+    const auto strategy = strategies[s];
     std::cout << "--- strategy: " << opal::to_string(strategy) << " ---\n";
     util::Table t({"servers", "par comp [s]", "idle [s]", "idle/par [%]",
                    "busy max/mean"});
-    for (int p = 1; p <= 7; ++p) {
-      opal::SimulationConfig cfg;
-      cfg.steps = bench::steps();
-      cfg.strategy = strategy;
-      // Medium molecule, no cut-off: compute-dominated on fast CoPs.
-      opal::ParallelOpal run(mach::fast_cops(), bench::medium_complex(), p,
-                             cfg);
-      const auto r = run.run();
+    for (int p = 1; p <= kMaxServers; ++p) {
+      const RunOut& r = results[s * kMaxServers + (p - 1)];
       double busy_max = 0.0, busy_sum = 0.0;
       for (double b : r.server_busy) {
         busy_max = std::max(busy_max, b);

@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "mach/platforms_db.hpp"
 #include "opal/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opalsim::bench {
 
@@ -49,20 +50,33 @@ inline int run_breakdown_figure(
               << ", steps = " << steps() << "\n\n";
   }
 
+  // Every (panel, p) run is an independent DES simulation: fan the 28 runs
+  // across the thread pool and commit results by index, so the tables are
+  // byte-identical to a serial sweep (OPALSIM_THREADS=1 forces one).
+  const auto& panels = figure_panels();
+  constexpr int kMaxServers = 7;
+  std::vector<opal::RunMetrics> results(panels.size() * kMaxServers);
+  util::ThreadPool pool;
+  util::parallel_for_indexed(
+      pool, results.size(), [&](std::size_t idx) {
+        const auto& panel = panels[idx / kMaxServers];
+        const int p = static_cast<int>(idx % kMaxServers) + 1;
+        opal::SimulationConfig cfg;
+        cfg.steps = steps();
+        cfg.cutoff = panel.cutoff;
+        cfg.update_every = panel.update_every;
+        opal::ParallelOpal run(mach::cray_j90(), make_mc(), p, cfg);
+        results[idx] = run.run().metrics;
+      });
+
   int panel_idx = 0;
-  for (const auto& panel : figure_panels()) {
+  for (const auto& panel : panels) {
     std::cout << "--- Panel " << panel.label << " ---\n";
     util::Table t({"servers", "par comp [s]", "seq comp [s]", "comm [s]",
                    "sync [s]", "idle [s]", "recovery [s]", "retries",
                    "total wall [s]"});
-    for (int p = 1; p <= 7; ++p) {
-      opal::SimulationConfig cfg;
-      cfg.steps = steps();
-      cfg.cutoff = panel.cutoff;
-      cfg.update_every = panel.update_every;
-      opal::ParallelOpal run(mach::cray_j90(), make_mc(), p, cfg);
-      const auto r = run.run();
-      const auto& m = r.metrics;
+    for (int p = 1; p <= kMaxServers; ++p) {
+      const auto& m = results[panel_idx * kMaxServers + (p - 1)];
       t.row()
           .add(p)
           .add(m.tot_par_comp(), 3)

@@ -9,6 +9,7 @@
 #include "opal/forcefield.hpp"
 #include "opal/pairs.hpp"
 #include "opal/serial.hpp"
+#include "opal/soa.hpp"
 
 namespace {
 
@@ -41,13 +42,54 @@ void BM_UpdateSweep(benchmark::State& state) {
   auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
                                      opal::DistributionStrategy::Folded, 1);
   opal::ServerDomain dom(std::move(domains[0]));
+  const auto path = state.range(0) == 0 ? opal::PairUpdatePath::Brute
+                                        : opal::PairUpdatePath::CellList;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dom.update(mc, 10.0));
+    benchmark::DoNotOptimize(dom.update(mc, 10.0, path));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(dom.domain_size()));
 }
-BENCHMARK(BM_UpdateSweep);
+BENCHMARK(BM_UpdateSweep)->Arg(0)->Arg(1);  // 0 = brute force, 1 = cell list
+
+void BM_NonbondedBatchSoA(benchmark::State& state) {
+  const auto& mc = bench_complex();
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  dom.update(mc, 10.0);
+  opal::CentersSoA soa;
+  soa.refresh(mc);
+  std::vector<opal::Vec3> grad(mc.n());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), opal::Vec3{});
+    double evdw = 0.0, ecoul = 0.0;
+    opal::nonbonded_batch(soa, dom.active(), evdw, ecoul, grad);
+    benchmark::DoNotOptimize(evdw);
+    benchmark::DoNotOptimize(ecoul);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dom.active_size()));
+}
+BENCHMARK(BM_NonbondedBatchSoA);
+
+void BM_CellGridBuild(benchmark::State& state) {
+  const auto& mc = bench_complex();
+  const auto n = mc.n();
+  std::vector<double> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = mc.centers[i].position.x;
+    y[i] = mc.centers[i].position.y;
+    z[i] = mc.centers[i].position.z;
+  }
+  opal::CellGrid grid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.build(x, y, z, 10.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CellGridBuild);
 
 void BM_BondedTerms(benchmark::State& state) {
   const auto& mc = bench_complex();

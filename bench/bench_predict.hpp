@@ -18,35 +18,51 @@
 #include "model/calibrate.hpp"
 #include "model/prediction.hpp"
 #include "opal/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opalsim::bench {
 
 /// Calibrates the model on a small factorial over the simulated J90 (cheap:
 /// scaled-down molecules are fine since the fit recovers per-pair constants).
+/// The independent calibration runs fan across the thread pool; obs commits
+/// by case index, so the observation order feeding the least-squares fit is
+/// identical to the serial nested loops.
 inline model::ModelParams calibrate_reference_on_j90() {
-  std::vector<model::Observation> obs;
+  struct CalCase {
+    int p;
+    int solute;
+    int upd;
+    double cutoff;
+  };
+  std::vector<CalCase> cal_cases;
   for (int p : {1, 3, 5, 7}) {
     for (int solute : {150, 300}) {
       for (int upd : {1, 10}) {
         for (double cutoff : {-1.0, 10.0}) {
-          opal::SyntheticSpec s;
-          s.n_solute = solute;
-          s.n_water = 2 * solute;
-          auto mc = opal::make_synthetic_complex(s);
-          opal::SimulationConfig cfg;
-          cfg.steps = 5;
-          cfg.update_every = upd;
-          cfg.cutoff = cutoff;
-          cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
-          model::Observation o;
-          o.app = model::app_params_for(mc, cfg, p);
-          opal::ParallelOpal run(mach::cray_j90(), std::move(mc), p, cfg);
-          o.measured = run.run().metrics;
-          obs.push_back(std::move(o));
+          cal_cases.push_back({p, solute, upd, cutoff});
         }
       }
     }
   }
+  std::vector<model::Observation> obs(cal_cases.size());
+  util::ThreadPool pool;
+  util::parallel_for_indexed(pool, cal_cases.size(), [&](std::size_t idx) {
+    const CalCase& c = cal_cases[idx];
+    opal::SyntheticSpec s;
+    s.n_solute = c.solute;
+    s.n_water = 2 * c.solute;
+    auto mc = opal::make_synthetic_complex(s);
+    opal::SimulationConfig cfg;
+    cfg.steps = 5;
+    cfg.update_every = c.upd;
+    cfg.cutoff = c.cutoff;
+    cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+    model::Observation o;
+    o.app = model::app_params_for(mc, cfg, c.p);
+    opal::ParallelOpal run(mach::cray_j90(), std::move(mc), c.p, cfg);
+    o.measured = run.run().metrics;
+    obs[idx] = std::move(o);
+  });
   return model::calibrate(obs).params;
 }
 

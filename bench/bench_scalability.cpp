@@ -8,6 +8,7 @@
 #include "mach/platforms_db.hpp"
 #include "model/prediction.hpp"
 #include "model/scalability.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 using namespace opalsim;
@@ -24,23 +25,36 @@ int main() {
   auto platforms = mach::prediction_platforms();
   platforms.push_back(mach::hippi_j90_cluster());
 
-  for (double cutoff : {-1.0, 10.0}) {
+  // Per-(cutoff, platform) analyses are independent: fan them across the
+  // thread pool and commit by index so the tables stay byte-identical to a
+  // serial sweep.
+  const double cutoffs[] = {-1.0, 10.0};
+  std::vector<model::ScalabilityAnalysis> results(2 * platforms.size());
+  util::ThreadPool pool;
+  util::parallel_for_indexed(pool, results.size(), [&](std::size_t idx) {
+    const double cutoff = cutoffs[idx / platforms.size()];
+    const auto& spec = platforms[idx % platforms.size()];
+    const model::ModelParams params =
+        model::derive_platform_params(ref, mach::cray_j90(), spec);
+    opal::SimulationConfig cfg;
+    cfg.steps = bench::steps();
+    cfg.cutoff = cutoff;
+    model::AppParams app = model::app_params_for(mc, cfg, 1);
+    results[idx] = model::analyze_scalability(params, app, 32);
+  });
+
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const double cutoff = cutoffs[ci];
     std::cout << "--- medium molecule, "
               << (cutoff > 0 ? "cut-off 10 A, full update"
                              : "no cut-off, full update")
               << " ---\n";
     util::Table t({"platform", "best p", "best time [s]", "saturation p",
                    "continuous p*", "slows down?", "speedup at 32"});
-    for (const auto& spec : platforms) {
-      const model::ModelParams params =
-          model::derive_platform_params(ref, mach::cray_j90(), spec);
-      opal::SimulationConfig cfg;
-      cfg.steps = bench::steps();
-      cfg.cutoff = cutoff;
-      model::AppParams app = model::app_params_for(mc, cfg, 1);
-      const auto a = model::analyze_scalability(params, app, 32);
+    for (std::size_t s = 0; s < platforms.size(); ++s) {
+      const auto& a = results[ci * platforms.size() + s];
       t.row()
-          .add(spec.name)
+          .add(platforms[s].name)
           .add(a.best_p, 0)
           .add(a.best_time, 2)
           .add(a.saturation_p, 0)

@@ -1,0 +1,109 @@
+#include "opal/cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opalsim::opal {
+
+namespace {
+
+/// Picks the number of cells along one axis: as many as fit with edge >=
+/// cutoff, at least one.
+std::int32_t axis_dim(double span, double cutoff) {
+  if (!(span > 0.0) || !(cutoff > 0.0)) return 1;
+  const double d = std::floor(span / cutoff);
+  if (d < 1.0) return 1;
+  // Caller caps the product; 2^20 per axis is already far beyond it.
+  return static_cast<std::int32_t>(std::min(d, 1048576.0));
+}
+
+}  // namespace
+
+bool CellGrid::build(std::span<const double> x, std::span<const double> y,
+                     std::span<const double> z, double cutoff) {
+  const std::size_t n = x.size();
+  if (n < 2 || !(cutoff > 0.0)) return false;
+
+  double lo[3], hi[3];
+  lo[0] = hi[0] = x[0];
+  lo[1] = hi[1] = y[0];
+  lo[2] = hi[2] = z[0];
+  // min/max don't propagate NaN, so a separate checksum carries any
+  // non-finite coordinate to the check below (NaN propagates through +,
+  // inf saturates).
+  double finite_probe = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    lo[0] = std::min(lo[0], x[i]);
+    hi[0] = std::max(hi[0], x[i]);
+    lo[1] = std::min(lo[1], y[i]);
+    hi[1] = std::max(hi[1], y[i]);
+    lo[2] = std::min(lo[2], z[i]);
+    hi[2] = std::max(hi[2], z[i]);
+    finite_probe += x[i] + y[i] + z[i];
+  }
+  // Non-finite coordinates would corrupt the binning; let the brute path
+  // handle such (already broken) runs.
+  if (!std::isfinite(finite_probe)) return false;
+  for (int a = 0; a < 3; ++a) {
+    if (!std::isfinite(lo[a]) || !std::isfinite(hi[a])) return false;
+  }
+
+  std::int32_t dims[3] = {axis_dim(hi[0] - lo[0], cutoff),
+                          axis_dim(hi[1] - lo[1], cutoff),
+                          axis_dim(hi[2] - lo[2], cutoff)};
+  // Cap the cell count: past ~8 cells per center the grid is sparse and the
+  // start_ array dominates the build.  Shrinking a dim only grows the cell
+  // edge, so the >= cutoff invariant is preserved.
+  const std::size_t max_cells = 8 * n + 64;
+  while (static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] > max_cells) {
+    int widest = 0;
+    if (dims[1] > dims[widest]) widest = 1;
+    if (dims[2] > dims[widest]) widest = 2;
+    if (dims[widest] <= 1) break;
+    dims[widest] = (dims[widest] + 1) / 2;
+  }
+  if (static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] < 27) return false;
+
+  nx_ = dims[0];
+  ny_ = dims[1];
+  nz_ = dims[2];
+  for (int a = 0; a < 3; ++a) {
+    lo_[a] = lo[a];
+    const double span = hi[a] - lo[a];
+    inv_w_[a] = span > 0.0 ? static_cast<double>(dims[a]) / span : 0.0;
+  }
+
+  const std::size_t cells = num_cells();
+  cell_of_.resize(n);
+  start_.assign(cells + 1, 0);
+  auto clamp_axis = [](double v, std::int32_t d) {
+    const auto c = static_cast<std::int32_t>(v);
+    return std::clamp(c, 0, d - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t cx = clamp_axis((x[i] - lo_[0]) * inv_w_[0], nx_);
+    const std::int32_t cy = clamp_axis((y[i] - lo_[1]) * inv_w_[1], ny_);
+    const std::int32_t cz = clamp_axis((z[i] - lo_[2]) * inv_w_[2], nz_);
+    const auto c = static_cast<std::uint32_t>(cell_index(cx, cy, cz));
+    cell_of_[i] = c;
+    ++start_[c + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) start_[c + 1] += start_[c];
+  items_.resize(n);
+  cx_.resize(n);
+  cy_.resize(n);
+  cz_.resize(n);
+  // Stable counting sort: ascending center index within each cell.  The
+  // coordinates ride along so neighbor loops read them contiguously.
+  cursor_.assign(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = cursor_[cell_of_[i]]++;
+    items_[slot] = static_cast<std::uint32_t>(i);
+    cx_[slot] = x[i];
+    cy_[slot] = y[i];
+    cz_[slot] = z[i];
+  }
+  return true;
+}
+
+}  // namespace opalsim::opal

@@ -25,6 +25,9 @@ struct SimulationConfig {
   double cutoff = -1.0;
   /// Pair-to-server distribution strategy.
   DistributionStrategy strategy = DistributionStrategy::PseudoRandomHistorical;
+  /// Host execution path for list updates (virtual time is identical on
+  /// every path; Auto picks the fastest).  See DESIGN.md.
+  PairUpdatePath pair_path = PairUpdatePath::Auto;
   /// Leapfrog timestep (arbitrary units; small keeps dynamics tame).
   double dt = 1e-3;
   /// When false, positions stay fixed (pure energy evaluation) — work is

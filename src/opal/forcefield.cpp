@@ -1,6 +1,7 @@
 #include "opal/forcefield.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numbers>
 
@@ -8,11 +9,15 @@ namespace opalsim::opal {
 
 namespace {
 
-/// Wraps an angle difference into [-pi, pi].
+std::atomic<std::uint64_t> g_degenerate_bonds{0};
+
+/// Wraps an angle difference into [-pi, pi].  std::remainder is exact and
+/// O(1); the former while-loop took O(|a|) iterations and spun effectively
+/// forever on pathological inputs (e.g. a wild xi0).  For |a| <= 2*pi the
+/// result is bit-identical to the loop: the single correction step
+/// a -+ 2*pi is exact by Sterbenz's lemma.
 double wrap_angle(double a) {
-  while (a > std::numbers::pi) a -= 2.0 * std::numbers::pi;
-  while (a < -std::numbers::pi) a += 2.0 * std::numbers::pi;
-  return a;
+  return std::remainder(a, 2.0 * std::numbers::pi);
 }
 
 /// Computes the dihedral angle phi over centers (i,j,k,l) and accumulates
@@ -75,11 +80,26 @@ double bond_energy(const MolecularComplex& mc, const Bond& b,
   const double r = d.norm();
   const double dr = r - b.b0;
   const double e = 0.5 * b.kb * dr * dr;
-  // dV/dr_i = kb (r - b0) * d/r
-  const Vec3 g = d * (b.kb * dr / r);
-  grad[b.i] += g;
-  grad[b.j] -= g;
+  if (r > 0.0) {
+    // dV/dr_i = kb (r - b0) * d/r
+    const Vec3 g = d * (b.kb * dr / r);
+    grad[b.i] += g;
+    grad[b.j] -= g;
+  } else {
+    // Coincident centers: the gradient direction is 0/0.  The former code
+    // emitted inf/NaN here and silently poisoned every later reduction;
+    // skip the gradient (the energy stays finite) and count the event.
+    g_degenerate_bonds.fetch_add(1, std::memory_order_relaxed);
+  }
   return e;
+}
+
+std::uint64_t degenerate_bond_events() noexcept {
+  return g_degenerate_bonds.load(std::memory_order_relaxed);
+}
+
+void reset_degenerate_bond_events() noexcept {
+  g_degenerate_bonds.store(0, std::memory_order_relaxed);
 }
 
 double angle_energy(const MolecularComplex& mc, const Angle& a,

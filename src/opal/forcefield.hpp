@@ -95,8 +95,16 @@ struct BondedEnergies {
 };
 
 /// Single-term evaluators; each accumulates gradients into `grad`.
+/// bond_energy skips the (undefined) gradient of a zero-length bond and
+/// counts the event — see degenerate_bond_events().
 double bond_energy(const MolecularComplex& mc, const Bond& b,
                    std::span<Vec3> grad);
+
+/// Number of bond terms evaluated at exactly zero length (coincident
+/// centers) since process start or the last reset.  Process-wide atomic so
+/// threaded sweeps can keep counting.
+std::uint64_t degenerate_bond_events() noexcept;
+void reset_degenerate_bond_events() noexcept;
 double angle_energy(const MolecularComplex& mc, const Angle& a,
                     std::span<Vec3> grad);
 double dihedral_energy(const MolecularComplex& mc, const Dihedral& d,

@@ -1,11 +1,61 @@
 #include "opal/pairs.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <numeric>
 #include <stdexcept>
 
 #include "opal/forcefield.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace opalsim::opal {
+
+namespace {
+
+/// Lexicographic rank of pair (i,j) in the full triangle over n centers.
+std::uint64_t pair_rank(std::uint32_t i, std::uint32_t j,
+                        std::uint32_t n) noexcept {
+  // Row i starts after sum_{r<i} (n-1-r) = i*(2n-i-1)/2 pairs (the product
+  // is always even: i or 2n-i-1 is).
+  return static_cast<std::uint64_t>(i) * (2ull * n - i - 1) / 2 +
+         (j - i - 1);
+}
+
+bool lex_less(const PairIdx& a, const PairIdx& b) noexcept {
+  return a.i < b.i || (a.i == b.i && a.j < b.j);
+}
+
+/// OPALSIM_CELL_LIST=0 (or false/off/no) forces the brute-force update path
+/// everywhere — the escape hatch documented in README.  Read once.
+bool cell_list_enabled() {
+  static const bool enabled = [] {
+    const auto s = util::env_string("OPALSIM_CELL_LIST");
+    if (!s) return true;
+    std::string v = *s;
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    return !(v == "0" || v == "false" || v == "off" || v == "no");
+  }();
+  return enabled;
+}
+
+/// Below these sizes the brute sweep is already cheap and the grid build
+/// would dominate.
+constexpr std::uint32_t kMinCentersForCells = 96;
+constexpr std::size_t kMinPairsForCells = 1024;
+
+/// Verlet-list skin as a fraction of the cut-off.  Larger skins pad the
+/// candidate list (more distance checks per update) but survive more
+/// motion before a grid rebuild; 0.3 balances the two for the step sizes
+/// the integrator takes.
+constexpr double kVerletSkinFactor = 0.3;
+
+constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
+
+}  // namespace
 
 std::string to_string(DistributionStrategy s) {
   switch (s) {
@@ -60,20 +110,38 @@ std::vector<std::vector<PairIdx>> build_domains(std::uint32_t n, int p,
   if (n < 2) throw std::invalid_argument("build_domains: need >= 2 centers");
   std::vector<std::vector<PairIdx>> domains(p);
   const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
-  const std::uint64_t per = total / static_cast<std::uint64_t>(p) + 1;
-  for (auto& d : domains) d.reserve(per);
+  // First pass: exact per-server counts.  The old total/p + 1 heuristic
+  // over-allocates badly for skewed strategies (EvenMultiplierBug puts
+  // everything on half the servers) and still reallocates for the heavy
+  // ones.  Owners are memoized in a compact buffer when p fits so the
+  // hashed strategies are not evaluated twice.
+  std::vector<std::uint64_t> counts(p, 0);
+  const bool memoize = p <= 65535;
+  std::vector<std::uint16_t> owners;
+  if (memoize) owners.resize(total);
   std::uint64_t k = 0;
   for (std::uint32_t i = 0; i + 1 < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j, ++k) {
       const int owner = pair_owner(strategy, k, i, j, n, p, seed);
+      ++counts[owner];
+      if (memoize) owners[k] = static_cast<std::uint16_t>(owner);
+    }
+  }
+  for (int s = 0; s < p; ++s) domains[s].reserve(counts[s]);
+  k = 0;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j, ++k) {
+      const int owner =
+          memoize ? owners[k] : pair_owner(strategy, k, i, j, n, p, seed);
       domains[owner].push_back(PairIdx{i, j});
     }
   }
   return domains;
 }
 
-std::uint64_t ServerDomain::update(const MolecularComplex& mc,
-                                   double cutoff) {
+std::uint64_t ServerDomain::update(const MolecularComplex& mc, double cutoff,
+                                   PairUpdatePath path) {
+  used_cells_ = false;
   if (cutoff <= 0.0) {
     materialized_ = false;
     active_.clear();
@@ -81,12 +149,219 @@ std::uint64_t ServerDomain::update(const MolecularComplex& mc,
     return domain_.size();
   }
   materialized_ = true;
-  active_.clear();
   const double c2 = cutoff * cutoff;
+  bool try_cells = false;
+  switch (path) {
+    case PairUpdatePath::Brute:
+      break;
+    case PairUpdatePath::CellList:
+      try_cells = true;
+      break;
+    case PairUpdatePath::Auto:
+      try_cells = cell_list_enabled() && mc.n() >= kMinCentersForCells &&
+                  domain_.size() >= kMinPairsForCells;
+      break;
+  }
+  if (!try_cells || !update_cells(mc, c2, cutoff)) update_brute(mc, c2);
+  return domain_.size();
+}
+
+void ServerDomain::update_brute(const MolecularComplex& mc, double c2) {
+  active_.clear();
   for (const PairIdx& pr : domain_) {
     if (within_cutoff(mc, pr.i, pr.j, c2)) active_.push_back(pr);
   }
-  return domain_.size();
+}
+
+bool ServerDomain::update_cells(const MolecularComplex& mc, double c2,
+                                double cutoff) {
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  sx_.resize(n);
+  sy_.resize(n);
+  sz_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Vec3& r = mc.centers[i].position;
+    sx_[i] = r.x;
+    sy_[i] = r.y;
+    sz_[i] = r.z;
+  }
+  ensure_membership(n);
+
+  if (membership_ == Membership::LexComplete) {
+    // Serial full-triangle domain: every pair is assigned, so the active
+    // list is just "all cut-off pairs in lex order".  Keep a Verlet list —
+    // candidate j's per row i within cutoff + skin of reference positions —
+    // and rebuild it from the cell grid only when some center has moved
+    // more than skin/2 since the reference.  While the list is valid (every
+    // pair now within the cut-off was within cutoff + skin at reference
+    // time), exactly re-filtering it against the current positions yields
+    // the brute-force active list bit for bit, in the same lex order, at
+    // O(list) instead of O(n^2) cost per update.
+    const double skin = kVerletSkinFactor * cutoff;
+    bool fresh = verlet_ready_ && verlet_cutoff_ == cutoff && rx_.size() == n;
+    if (fresh) {
+      const double half_skin2 = (0.5 * skin) * (0.5 * skin);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const double dx = sx_[i] - rx_[i];
+        const double dy = sy_[i] - ry_[i];
+        const double dz = sz_[i] - rz_[i];
+        if (dx * dx + dy * dy + dz * dz > half_skin2) {
+          fresh = false;
+          break;
+        }
+      }
+    }
+    if (!fresh) {
+      if (!grid_.build(sx_, sy_, sz_, cutoff + skin)) return false;
+      const double padded2 = (cutoff + skin) * (cutoff + skin);
+      const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+      marks_.assign(words, 0);
+      vstart_.assign(n + 1, 0);
+      vitems_.clear();
+      // Per-row bitset over j (a few hundred bytes, L1-resident): the sweep
+      // both orders the row ascending and clears the bits it consumes.
+      for (std::uint32_t i = 0; i + 1 < n; ++i) {
+        grid_.for_each_near_above(i, sx_[i], sy_[i], sz_[i], padded2,
+                                  [&](std::uint32_t j) {
+                                    marks_[j >> 6] |= 1ull << (j & 63);
+                                  });
+        for (std::size_t w = static_cast<std::size_t>(i + 1) >> 6; w < words;
+             ++w) {
+          std::uint64_t word = marks_[w];
+          if (word == 0) continue;
+          marks_[w] = 0;
+          do {
+            const auto bit =
+                static_cast<std::uint32_t>(std::countr_zero(word));
+            word &= word - 1;
+            vitems_.push_back(static_cast<std::uint32_t>(w << 6) + bit);
+          } while (word != 0);
+        }
+        vstart_[i + 1] = static_cast<std::uint32_t>(vitems_.size());
+      }
+      vstart_[n] = static_cast<std::uint32_t>(vitems_.size());
+      rx_ = sx_;
+      ry_ = sy_;
+      rz_ = sz_;
+      verlet_cutoff_ = cutoff;
+      verlet_ready_ = true;
+    }
+    // Exact filter of the padded list against the *current* positions: the
+    // same squared-distance expression within_cutoff evaluates, over rows
+    // in lex order, j ascending within a row.  The write is branchless
+    // (store every candidate, advance only on accept) — at the ~40% accept
+    // rate of the padded list a conditional push mispredicts constantly.
+    active_.resize(vitems_.size());
+    PairIdx* out = active_.data();
+    std::size_t cnt = 0;
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      const double xi = sx_[i], yi = sy_[i], zi = sz_[i];
+      const std::uint32_t e = vstart_[i + 1];
+      for (std::uint32_t t = vstart_[i]; t < e; ++t) {
+        const std::uint32_t j = vitems_[t];
+        const double dx = xi - sx_[j];
+        const double dy = yi - sy_[j];
+        const double dz = zi - sz_[j];
+        out[cnt] = PairIdx{i, j};
+        cnt += dx * dx + dy * dy + dz * dz <= c2 ? 1 : 0;
+      }
+    }
+    active_.resize(cnt);
+    used_cells_ = true;
+    return true;
+  }
+
+  if (!grid_.build(sx_, sy_, sz_, cutoff)) return false;
+
+  // Domain-subset memberships: mark assigned candidates within the cut-off
+  // in a bitset over domain positions, then sweep it in order — the active
+  // list comes out exactly as the brute-force sweep would emit it.
+  marks_.assign((domain_.size() + 63) / 64, 0);
+  grid_.for_each_candidate([&](std::uint32_t a, std::uint32_t b) {
+    const Vec3 d{sx_[a] - sx_[b], sy_[a] - sy_[b], sz_[a] - sz_[b]};
+    if (!(d.norm2() <= c2)) return;
+    const std::size_t pos = find_position(a, b, n);
+    if (pos == kNoPosition) return;
+    marks_[pos >> 6] |= 1ull << (pos & 63);
+  });
+
+  active_.clear();
+  for (std::size_t w = 0; w < marks_.size(); ++w) {
+    std::uint64_t word = marks_[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      active_.push_back(domain_[(w << 6) + bit]);
+    }
+  }
+  used_cells_ = true;
+  return true;
+}
+
+void ServerDomain::ensure_membership(std::uint32_t n) {
+  if (membership_ready_ && membership_n_ == n) return;
+  bool sorted = true;
+  for (std::size_t t = 1; t < domain_.size(); ++t) {
+    if (!lex_less(domain_[t - 1], domain_[t])) {
+      sorted = false;
+      break;
+    }
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (sorted && domain_.size() == total) {
+    // Strictly increasing distinct pairs, as many as exist: the full
+    // triangle in lex order, so position == pair_rank.  This is the serial
+    // engine's domain — no index needed at all.
+    membership_ = Membership::LexComplete;
+    perm_.clear();
+    perm_.shrink_to_fit();
+  } else if (sorted) {
+    // Freshly built domains are lex-sorted (build_domains appends in
+    // enumeration order): binary-search the domain itself.
+    membership_ = Membership::SortedDomain;
+    perm_.clear();
+    perm_.shrink_to_fit();
+  } else {
+    // Post-adopt(): sorted runs concatenated.  Search an index permutation
+    // ordered by pair instead.
+    membership_ = Membership::Permuted;
+    perm_.resize(domain_.size());
+    std::iota(perm_.begin(), perm_.end(), 0u);
+    std::sort(perm_.begin(), perm_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return lex_less(domain_[a], domain_[b]);
+              });
+  }
+  membership_n_ = n;
+  membership_ready_ = true;
+}
+
+std::size_t ServerDomain::find_position(std::uint32_t i, std::uint32_t j,
+                                        std::uint32_t n) const noexcept {
+  switch (membership_) {
+    case Membership::LexComplete:
+      return static_cast<std::size_t>(pair_rank(i, j, n));
+    case Membership::SortedDomain: {
+      const PairIdx key{i, j};
+      const auto it =
+          std::lower_bound(domain_.begin(), domain_.end(), key, lex_less);
+      if (it == domain_.end() || it->i != i || it->j != j) return kNoPosition;
+      return static_cast<std::size_t>(it - domain_.begin());
+    }
+    case Membership::Permuted: {
+      const PairIdx key{i, j};
+      const auto it = std::lower_bound(
+          perm_.begin(), perm_.end(), key,
+          [this](std::uint32_t t, const PairIdx& v) {
+            return lex_less(domain_[t], v);
+          });
+      if (it == perm_.end()) return kNoPosition;
+      const PairIdx& found = domain_[*it];
+      if (found.i != i || found.j != j) return kNoPosition;
+      return static_cast<std::size_t>(*it);
+    }
+  }
+  return kNoPosition;
 }
 
 }  // namespace opalsim::opal

@@ -5,6 +5,15 @@
 // distinct subset of the atom pairs").  The assignment is static for a run;
 // the *active* list on each server is rebuilt in the update phase by
 // distance-checking the assigned pairs against the cut-off.
+//
+// Two host execution paths rebuild the active list (DESIGN.md, "Host
+// execution engine"): the brute-force sweep over the assigned pairs (the
+// paper's algorithm, O(n^2/p) distance checks) and a linked-cell path that
+// enumerates only neighbor-cell candidates and filters them through a
+// membership index of the static domain.  Both produce the identical active
+// list (same pairs, same order); only host wall time differs.  Virtual-time
+// accounting is unchanged: update() always reports domain_size() pairs
+// checked, the paper's O(n^2) model.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "opal/cells.hpp"
 #include "opal/complex.hpp"
 
 namespace opalsim::opal {
@@ -42,6 +52,13 @@ enum class DistributionStrategy {
 
 std::string to_string(DistributionStrategy s);
 
+/// Host path used by ServerDomain::update to rebuild the active list.
+/// Auto picks the cell list when it pays off (cut-off set, enough centers
+/// and assigned pairs) unless disabled via OPALSIM_CELL_LIST=0; Brute and
+/// CellList force a path (CellList still falls back when the grid
+/// degenerates, e.g. the cut-off exceeds the bounding box).
+enum class PairUpdatePath { Auto, Brute, CellList };
+
 /// Owner server of pair number `k` = (i,j) under the given strategy.
 int pair_owner(DistributionStrategy strategy, std::uint64_t k,
                std::uint32_t i, std::uint32_t j, std::uint32_t n, int p,
@@ -63,8 +80,11 @@ class ServerDomain {
 
   /// Rebuilds the active list: pairs within `cutoff` (Angstrom); a
   /// non-positive cutoff means no cut-off (all pairs active, list not
-  /// materialized).  Returns the number of pairs checked (== domain size).
-  std::uint64_t update(const MolecularComplex& mc, double cutoff);
+  /// materialized).  Returns the number of pairs checked for virtual-time
+  /// accounting (== domain size; the model charges the full sweep
+  /// regardless of the host path).
+  std::uint64_t update(const MolecularComplex& mc, double cutoff,
+                       PairUpdatePath path = PairUpdatePath::Auto);
 
   /// Pairs the energy evaluation must process.
   std::span<const PairIdx> active() const noexcept {
@@ -74,9 +94,12 @@ class ServerDomain {
 
   /// Failover: takes ownership of `extra` pairs (a dead server's share).
   /// The active list is stale until the next update(); callers force an
-  /// update round after adoption.
+  /// update round after adoption.  Pairs must stay unique across the
+  /// domain (guaranteed by the disjoint distribution).
   void adopt(std::span<const PairIdx> extra) {
     domain_.insert(domain_.end(), extra.begin(), extra.end());
+    membership_ready_ = false;
+    verlet_ready_ = false;
   }
 
   std::size_t domain_size() const noexcept { return domain_.size(); }
@@ -87,11 +110,52 @@ class ServerDomain {
   std::size_t list_bytes() const noexcept {
     return active_size() * sizeof(PairIdx);
   }
+  /// True when the last update() went through the cell-list path (bench
+  /// and test introspection).
+  bool last_update_used_cells() const noexcept { return used_cells_; }
 
  private:
+  /// How candidate pairs map back to positions in domain_.
+  enum class Membership : unsigned char {
+    LexComplete,   ///< full triangle in lex order: position == pair rank
+    SortedDomain,  ///< domain_ lex-sorted: binary search on it directly
+    Permuted,      ///< post-adopt: binary search the rank-sorted perm_
+  };
+
+  void update_brute(const MolecularComplex& mc, double c2);
+  bool update_cells(const MolecularComplex& mc, double c2, double cutoff);
+  void ensure_membership(std::uint32_t n);
+  /// Position of (i,j) in domain_, or npos when not assigned here.
+  std::size_t find_position(std::uint32_t i, std::uint32_t j,
+                            std::uint32_t n) const noexcept;
+
   std::vector<PairIdx> domain_;
   std::vector<PairIdx> active_;
   bool materialized_ = false;
+  bool used_cells_ = false;
+
+  // Membership index over the static domain (built lazily, invalidated by
+  // adopt()).
+  bool membership_ready_ = false;
+  Membership membership_ = Membership::SortedDomain;
+  std::uint32_t membership_n_ = 0;
+  std::vector<std::uint32_t> perm_;
+
+  // Per-update scratch, reused across calls.
+  CellGrid grid_;
+  std::vector<double> sx_, sy_, sz_;
+  std::vector<std::uint64_t> marks_;
+
+  // Verlet (skin-padded) neighbor list for the serial full-triangle domain:
+  // CSR rows of candidate j's per i within cutoff + skin of the reference
+  // positions rx_/ry_/rz_.  Valid while no center has moved more than
+  // skin/2 from its reference — then exact distance-filtering the list
+  // reproduces the brute-force active list bit for bit.  See DESIGN.md,
+  // "Host execution engine".
+  bool verlet_ready_ = false;
+  double verlet_cutoff_ = -1.0;
+  std::vector<std::uint32_t> vstart_, vitems_;
+  std::vector<double> rx_, ry_, rz_;
 };
 
 }  // namespace opalsim::opal

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "opal/forcefield.hpp"
+#include "opal/soa.hpp"
 #include "opal/trajectory.hpp"
 #include "opal/pairs.hpp"
 #include "opal/serial.hpp"
@@ -20,6 +21,9 @@ struct ServerState {
   MolecularComplex replica;
   ServerDomain domain;
   std::vector<Vec3> grad;
+  /// SoA mirror of the replica for the nonbonded host kernel; parameters
+  /// are refreshed once, positions after every coordinate message.
+  CentersSoA soa;
   std::uint64_t pairs_checked = 0;
   std::uint64_t pairs_evaluated = 0;
   /// Highest failover epoch applied — makes the "adopt" handler idempotent
@@ -74,8 +78,11 @@ ParallelRunResult ParallelOpal::run() {
   std::vector<ServerState> servers;
   servers.reserve(num_servers_);
   for (int s = 0; s < num_servers_; ++s) {
-    ServerState st{mc_, ServerDomain(std::move(domains[s])), {}, 0, 0};
+    ServerState st;
+    st.replica = mc_;
+    st.domain = ServerDomain(std::move(domains[s]));
     st.grad.resize(mc_.n());
+    st.soa.refresh_params(st.replica);
     servers.push_back(std::move(st));
   }
 
@@ -86,7 +93,8 @@ ParallelRunResult ParallelOpal::run() {
           -> sim::Task<pvm::PackBuffer> {
         ServerState& st = servers[ctx.server_index];
         st.replica.set_flat_coordinates(args.unpack_f64_array());
-        const std::uint64_t checked = st.domain.update(st.replica, cfg_.cutoff);
+        const std::uint64_t checked =
+            st.domain.update(st.replica, cfg_.cutoff, cfg_.pair_path);
         st.pairs_checked += checked;
         co_await ctx.task.cpu().compute(OpMixes::update_pair * checked,
                                         st.working_set_bytes());
@@ -99,11 +107,10 @@ ParallelRunResult ParallelOpal::run() {
           -> sim::Task<pvm::PackBuffer> {
         ServerState& st = servers[ctx.server_index];
         st.replica.set_flat_coordinates(args.unpack_f64_array());
+        st.soa.refresh_positions(st.replica);
         std::fill(st.grad.begin(), st.grad.end(), Vec3{});
         double evdw = 0.0, ecoul = 0.0;
-        for (const PairIdx& pr : st.domain.active()) {
-          nonbonded_pair(st.replica, pr.i, pr.j, evdw, ecoul, st.grad);
-        }
+        nonbonded_batch(st.soa, st.domain.active(), evdw, ecoul, st.grad);
         const std::uint64_t m = st.domain.active_size();
         st.pairs_evaluated += m;
         co_await ctx.task.cpu().compute(OpMixes::nbint_pair * m,

@@ -1,6 +1,7 @@
 #include "opal/serial.hpp"
 
 #include "opal/forcefield.hpp"
+#include "opal/soa.hpp"
 #include "opal/trajectory.hpp"
 #include "opal/pairs.hpp"
 
@@ -82,18 +83,20 @@ SimResult SerialOpal::run() {
   std::vector<Vec3> grad(mc_.n());
   SteepestDescent minimizer(cfg_.min_step);
   SimResult result;
+  CentersSoA soa;
+  soa.refresh_params(mc_);
 
   for (int step = 0; step < cfg_.steps; ++step) {
     if (step % cfg_.update_every == 0) {
-      const std::uint64_t checked = domain.update(mc_, cfg_.cutoff);
+      const std::uint64_t checked =
+          domain.update(mc_, cfg_.cutoff, cfg_.pair_path);
       pairs_checked_ += checked;
       ops_ += OpMixes::update_pair * checked;
     }
+    soa.refresh_positions(mc_);
     std::fill(grad.begin(), grad.end(), Vec3{});
     double evdw = 0.0, ecoul = 0.0;
-    for (const PairIdx& pr : domain.active()) {
-      nonbonded_pair(mc_, pr.i, pr.j, evdw, ecoul, grad);
-    }
+    nonbonded_batch(soa, domain.active(), evdw, ecoul, grad);
     const std::uint64_t m = domain.active_size();
     pairs_evaluated_ += m;
     ops_ += OpMixes::nbint_pair * m;
@@ -121,10 +124,12 @@ KernelResult nbint_kernel(const MolecularComplex& mc,
                           std::uint64_t num_pairs) {
   KernelResult kr;
   std::vector<Vec3> grad(mc.n());
+  CentersSoA soa;
+  soa.refresh(mc);
   const auto n = static_cast<std::uint32_t>(mc.n());
   std::uint32_t i = 0, j = 1;
   for (std::uint64_t k = 0; k < num_pairs; ++k) {
-    nonbonded_pair(mc, i, j, kr.evdw, kr.ecoul, grad);
+    nonbonded_soa_pair(soa, i, j, kr.evdw, kr.ecoul, grad.data());
     if (++j == n) {
       if (++i == n - 1) i = 0;
       j = i + 1;

@@ -1,0 +1,42 @@
+#include "opal/soa.hpp"
+
+namespace opalsim::opal {
+
+void CentersSoA::refresh_params(const MolecularComplex& mc) {
+  const std::size_t n = mc.n();
+  charge.resize(n);
+  c12.resize(n);
+  c6.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MassCenter& c = mc.centers[i];
+    charge[i] = c.charge;
+    c12[i] = c.c12;
+    c6[i] = c.c6;
+  }
+}
+
+void CentersSoA::refresh_positions(const MolecularComplex& mc) {
+  const std::size_t n = mc.n();
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& r = mc.centers[i].position;
+    x[i] = r.x;
+    y[i] = r.y;
+    z[i] = r.z;
+  }
+}
+
+void nonbonded_batch(const CentersSoA& soa, std::span<const PairIdx> pairs,
+                     double& evdw, double& ecoul, std::span<Vec3> grad) {
+  double vdw = evdw, coul = ecoul;
+  Vec3* g = grad.data();
+  for (const PairIdx& pr : pairs) {
+    nonbonded_soa_pair(soa, pr.i, pr.j, vdw, coul, g);
+  }
+  evdw = vdw;
+  ecoul = coul;
+}
+
+}  // namespace opalsim::opal

@@ -1,0 +1,26 @@
+// Host wall-clock timer for instrumenting the simulator's own execution
+// speed (as opposed to the virtual time the DES engine produces).
+#pragma once
+
+#include <chrono>
+
+namespace opalsim::util {
+
+class HostTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  HostTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace opalsim::util

@@ -1,0 +1,55 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace opalsim::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = std::max(1u, threads);
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+unsigned ThreadPool::default_threads() {
+  const long v = env_long("OPALSIM_THREADS", 0);
+  if (v > 0) return static_cast<unsigned>(v);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace opalsim::util

@@ -1,0 +1,89 @@
+// A small fixed-size worker pool for fanning independent DES runs across
+// hardware threads.
+//
+// Every simulation engine in this codebase is self-contained (its own
+// sim::Engine, RNG and state), so whole runs parallelize trivially; what
+// must NOT change is the output: parallel_for_indexed commits results by
+// index, so a sweep's tables and CSVs are byte-identical to a serial run.
+// See DESIGN.md, "Host execution engine".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opalsim::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; a 1-thread pool still runs jobs on
+  /// its worker, but parallel_for_indexed short-circuits it inline).
+  explicit ThreadPool(unsigned threads = default_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a job.  Jobs must not throw out of the pool; wrap with your
+  /// own capture (parallel_for_indexed does).
+  void submit(std::function<void()> job);
+
+  /// Number of worker threads a pool gets by default: OPALSIM_THREADS when
+  /// set (clamped to >= 1), else the hardware concurrency.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0) .. fn(count-1) across the pool and returns when all have
+/// finished.  Callers preallocate a result slot per index and have fn(i)
+/// write slot i: iteration results then commit in index order regardless
+/// of scheduling.  With a pool of <= 1 thread the loop runs inline (same
+/// order, zero overhead).  The first exception thrown by any fn is
+/// rethrown here after all iterations finish.
+template <typename Fn>
+void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) return;
+  if (pool.size() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t remaining = count;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(m);
+      if (err && !first_error) first_error = err;
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace opalsim::util

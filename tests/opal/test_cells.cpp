@@ -1,0 +1,304 @@
+// Cell-list update path: the linked-cell grid and the equivalence guarantee
+// that ServerDomain::update produces the *identical* active list (same
+// pairs, same order) on both host paths, across distribution strategies,
+// server counts, post-failover domains and degenerate geometries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "opal/cells.hpp"
+#include "opal/complex.hpp"
+#include "opal/forcefield.hpp"
+#include "opal/pairs.hpp"
+#include "opal/serial.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+opal::MolecularComplex test_complex(std::size_t n_solute, std::size_t n_water,
+                                    std::uint64_t seed) {
+  opal::SyntheticSpec s;
+  s.n_solute = n_solute;
+  s.n_water = n_water;
+  s.seed = seed;
+  return opal::make_synthetic_complex(s);
+}
+
+std::vector<opal::PairIdx> snapshot(const opal::ServerDomain& dom) {
+  return {dom.active().begin(), dom.active().end()};
+}
+
+/// A cutoff guaranteed to give the grid >= 4 cells per axis for these
+/// positions (the synthetic boxes of small test complexes are only ~20 A
+/// across, so fixed cutoffs can degenerate the grid).
+double grid_friendly_cutoff(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<double>& z) {
+  double span = std::numeric_limits<double>::max();
+  for (const auto* c : {&x, &y, &z}) {
+    const auto [lo, hi] = std::minmax_element(c->begin(), c->end());
+    span = std::min(span, *hi - *lo);
+  }
+  return span / 4.0;
+}
+
+/// Runs both paths on the same domain and requires element-for-element
+/// equality (order included — the FP accumulation order downstream depends
+/// on it).
+void expect_paths_identical(opal::ServerDomain& dom,
+                            const opal::MolecularComplex& mc, double cutoff) {
+  dom.update(mc, cutoff, opal::PairUpdatePath::Brute);
+  const auto brute = snapshot(dom);
+  dom.update(mc, cutoff, opal::PairUpdatePath::CellList);
+  const auto cells = snapshot(dom);
+  ASSERT_EQ(brute.size(), cells.size());
+  for (std::size_t t = 0; t < brute.size(); ++t) {
+    ASSERT_EQ(brute[t].i, cells[t].i) << "at position " << t;
+    ASSERT_EQ(brute[t].j, cells[t].j) << "at position " << t;
+  }
+}
+
+TEST(CellGrid, RejectsDegenerateGeometry) {
+  opal::CellGrid grid;
+  // Too few points.
+  std::vector<double> one{0.0};
+  EXPECT_FALSE(grid.build(one, one, one, 1.0));
+  // Cutoff exceeding the bounding box: fewer than 27 cells.
+  auto mc = test_complex(50, 100, 7);
+  std::vector<double> x, y, z;
+  for (const auto& c : mc.centers) {
+    x.push_back(c.position.x);
+    y.push_back(c.position.y);
+    z.push_back(c.position.z);
+  }
+  EXPECT_FALSE(grid.build(x, y, z, 1e6));
+  // Non-positive cutoff.
+  EXPECT_FALSE(grid.build(x, y, z, 0.0));
+  // Non-finite coordinate.
+  auto bad = x;
+  bad[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(grid.build(bad, y, z, 3.0));
+}
+
+TEST(CellGrid, CandidatesCoverAllPairsWithinCutoff) {
+  const auto mc = test_complex(120, 240, 11);
+  std::vector<double> x, y, z;
+  for (const auto& c : mc.centers) {
+    x.push_back(c.position.x);
+    y.push_back(c.position.y);
+    z.push_back(c.position.z);
+  }
+  const double cutoff = grid_friendly_cutoff(x, y, z);
+  opal::CellGrid grid;
+  ASSERT_TRUE(grid.build(x, y, z, cutoff));
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> candidates;
+  grid.for_each_candidate([&](std::uint32_t a, std::uint32_t b) {
+    ASSERT_LT(a, b);
+    const bool inserted = candidates.insert({a, b}).second;
+    ASSERT_TRUE(inserted) << "pair (" << a << "," << b << ") emitted twice";
+  });
+
+  const double c2 = cutoff * cutoff;
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (opal::within_cutoff(mc, i, j, c2)) {
+        EXPECT_TRUE(candidates.count({i, j}))
+            << "in-cutoff pair (" << i << "," << j << ") not enumerated";
+      }
+    }
+  }
+}
+
+TEST(CellGrid, NearAboveMatchesCandidatesWithinCutoff) {
+  const auto mc = test_complex(100, 200, 3);
+  std::vector<double> x, y, z;
+  for (const auto& c : mc.centers) {
+    x.push_back(c.position.x);
+    y.push_back(c.position.y);
+    z.push_back(c.position.z);
+  }
+  const double cutoff = grid_friendly_cutoff(x, y, z);
+  const double c2 = cutoff * cutoff;
+  opal::CellGrid grid;
+  ASSERT_TRUE(grid.build(x, y, z, cutoff));
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+  grid.for_each_candidate([&](std::uint32_t a, std::uint32_t b) {
+    const double dx = x[a] - x[b], dy = y[a] - y[b], dz = z[a] - z[b];
+    if (dx * dx + dy * dy + dz * dz <= c2) expected.insert({a, b});
+  });
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got;
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    grid.for_each_near_above(i, x[i], y[i], z[i], c2, [&](std::uint32_t j) {
+      ASSERT_GT(j, i);
+      const bool inserted = got.insert({i, j}).second;
+      ASSERT_TRUE(inserted);
+    });
+  }
+  EXPECT_EQ(expected, got);
+}
+
+TEST(CellListEquivalence, AllStrategiesAllServerCounts) {
+  const auto mc = test_complex(150, 300, 42);
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  const opal::DistributionStrategy strategies[] = {
+      opal::DistributionStrategy::PseudoRandomHistorical,
+      opal::DistributionStrategy::PseudoRandomUniform,
+      opal::DistributionStrategy::RowCyclic,
+      opal::DistributionStrategy::Folded,
+      opal::DistributionStrategy::EvenMultiplierBug,
+  };
+  for (const auto strategy : strategies) {
+    for (int p : {1, 2, 5}) {
+      auto domains = opal::build_domains(n, p, strategy, 1);
+      for (int s = 0; s < p; ++s) {
+        if (domains[s].empty()) continue;
+        opal::ServerDomain dom(std::move(domains[s]));
+        SCOPED_TRACE(opal::to_string(strategy) + ", p=" + std::to_string(p) +
+                     ", server " + std::to_string(s));
+        expect_paths_identical(dom, mc, 8.0);
+      }
+    }
+  }
+}
+
+TEST(CellListEquivalence, AcrossSeedsAndCutoffs) {
+  for (std::uint64_t seed : {1ull, 99ull, 7777ull}) {
+    const auto mc = test_complex(130, 260, seed);
+    auto domains =
+        opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                            opal::DistributionStrategy::RowCyclic, seed);
+    opal::ServerDomain dom(std::move(domains[0]));
+    for (double cutoff : {4.0, 8.0, 15.0}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " cutoff=" + std::to_string(cutoff));
+      expect_paths_identical(dom, mc, cutoff);
+    }
+  }
+}
+
+TEST(CellListEquivalence, PostAdoptFailoverDomain) {
+  const auto mc = test_complex(140, 280, 5);
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  auto domains = opal::build_domains(
+      n, 3, opal::DistributionStrategy::PseudoRandomUniform, 2);
+  // Server 0 adopts server 2's share (the failover path): its domain is now
+  // two concatenated sorted runs, exercising the Permuted membership index.
+  opal::ServerDomain dom(std::move(domains[0]));
+  dom.update(mc, 8.0);
+  dom.adopt(domains[2]);
+  expect_paths_identical(dom, mc, 8.0);
+  // A second adoption on top (two failovers).
+  dom.adopt(domains[1]);
+  expect_paths_identical(dom, mc, 8.0);
+}
+
+TEST(CellListEquivalence, MovingPositionsRevalidateVerletList) {
+  // Exercise the Verlet displacement logic of the serial (LexComplete)
+  // path: move centers between updates, both within and beyond skin/2, and
+  // require exact equality with brute force after every move.
+  auto mc = test_complex(120, 240, 8);
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  auto domains = opal::build_domains(n, 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  util::Xoshiro256 rng(123);
+  expect_paths_identical(dom, mc, 8.0);
+  for (int round = 0; round < 6; ++round) {
+    // Rounds alternate small jitter (list stays valid) and a large kick
+    // (forces a rebuild).
+    const double amp = round % 2 == 0 ? 0.05 : 3.0;
+    for (auto& c : mc.centers) {
+      c.position.x += rng.uniform(-amp, amp);
+      c.position.y += rng.uniform(-amp, amp);
+      c.position.z += rng.uniform(-amp, amp);
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_paths_identical(dom, mc, 8.0);
+  }
+}
+
+TEST(CellListEquivalence, EdgeCases) {
+  // Cutoff larger than the bounding box: the grid degenerates, CellList
+  // falls back to brute force, results still identical.
+  {
+    const auto mc = test_complex(100, 200, 13);
+    auto domains =
+        opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                            opal::DistributionStrategy::RowCyclic, 1);
+    opal::ServerDomain dom(std::move(domains[0]));
+    dom.update(mc, 1e6, opal::PairUpdatePath::CellList);
+    EXPECT_FALSE(dom.last_update_used_cells());
+    expect_paths_identical(dom, mc, 1e6);
+  }
+  // Tiny complex (n = 2): one pair, brute fallback.
+  {
+    const auto mc = test_complex(2, 0, 21);
+    opal::ServerDomain dom(
+        std::move(opal::build_domains(2, 1,
+                                      opal::DistributionStrategy::RowCyclic,
+                                      1)[0]));
+    expect_paths_identical(dom, mc, 5.0);
+  }
+  // No cut-off: the list is not materialized on either path.
+  {
+    const auto mc = test_complex(50, 100, 34);
+    opal::ServerDomain dom(
+        std::move(opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                      opal::DistributionStrategy::Folded,
+                                      1)[0]));
+    const auto checked = dom.update(mc, -1.0, opal::PairUpdatePath::CellList);
+    EXPECT_EQ(checked, dom.domain_size());
+    EXPECT_FALSE(dom.last_update_used_cells());
+    EXPECT_EQ(dom.active().size(), dom.domain_size());
+  }
+}
+
+TEST(CellListEquivalence, VirtualTimeAccountingUnchanged) {
+  // update() must report domain_size() pairs checked on every path — the
+  // paper's O(n^2/p) model charge does not depend on the host algorithm.
+  const auto mc = test_complex(120, 240, 55);
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 2,
+                                     opal::DistributionStrategy::Folded, 3);
+  opal::ServerDomain dom(std::move(domains[0]));
+  const auto brute_charge = dom.update(mc, 8.0, opal::PairUpdatePath::Brute);
+  const auto cells_charge =
+      dom.update(mc, 8.0, opal::PairUpdatePath::CellList);
+  EXPECT_EQ(brute_charge, dom.domain_size());
+  EXPECT_EQ(cells_charge, dom.domain_size());
+}
+
+TEST(CellListEquivalence, SerialEngineBitIdenticalAcrossPaths) {
+  // End-to-end: a short integrated run must produce bit-identical energies
+  // regardless of the host update path (positions feed back into future
+  // active lists, so any divergence would compound).
+  opal::SimResult results[2];
+  int idx = 0;
+  for (auto path :
+       {opal::PairUpdatePath::Brute, opal::PairUpdatePath::CellList}) {
+    opal::SimulationConfig cfg;
+    cfg.steps = 10;
+    cfg.cutoff = 8.0;
+    cfg.integrate = true;
+    cfg.pair_path = path;
+    opal::SerialOpal engine(test_complex(120, 240, 99), cfg);
+    results[idx++] = engine.run();
+  }
+  EXPECT_EQ(results[0].evdw, results[1].evdw);
+  EXPECT_EQ(results[0].ecoul, results[1].ecoul);
+  EXPECT_EQ(results[0].kinetic, results[1].kinetic);
+  EXPECT_EQ(results[0].total_energy(), results[1].total_energy());
+}
+
+}  // namespace

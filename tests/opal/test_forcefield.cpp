@@ -151,6 +151,57 @@ TEST(BondEnergy, ZeroAtRestLength) {
   EXPECT_NEAR(g[0].norm(), 0.0, 1e-12);
 }
 
+TEST(BondEnergy, ZeroLengthBondStaysFiniteAndIsCounted) {
+  // Coincident centers: the energy is the finite harmonic value at r = 0,
+  // the (0/0-direction) gradient is skipped, and the event is counted.
+  auto mc = four_atoms({{1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}});
+  Bond b{0, 1, 100.0, 1.5};
+  std::vector<Vec3> g(2);
+  opalsim::opal::reset_degenerate_bond_events();
+  const double e = bond_energy(mc, b, g);
+  EXPECT_TRUE(std::isfinite(e));
+  EXPECT_NEAR(e, 0.5 * 100.0 * 1.5 * 1.5, 1e-12);
+  EXPECT_EQ(g[0].norm(), 0.0);
+  EXPECT_EQ(g[1].norm(), 0.0);
+  EXPECT_EQ(opalsim::opal::degenerate_bond_events(), 1u);
+  bond_energy(mc, b, g);
+  EXPECT_EQ(opalsim::opal::degenerate_bond_events(), 2u);
+  // A regular bond does not bump the counter.
+  mc.centers[1].position.x += 1.3;
+  bond_energy(mc, b, g);
+  EXPECT_EQ(opalsim::opal::degenerate_bond_events(), 2u);
+  opalsim::opal::reset_degenerate_bond_events();
+  EXPECT_EQ(opalsim::opal::degenerate_bond_events(), 0u);
+}
+
+TEST(ImproperEnergy, WildReferenceAngleWrapsInConstantTime) {
+  // xi0 far outside [-pi, pi]: wrap_angle uses std::remainder, so the
+  // difference lands in [-pi, pi] in O(1) (the former while-loop subtracted
+  // 2*pi at a time and effectively hung on inputs like this one).
+  auto mc = four_atoms(
+      {{0.3, 0.9, 0.1}, {0, 0, 0}, {1.2, 0.2, -0.3}, {1.1, -1.0, 0.5}});
+  Improper im{0, 1, 2, 3, 10.0, 1.0e9};
+  std::vector<Vec3> g(4);
+  const double e = improper_energy(mc, im, g);
+  EXPECT_TRUE(std::isfinite(e));
+  // With the wrapped difference in [-pi, pi], 0 <= V <= 1/2 K pi^2.
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, 0.5 * 10.0 * std::numbers::pi * std::numbers::pi + 1e-9);
+}
+
+TEST(ImproperEnergy, WrapIsExactForSmallAngles) {
+  // For |xi - xi0| <= pi no wrapping occurs: shifting xi0 by a full 2*pi
+  // turn must give the identical energy (std::remainder is exact).
+  auto mc = four_atoms(
+      {{0.3, 0.9, 0.1}, {0, 0, 0}, {1.2, 0.2, -0.3}, {1.1, -1.0, 0.5}});
+  std::vector<Vec3> g(4);
+  Improper base{0, 1, 2, 3, 10.0, 0.3};
+  Improper turned{0, 1, 2, 3, 10.0, 0.3 + 2.0 * std::numbers::pi};
+  const double e0 = improper_energy(mc, base, g);
+  const double e1 = improper_energy(mc, turned, g);
+  EXPECT_NEAR(e0, e1, 1e-9);
+}
+
 TEST(AngleEnergy, RightAngleClosedForm) {
   auto mc = four_atoms({{1, 0, 0}, {0, 0, 0}, {0, 1, 0}});
   const double theta0 = 109.5 * std::numbers::pi / 180.0;

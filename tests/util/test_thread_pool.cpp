@@ -1,0 +1,114 @@
+// The host-side worker pool and the index-order commit contract of
+// parallel_for_indexed (sweep output must be byte-identical to a serial
+// loop — see DESIGN.md, "Host execution engine").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("OPALSIM_THREADS", "3", 1);
+  EXPECT_EQ(util::ThreadPool::default_threads(), 3u);
+  ::setenv("OPALSIM_THREADS", "0", 1);  // clamped to >= 1
+  EXPECT_EQ(util::ThreadPool::default_threads(), 1u);
+  ::setenv("OPALSIM_THREADS", "-5", 1);
+  EXPECT_EQ(util::ThreadPool::default_threads(), 1u);
+  ::unsetenv("OPALSIM_THREADS");
+  EXPECT_GE(util::ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::mutex m;
+  std::condition_variable cv;
+  constexpr int kJobs = 64;
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1) + 1 == kJobs) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return ran.load() == kJobs; });
+  EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(ParallelForIndexed, CommitsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCount = 200;
+  std::vector<int> hits(kCount, 0);
+  std::vector<std::size_t> value(kCount, 0);
+  util::parallel_for_indexed(pool, kCount, [&](std::size_t i) {
+    ++hits[i];
+    value[i] = i * i;
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+    EXPECT_EQ(value[i], i * i);
+  }
+}
+
+TEST(ParallelForIndexed, IndexCommitMatchesSerialLoop) {
+  // The determinism contract: a preallocated slot per index filled by the
+  // pool equals the same loop run serially, element for element.
+  constexpr std::size_t kCount = 97;
+  auto work = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 7.0; };
+  std::vector<double> serial(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) serial[i] = work(i);
+  std::vector<double> pooled(kCount);
+  util::ThreadPool pool(8);
+  util::parallel_for_indexed(pool, kCount,
+                             [&](std::size_t i) { pooled[i] = work(i); });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParallelForIndexed, SingleThreadPoolRunsInline) {
+  util::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  util::parallel_for_indexed(pool, 10,
+                             [&](std::size_t i) { order.push_back(i); });
+  // Inline fallback preserves loop order exactly (no data race possible).
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForIndexed, ZeroAndOneCount) {
+  util::ThreadPool pool(4);
+  int calls = 0;
+  util::parallel_for_indexed(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  util::parallel_for_indexed(pool, 1, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForIndexed, PropagatesFirstException) {
+  util::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    util::parallel_for_indexed(pool, 50, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // All other iterations still ran (the pool drains before rethrowing).
+  EXPECT_EQ(completed.load(), 49);
+}
+
+}  // namespace
