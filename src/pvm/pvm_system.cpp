@@ -15,6 +15,8 @@ sim::Task<void> PvmTask::send(int dst, int tag, PackBuffer body) {
 
 sim::Task<Message> PvmTask::recv(int src, int tag) {
   auto& mb = system_->mailbox(tid_);
+  mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
+                                     engine().now());
   Message m = co_await mb.get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
   co_return m;
@@ -74,6 +76,8 @@ struct TimedRecvAwaiter {
 sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
                                                         double timeout) {
   auto& mb = system_->mailbox(tid_);
+  mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
+                                     engine().now());
   sim::Mailbox<Message>::Predicate pred = [src, tag](const Message& x) {
     return x.matches(src, tag);
   };
@@ -89,7 +93,10 @@ sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
 }
 
 std::optional<Message> PvmTask::try_recv(int src, int tag) {
-  return system_->mailbox(tid_).try_get(
+  auto& mb = system_->mailbox(tid_);
+  mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
+                                     engine().now());
+  return mb.try_get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
 }
 
@@ -204,6 +211,7 @@ int PvmSystem::spawn(int node, TaskBody body) {
   TaskEntry entry;
   entry.task.reset(new PvmTask(this, tid, node));
   entry.mailbox = std::make_unique<sim::Mailbox<Message>>(engine());
+  entry.mailbox->audit_discipline().set_owner(static_cast<std::uint64_t>(tid));
   entry.body = std::make_unique<TaskBody>(std::move(body));
   tasks_.push_back(std::move(entry));
   PvmTask& task_ref = *tasks_.back().task;
@@ -217,6 +225,30 @@ sim::ProcessHandle PvmSystem::process(int tid) const {
 
 sim::Mailbox<Message>& PvmSystem::mailbox(int tid) {
   return *tasks_.at(tid).mailbox;
+}
+
+void PvmSystem::audit_note_delivery(int src_tid, int dst_tid,
+                                    std::uint64_t seq, bool faults_active) {
+  if (!sim::audit::enabled()) return;
+  const auto key = std::make_pair(src_tid, dst_tid);
+  const auto [it, inserted] = audit_last_seq_.emplace(key, seq);
+  if (inserted) return;
+  std::uint64_t& last = it->second;
+  // Fault-free channels deliver strictly increasing seqs (the global send
+  // counter only moves forward).  Under injected faults a duplicate
+  // re-delivers the same seq and drops open gaps, but a *decreasing* seq is
+  // a reordering bug in the transport in either mode.
+  const bool ok = faults_active ? seq >= last : seq > last;
+  if (!ok) {
+    sim::audit::fail(
+        sim::audit::Invariant::kChannelFifo,
+        "channel (" + std::to_string(src_tid) + " -> " +
+            std::to_string(dst_tid) + ") delivered seq " +
+            std::to_string(seq) + " after seq " + std::to_string(last) +
+            (faults_active ? " with faults active" : " without faults"),
+        engine().now());
+  }
+  if (seq > last) last = seq;
 }
 
 sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
@@ -234,6 +266,7 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
     // faults disabled stay bit-for-bit identical to the seed model.
     m.body = std::move(body);
     co_await machine_->transfer(src_node, dst_node, bytes);
+    audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/false);
     mailbox(dst_tid).put(std::move(m));
     co_return;
   }
@@ -251,7 +284,9 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
       co_return;
     case sim::MessageFault::Duplicate: {
       Message copy = m;  // same seq: receivers dedup on it
+      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
       mailbox(dst_tid).put(std::move(copy));
+      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
       mailbox(dst_tid).put(std::move(m));
       co_return;
     }
@@ -260,6 +295,7 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
       [[fallthrough]];
     case sim::MessageFault::None:
       m.corrupted = m.body.checksum() != m.checksum;
+      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
       mailbox(dst_tid).put(std::move(m));
       co_return;
   }

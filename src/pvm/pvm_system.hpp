@@ -14,10 +14,12 @@
 //    is independent of p and n.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mach/platform.hpp"
@@ -127,6 +129,15 @@ class PvmSystem {
     return machine_->network().messages_sent();
   }
 
+  /// Audit instrumentation (see sim/audit.hpp, channel-fifo): records one
+  /// message delivery on the (src, dst) channel.  Sequence numbers must
+  /// strictly increase per channel; equal seqs (duplicates) and gaps
+  /// (drops) are legal only while faults are injected.  The delivery path
+  /// calls this before every mailbox put; exposed so tests can drive the
+  /// checker directly.
+  void audit_note_delivery(int src_tid, int dst_tid, std::uint64_t seq,
+                           bool faults_active);
+
  private:
   friend class PvmTask;
 
@@ -154,6 +165,10 @@ class PvmSystem {
   std::vector<TaskEntry> tasks_;
   std::map<std::string, BarrierState> barriers_;
   std::uint64_t next_send_seq_ = 1;
+  /// Last delivered seq per (src, dst) channel — audit bookkeeping only,
+  /// populated when the auditor is enabled (ordered map: determinism lint
+  /// forbids unordered containers near accounting).
+  std::map<std::pair<int, int>, std::uint64_t> audit_last_seq_;
 };
 
 }  // namespace opalsim::pvm

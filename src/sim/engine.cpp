@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <string>
+
 namespace opalsim::sim {
 
 namespace {
@@ -40,13 +42,36 @@ ProcessHandle Engine::spawn(Task<void> task) {
 }
 
 void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
+  if (audit::enabled()) {
+    audit::check_run(audit_run_tag_, now_);
+    if (t < now_) {
+      audit::fail(audit::Invariant::kTimeMonotonic,
+                  "event scheduled at t=" + std::to_string(t) +
+                      " in the virtual past of now=" + std::to_string(now_),
+                  now_);
+    }
+  }
   queue_.push(ScheduledEvent{t, next_seq_++, h});
+}
+
+void Engine::audit_pop(SimTime t) {
+  audit::check_run(audit_run_tag_, now_);
+  // The queue pops in (t, seq) order, so the clock can only move backwards
+  // if an event was force-scheduled in the past (caught above) or the
+  // ordering itself broke — either way the accounting is invalid.
+  if (t < now_) {
+    audit::fail(audit::Invariant::kTimeMonotonic,
+                "event popped at t=" + std::to_string(t) +
+                    " behind the engine clock now=" + std::to_string(now_),
+                now_);
+  }
 }
 
 void Engine::run() {
   while (!queue_.empty()) {
     ScheduledEvent ev = queue_.top();
     queue_.pop();
+    if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;
     ev.handle.resume();
@@ -58,6 +83,7 @@ void Engine::run_until(SimTime t_end) {
   while (!queue_.empty() && queue_.top().t <= t_end) {
     ScheduledEvent ev = queue_.top();
     queue_.pop();
+    if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;
     ev.handle.resume();

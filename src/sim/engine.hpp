@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -105,7 +106,7 @@ class Engine {
   /// Awaitable that resumes the caller `dt` seconds of virtual time later.
   struct DelayAwaiter {
     Engine* engine;
-    SimTime wake_at;
+    SimTime wake_at = 0.0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) const {
       engine->schedule(wake_at, h);
@@ -137,8 +138,8 @@ class Engine {
 
  private:
   struct ScheduledEvent {
-    SimTime t;
-    std::uint64_t seq;
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;
     std::coroutine_handle<> handle;
     bool operator>(const ScheduledEvent& o) const noexcept {
       if (t != o.t) return t > o.t;
@@ -148,6 +149,12 @@ class Engine {
 
   void rethrow_pending_failure();
 
+  /// Audit hooks for one event pop (time monotonicity + run isolation).
+  void audit_pop(SimTime t);
+
+  /// Run scope this engine was created in (see audit::RunScope); checked on
+  /// every schedule/resume when the auditor is enabled.
+  std::uint64_t audit_run_tag_ = audit::current_run();
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

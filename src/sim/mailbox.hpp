@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 
 namespace opalsim::sim {
@@ -20,6 +21,12 @@ template <typename T>
 class Mailbox {
  public:
   using Predicate = std::function<bool(const T&)>;
+
+  /// Single-consumer audit discipline (see sim/audit.hpp).  The owning
+  /// layer (e.g. PVM at task spawn) sets the owner id; every consuming call
+  /// site reports through note_consume and the auditor flags a second
+  /// consumer.  Observation-only: never affects delivery.
+  audit::MailboxDiscipline& audit_discipline() noexcept { return audit_; }
 
   explicit Mailbox(Engine& engine) noexcept : engine_(&engine) {}
   Mailbox(const Mailbox&) = delete;
@@ -106,6 +113,7 @@ class Mailbox {
   Engine* engine_;
   std::deque<T> items_;
   std::list<GetAwaiter*> getters_;
+  audit::MailboxDiscipline audit_;
 };
 
 }  // namespace opalsim::sim

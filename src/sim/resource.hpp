@@ -11,7 +11,9 @@
 #include <cassert>
 #include <coroutine>
 #include <deque>
+#include <string>
 
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 
 namespace opalsim::sim {
@@ -48,6 +50,21 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
+  /// Resource-release balance audit: a resource dying with units still held
+  /// or acquirers still parked means some process leaked a grant (or the
+  /// engine tore down mid-protocol) — the contention accounting built on it
+  /// is then meaningless.
+  ~Resource() {
+    if (audit::enabled() && (in_use_ != 0 || !waiters_.empty())) {
+      audit::fail(audit::Invariant::kResourceBalance,
+                  "resource destroyed with " + std::to_string(in_use_) +
+                      " of " + std::to_string(capacity_) +
+                      " units still held and " +
+                      std::to_string(waiters_.size()) + " parked acquirers",
+                  engine_->now());
+    }
+  }
+
   long capacity() const noexcept { return capacity_; }
   long in_use() const noexcept { return in_use_; }
   long available() const noexcept { return capacity_ - in_use_; }
@@ -55,7 +72,7 @@ class Resource {
 
   struct AcquireAwaiter {
     Resource* resource;
-    long amount;
+    long amount = 0;
     std::coroutine_handle<> handle;
 
     bool await_ready() const noexcept {

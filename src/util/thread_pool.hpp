@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/run_tag.hpp"
+
 namespace opalsim::util {
 
 class ThreadPool {
@@ -60,8 +62,15 @@ class ThreadPool {
 template <typename Fn>
 void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
   if (count == 0) return;
+  // Each index runs in its own RunTagScope (inline path included, so the
+  // audit layer's run-isolation invariant holds identically whether a sweep
+  // runs pooled or serial): a DES engine created inside fn(i) is tagged to
+  // that index and must not be driven by any other index or the caller.
   if (pool.size() <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      RunTagScope run_scope;
+      fn(i);
+    }
     return;
   }
   std::mutex m;
@@ -72,6 +81,7 @@ void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
     pool.submit([&, i] {
       std::exception_ptr err;
       try {
+        RunTagScope run_scope;
         fn(i);
       } catch (...) {
         err = std::current_exception();

@@ -202,11 +202,15 @@ TEST_F(PvmSystemTest, ProcessJoinWorks) {
     co_await t.engine().delay(2.0);
   });
   bool joined = false;
-  engine.spawn([&]() -> Task<void> {
+  // The closure must outlive engine.run(): a coroutine reads its captures
+  // through the lambda object, so an immediately-invoked temporary would
+  // dangle once the statement ends.
+  auto waiter = [&]() -> Task<void> {
     co_await pvm.process(tid).join();
     joined = true;
     EXPECT_DOUBLE_EQ(engine.now(), 2.0);
-  }());
+  };
+  engine.spawn(waiter());
   engine.run();
   EXPECT_TRUE(joined);
 }

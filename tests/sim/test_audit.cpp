@@ -1,0 +1,239 @@
+// The virtual-time audit checker (sim/audit.hpp): each invariant has a
+// deliberate-violation test proving the checker fires, and clean runs —
+// including a full medium-complex parallel run and a pooled sweep — pass
+// under audit with byte-identical output to an unaudited run.
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mach/platforms_db.hpp"
+#include "opal/complex.hpp"
+#include "opal/metrics.hpp"
+#include "opal/parallel.hpp"
+#include "pvm/pvm_system.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/resource.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace opalsim;
+using sim::audit::Invariant;
+using sim::audit::ViolationCapture;
+
+// -- deliberate violations: the checker must fire ---------------------------
+
+TEST(Audit, SchedulingInTheVirtualPastFires) {
+  ViolationCapture capture;
+  sim::Engine engine;
+  engine.spawn([](sim::Engine& e) -> sim::Task<void> {
+    co_await e.delay(5.0);
+  }(engine));
+  engine.run();
+  ASSERT_EQ(capture.count(), 0);
+  ASSERT_DOUBLE_EQ(engine.now(), 5.0);
+
+  // Force an event behind the engine clock — the bug class where a handler
+  // computes a wake-up from stale state.
+  engine.schedule(1.0, std::noop_coroutine());
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kTimeMonotonic);
+  EXPECT_NE(capture.last_report().find("time-monotonic"), std::string::npos);
+  EXPECT_NE(capture.last_report().find("virtual past"), std::string::npos);
+}
+
+TEST(Audit, DrivingEngineFromForeignRunScopeFires) {
+  ViolationCapture capture;
+  sim::Engine engine;  // owned by the current (default) scope
+  {
+    sim::audit::RunScope foreign;
+    engine.schedule_now(std::noop_coroutine());
+  }
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kRunIsolation);
+  EXPECT_NE(capture.last_report().find("run-isolation"), std::string::npos);
+}
+
+TEST(Audit, PooledSweepTouchingSharedEngineFires) {
+  ViolationCapture capture;
+  sim::Engine shared;  // created outside the sweep
+  util::ThreadPool pool(1);
+  util::parallel_for_indexed(pool, 2, [&](std::size_t) {
+    shared.schedule_now(std::noop_coroutine());
+  });
+  // Both indices ran in their own RunScope, so both touches are foreign.
+  EXPECT_EQ(capture.count(), 2);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kRunIsolation);
+}
+
+TEST(Audit, SecondMailboxConsumerFires) {
+  ViolationCapture capture;
+  sim::Engine engine;
+  sim::Mailbox<int> mb(engine);
+  mb.audit_discipline().note_consume(3, 0.0);  // adopts task 3 as owner
+  mb.audit_discipline().note_consume(3, 1.0);  // same consumer: fine
+  EXPECT_EQ(capture.count(), 0);
+  mb.audit_discipline().note_consume(7, 2.0);  // double-consume
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kMailboxConsumer);
+  EXPECT_NE(capture.last_report().find("mailbox-consumer"),
+            std::string::npos);
+}
+
+TEST(Audit, NonIncreasingChannelSeqWithoutFaultsFires) {
+  ViolationCapture capture;
+  sim::Engine engine;
+  mach::Machine machine(engine, mach::cray_j90(), 2);
+  pvm::PvmSystem sys(machine);
+  sys.audit_note_delivery(0, 1, 5, /*faults_active=*/false);
+  sys.audit_note_delivery(0, 1, 9, false);  // gap is fine (global counter)
+  sys.audit_note_delivery(1, 0, 7, false);  // other channel independent
+  EXPECT_EQ(capture.count(), 0);
+  sys.audit_note_delivery(0, 1, 9, false);  // repeat without faults: dup
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kChannelFifo);
+}
+
+TEST(Audit, DecreasingChannelSeqFiresEvenUnderFaults) {
+  ViolationCapture capture;
+  sim::Engine engine;
+  mach::Machine machine(engine, mach::cray_j90(), 2);
+  pvm::PvmSystem sys(machine);
+  sys.audit_note_delivery(0, 1, 5, /*faults_active=*/true);
+  sys.audit_note_delivery(0, 1, 5, true);  // duplicate: legal under faults
+  sys.audit_note_delivery(0, 1, 8, true);  // drop-induced gap: legal
+  EXPECT_EQ(capture.count(), 0);
+  sys.audit_note_delivery(0, 1, 6, true);  // reordering: never legal
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kChannelFifo);
+}
+
+TEST(Audit, UnbalancedResourceReleaseFires) {
+  ViolationCapture capture;
+  sim::Engine engine;
+  {
+    sim::Resource res(engine, 2);
+    engine.spawn([](sim::Resource& r) -> sim::Task<void> {
+      co_await r.acquire();  // acquired, never released
+    }(res));
+    engine.run();
+    EXPECT_EQ(capture.count(), 0);
+    EXPECT_EQ(res.in_use(), 1);
+  }  // resource dies holding one unit
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), Invariant::kResourceBalance);
+  EXPECT_NE(capture.last_report().find("resource-balance"),
+            std::string::npos);
+}
+
+// -- clean runs: the checker must stay silent and change nothing -----------
+
+opal::RunMetrics run_parallel_case(const mach::PlatformSpec& platform,
+                                   int p) {
+  opal::SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = 8.0;
+  cfg.update_every = 2;
+  opal::SyntheticSpec spec;
+  spec.name = "audit";
+  spec.n_solute = 60;
+  spec.n_water = 120;
+  opal::ParallelOpal run(platform, opal::make_synthetic_complex(spec), p,
+                         cfg);
+  return run.run().metrics;
+}
+
+std::string metrics_csv(const std::vector<opal::RunMetrics>& results) {
+  util::Table t({"case", "par comp [s]", "seq comp [s]", "comm [s]",
+                 "wall [s]", "pairs"});
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    t.row()
+        .add(static_cast<int>(k))
+        .add(results[k].tot_par_comp(), 9)
+        .add(results[k].seq_comp, 9)
+        .add(results[k].tot_comm(), 9)
+        .add(results[k].wall, 9)
+        .add(static_cast<unsigned long>(results[k].pairs_checked));
+  }
+  std::ostringstream os;
+  util::CsvWriter(os).write_table(t);
+  return os.str();
+}
+
+TEST(Audit, MediumComplexRunPassesAndOutputIsByteIdentical) {
+  opal::SimulationConfig cfg;
+  cfg.steps = 2;
+  cfg.cutoff = 10.0;
+  cfg.update_every = 2;
+  const auto complex = opal::make_medium_complex();
+
+  auto one_run = [&] {
+    opal::ParallelOpal run(mach::cray_j90(), complex, 4, cfg);
+    return metrics_csv({run.run().metrics});
+  };
+
+  std::string audited;
+  {
+    sim::audit::ScopedEnable on(true);
+    audited = one_run();  // a violation would abort the test binary
+  }
+  std::string unaudited;
+  {
+    sim::audit::ScopedEnable off(false);
+    unaudited = one_run();
+  }
+  EXPECT_EQ(audited, unaudited);
+  EXPECT_GT(audited.size(), 0u);
+}
+
+TEST(Audit, FaultyRunPassesUnderAudit) {
+  // Drops and duplicates are declared to the checker via the FaultModel;
+  // a lossy run must not trip channel-fifo.
+  ViolationCapture capture;
+  sim::FaultSpec fault;
+  fault.seed = 11;
+  fault.drop_rate = 0.05;
+  fault.duplicate_rate = 0.05;
+  opal::SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = 8.0;
+  sciddle::Options opts;
+  opts.retry.enabled = true;
+  opts.retry.timeout_s = 2.0;
+  opal::SyntheticSpec spec;
+  spec.name = "audit-fault";
+  spec.n_solute = 40;
+  spec.n_water = 80;
+  opal::ParallelOpal run(with_faults(mach::fast_cops(), fault),
+                         opal::make_synthetic_complex(spec), 3, cfg, opts);
+  (void)run.run();
+  EXPECT_EQ(capture.count(), 0) << capture.last_report();
+}
+
+TEST(Audit, PooledSweepPassesUnderAuditWithIdenticalBytes) {
+  const std::vector<int> servers = {1, 2, 4};
+
+  auto sweep = [&](bool audit_on) {
+    sim::audit::ScopedEnable mode(audit_on);
+    std::vector<opal::RunMetrics> out(servers.size());
+    util::ThreadPool pool(3);
+    util::parallel_for_indexed(pool, servers.size(), [&](std::size_t k) {
+      out[k] = run_parallel_case(mach::fast_cops(), servers[k]);
+    });
+    return metrics_csv(out);
+  };
+
+  const std::string audited = sweep(true);
+  const std::string unaudited = sweep(false);
+  EXPECT_EQ(audited, unaudited);
+}
+
+}  // namespace
