@@ -1,0 +1,380 @@
+// DES core hot-path throughput (host wall clock): the perf trajectory bench
+// for the engine overhaul — ladder event queue + pooled frames vs the seed
+// configuration (binary heap + global-heap allocation).
+//
+// Sections, each verified for virtual-time equivalence before timing is
+// trusted (every config must produce bit-identical event counts, final
+// virtual times and resume-time checksums):
+//   1. hold  — a steady population of processes cycling through delays:
+//              pure queue push/pop churn at constant queue size, with heavy
+//              timestamp ties (many processes share periods).
+//   2. churn — batched spawn/join of short-lived processes: allocation
+//              pressure on coroutine frames and ProcessState blocks.
+//   3. payload — PackBuffer fan-out: shared copies (one refcount bump) vs
+//              deep copies (full byte duplication).
+//   4. sweep — the hold workload fanned across a thread pool, one engine
+//              per task (the TSan leg runs this with OPALSIM_THREADS=4).
+//
+// Emits BENCH_des.json (path: OPALSIM_BENCH_JSON, or ./BENCH_des.json) and
+// exits non-zero on any equivalence failure — the CI perf-smoke gate
+// (tools/perf/check_bench_des.py compares the speedups against the
+// committed baseline).
+//
+// Knobs:
+//   OPALSIM_DES_PROCS   hold-population size            (default 4096)
+//   OPALSIM_DES_CYCLES  delay cycles per hold process   (default 64)
+//   OPALSIM_DES_ROUNDS  churn spawn/join rounds         (default 48)
+//   OPALSIM_DES_BATCH   processes spawned per round     (default 256)
+//   OPALSIM_DES_REPS    timed repetitions, best-of      (default 3)
+//   OPALSIM_THREADS     sweep-section pool width        (default hw)
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pvm/pack_buffer.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/pool.hpp"
+#include "util/host_timer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+long knob(const char* name, long dflt) { return util::env_long(name, dflt); }
+
+// ---------------------------------------------------------------------------
+// Workloads.  All delay periods are small-integer multiples of 0.25 so
+// processes constantly tie — the adversarial case for FIFO-order bugs and
+// the common case in barrier-heavy middleware rounds.
+
+sim::Task<void> hold_proc(sim::Engine* eng, double* acc, double period,
+                          int cycles) {
+  for (int c = 0; c < cycles; ++c) {
+    co_await eng->delay(period);
+    *acc += eng->now();
+  }
+}
+
+sim::Task<void> churn_child(sim::Engine* eng, double* acc) {
+  co_await eng->delay(0.5);
+  *acc += eng->now();
+}
+
+sim::Task<void> churn_driver(sim::Engine* eng, double* acc, int rounds,
+                             int batch) {
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<sim::ProcessHandle> handles;
+    handles.reserve(static_cast<std::size_t>(batch));
+    for (int b = 0; b < batch; ++b) {
+      handles.push_back(eng->spawn(churn_child(eng, acc)));
+    }
+    for (auto& h : handles) co_await h.join();
+  }
+}
+
+/// One measured engine run: returns the virtual-time fingerprint (events,
+/// final clock, resume-time sum — bit-identical across legal queue/pool
+/// configurations) plus wall time and the engine's hot-path counters.
+struct RunResult {
+  std::uint64_t events = 0;
+  double final_time = 0.0;
+  double time_hash = 0.0;
+  double wall_s = 0.0;
+  double pool_hit = 0.0;  ///< this run's pooled-allocation hit rate
+  sim::EngineCounters counters;
+};
+
+/// This run's (not the thread's lifetime) frame-pool hit rate.
+double pool_hit_delta(const sim::FramePool::Stats& before) {
+  const sim::FramePool::Stats after = sim::FramePool::local_stats();
+  const std::uint64_t reused = after.reused - before.reused;
+  const std::uint64_t carved = after.carved - before.carved;
+  return reused + carved > 0
+             ? static_cast<double>(reused) /
+                   static_cast<double>(reused + carved)
+             : 0.0;
+}
+
+RunResult run_hold(int procs, int cycles) {
+  RunResult res;
+  const sim::FramePool::Stats pool0 = sim::FramePool::local_stats();
+  util::HostTimer t;
+  {
+    sim::Engine eng;
+    double acc = 0.0;
+    for (int i = 0; i < procs; ++i) {
+      eng.spawn(hold_proc(&eng, &acc, 0.25 * (1 + i % 8), cycles));
+    }
+    eng.run();
+    res.events = eng.events_processed();
+    res.final_time = eng.now();
+    res.time_hash = acc;
+    res.counters = eng.counters();
+  }
+  res.wall_s = t.seconds();
+  res.pool_hit = pool_hit_delta(pool0);
+  return res;
+}
+
+RunResult run_churn(int rounds, int batch) {
+  RunResult res;
+  const sim::FramePool::Stats pool0 = sim::FramePool::local_stats();
+  util::HostTimer t;
+  {
+    sim::Engine eng;
+    double acc = 0.0;
+    eng.spawn(churn_driver(&eng, &acc, rounds, batch));
+    eng.run();
+    res.events = eng.events_processed();
+    res.final_time = eng.now();
+    res.time_hash = acc;
+    res.counters = eng.counters();
+  }
+  res.wall_s = t.seconds();
+  res.pool_hit = pool_hit_delta(pool0);
+  return res;
+}
+
+struct Config {
+  const char* name;
+  sim::EventQueueKind kind;
+  bool pool;
+};
+
+constexpr Config kConfigs[] = {
+    {"heap_nopool", sim::EventQueueKind::kHeap, false},   // the seed engine
+    {"heap_pool", sim::EventQueueKind::kHeap, true},
+    {"ladder_nopool", sim::EventQueueKind::kLadder, false},
+    {"ladder_pool", sim::EventQueueKind::kLadder, true},  // the new default
+};
+
+struct ConfigResult {
+  RunResult hold;
+  RunResult churn;
+  double hold_events_per_sec = 0.0;
+  double churn_events_per_sec = 0.0;
+};
+
+template <typename Fn>
+RunResult best_of(int reps, Fn run) {
+  RunResult best = run();
+  for (int r = 1; r < reps; ++r) {
+    RunResult next = run();
+    if (next.wall_s < best.wall_s) best = next;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Payload fan-out: shared vs deep copies of one large packed body.
+
+struct PayloadResult {
+  double shared_copies_per_sec = 0.0;
+  double deep_copies_per_sec = 0.0;
+  bool agree = false;
+  double ratio() const {
+    return deep_copies_per_sec > 0.0
+               ? shared_copies_per_sec / deep_copies_per_sec
+               : 0.0;
+  }
+};
+
+PayloadResult measure_payload() {
+  constexpr int kCopies = 20000;
+  pvm::PackBuffer body;
+  body.pack_f64_array(std::vector<double>(8192, 1.5));  // 64 KiB body
+  const std::uint64_t clean = body.checksum();
+  PayloadResult res;
+  res.agree = true;
+
+  std::vector<pvm::PackBuffer> sink;
+  sink.reserve(kCopies);
+  util::HostTimer t;
+  for (int i = 0; i < kCopies; ++i) sink.push_back(body);
+  const double shared_s = t.seconds();
+  res.shared_copies_per_sec = kCopies / (shared_s > 0.0 ? shared_s : 1e-9);
+  res.agree = res.agree && sink.back().shares_storage(body) &&
+              sink.back().checksum() == clean;
+
+  // Deep copies: what every pre-overhaul send/broadcast hop paid.  Far
+  // fewer iterations — each one moves the full 64 KiB.
+  constexpr int kDeep = 2000;
+  sink.clear();
+  sink.reserve(kDeep);
+  t.reset();
+  for (int i = 0; i < kDeep; ++i) sink.push_back(body.deep_copy());
+  const double deep_s = t.seconds();
+  res.deep_copies_per_sec = kDeep / (deep_s > 0.0 ? deep_s : 1e-9);
+  res.agree = res.agree && !sink.back().shares_storage(body) &&
+              sink.back().checksum() == clean;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep: engines on pool threads (the TSan target: thread-local pools,
+// atomic config flags, no sharing between engines).
+
+struct SweepResult {
+  unsigned threads = 1;
+  double wall_s = 0.0;
+  bool agree = false;
+};
+
+SweepResult measure_sweep(int procs, int cycles) {
+  constexpr int kRuns = 8;
+  SweepResult res;
+  std::vector<double> hashes(kRuns, 0.0);
+  util::ThreadPool pool;
+  res.threads = pool.size();
+  util::HostTimer t;
+  util::parallel_for_indexed(pool, kRuns, [&](std::size_t i) {
+    hashes[i] = run_hold(procs, cycles).time_hash;
+  });
+  res.wall_s = t.seconds();
+  res.agree = true;
+  for (int i = 1; i < kRuns; ++i) {
+    if (hashes[i] != hashes[0]) res.agree = false;
+  }
+  return res;
+}
+
+void write_json(const ConfigResult (&results)[4], const PayloadResult& pay,
+                const SweepResult& sweep, bool agree, int procs, int cycles,
+                int rounds, int batch) {
+  const ConfigResult& seed = results[0];    // heap_nopool
+  const ConfigResult& opt = results[3];     // ladder_pool
+  const double hold_speedup =
+      seed.hold_events_per_sec > 0.0
+          ? opt.hold_events_per_sec / seed.hold_events_per_sec
+          : 0.0;
+  const double churn_speedup =
+      seed.churn_events_per_sec > 0.0
+          ? opt.churn_events_per_sec / seed.churn_events_per_sec
+          : 0.0;
+  const std::string path =
+      util::env_string("OPALSIM_BENCH_JSON").value_or("BENCH_des.json");
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"workload\": {\"procs\": " << procs << ", \"cycles\": " << cycles
+     << ", \"churn_rounds\": " << rounds << ", \"churn_batch\": " << batch
+     << "},\n"
+     << "  \"configs\": {\n";
+  for (int c = 0; c < 4; ++c) {
+    const ConfigResult& r = results[c];
+    os << "    \"" << kConfigs[c].name << "\": {\n"
+       << "      \"hold_events_per_sec\": " << r.hold_events_per_sec << ",\n"
+       << "      \"churn_events_per_sec\": " << r.churn_events_per_sec
+       << ",\n"
+       << "      \"hold_events\": " << r.hold.events << ",\n"
+       << "      \"churn_events\": " << r.churn.events << ",\n"
+       << "      \"queue\": \"" << r.hold.counters.queue_name << "\",\n"
+       << "      \"queue_pushes\": " << r.hold.counters.queue.pushes << ",\n"
+       << "      \"queue_peak_size\": " << r.hold.counters.queue.peak_size
+       << ",\n"
+       << "      \"pool_hit_rate\": " << r.churn.pool_hit << "\n"
+       << "    }" << (c + 1 < 4 ? "," : "") << "\n";
+  }
+  os << "  },\n"
+     << "  \"hold_speedup\": " << hold_speedup << ",\n"
+     << "  \"churn_speedup\": " << churn_speedup << ",\n"
+     << "  \"payload\": {\n"
+     << "    \"shared_copies_per_sec\": " << pay.shared_copies_per_sec
+     << ",\n"
+     << "    \"deep_copies_per_sec\": " << pay.deep_copies_per_sec << ",\n"
+     << "    \"shared_vs_deep\": " << pay.ratio() << ",\n"
+     << "    \"agree\": " << (pay.agree ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"sweep\": {\"threads\": " << sweep.threads
+     << ", \"wall_s\": " << sweep.wall_s
+     << ", \"agree\": " << (sweep.agree ? "true" : "false") << "},\n"
+     << "  \"agree\": " << (agree ? "true" : "false") << "\n"
+     << "}\n";
+  std::cout << "[json] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("DES core throughput — ladder queue + frame pooling",
+                "host wall clock; virtual-time results are queue-invariant");
+
+  const int procs = static_cast<int>(knob("OPALSIM_DES_PROCS", 4096));
+  const int cycles = static_cast<int>(knob("OPALSIM_DES_CYCLES", 64));
+  const int rounds = static_cast<int>(knob("OPALSIM_DES_ROUNDS", 48));
+  const int batch = static_cast<int>(knob("OPALSIM_DES_BATCH", 256));
+  const int reps = static_cast<int>(knob("OPALSIM_DES_REPS", 3));
+  std::cout << "hold: " << procs << " procs x " << cycles
+            << " cycles; churn: " << rounds << " rounds x " << batch
+            << " procs; reps = " << reps << "\n\n";
+
+  const sim::EventQueueKind kind_before = sim::default_event_queue();
+  const bool pool_before = sim::FramePool::enabled();
+
+  ConfigResult results[4];
+  for (int c = 0; c < 4; ++c) {
+    sim::set_default_event_queue(kConfigs[c].kind);
+    sim::FramePool::set_enabled(kConfigs[c].pool);
+    results[c].hold = best_of(reps, [&] { return run_hold(procs, cycles); });
+    results[c].churn =
+        best_of(reps, [&] { return run_churn(rounds, batch); });
+    results[c].hold_events_per_sec =
+        static_cast<double>(results[c].hold.events) /
+        (results[c].hold.wall_s > 0.0 ? results[c].hold.wall_s : 1e-9);
+    results[c].churn_events_per_sec =
+        static_cast<double>(results[c].churn.events) /
+        (results[c].churn.wall_s > 0.0 ? results[c].churn.wall_s : 1e-9);
+  }
+
+  // Equivalence: every config must replay the exact same virtual history.
+  bool agree = true;
+  for (int c = 1; c < 4; ++c) {
+    agree = agree && results[c].hold.events == results[0].hold.events &&
+            results[c].hold.final_time == results[0].hold.final_time &&
+            results[c].hold.time_hash == results[0].hold.time_hash &&
+            results[c].churn.events == results[0].churn.events &&
+            results[c].churn.final_time == results[0].churn.final_time &&
+            results[c].churn.time_hash == results[0].churn.time_hash;
+  }
+
+  // Restore the new-default configuration for the payload/sweep sections.
+  sim::set_default_event_queue(kind_before);
+  sim::FramePool::set_enabled(pool_before);
+  const PayloadResult pay = measure_payload();
+  const SweepResult sweep = measure_sweep(procs / 8, cycles / 2);
+
+  util::Table t({"config", "hold [Mev/s]", "churn [Mev/s]", "pool hit",
+                 "queue"});
+  for (int c = 0; c < 4; ++c) {
+    t.row()
+        .add(kConfigs[c].name)
+        .add(results[c].hold_events_per_sec / 1e6, 3)
+        .add(results[c].churn_events_per_sec / 1e6, 3)
+        .add(results[c].churn.pool_hit, 3)
+        .add(results[c].hold.counters.queue_name);
+  }
+  bench::emit(t, "des_core");
+
+  const double hold_speedup =
+      results[3].hold_events_per_sec / results[0].hold_events_per_sec;
+  const double churn_speedup =
+      results[3].churn_events_per_sec / results[0].churn_events_per_sec;
+  std::cout << "pooled-ladder vs seed: hold x" << hold_speedup << ", churn x"
+            << churn_speedup << "\n"
+            << "payload fan-out: shared x" << pay.ratio()
+            << " vs deep copies (" << sweep.threads
+            << "-thread sweep agree: " << (sweep.agree ? "yes" : "NO")
+            << ")\n";
+
+  write_json(results, pay, sweep, agree, procs, cycles, rounds, batch);
+
+  if (!agree || !pay.agree || !sweep.agree) {
+    std::cerr << "FAIL: configurations disagree on virtual-time results\n";
+    return 1;
+  }
+  return 0;
+}

@@ -8,13 +8,27 @@
 // a truncated or corrupted buffer throws a typed UnpackError instead of
 // reading past the end, which is what lets the fault-injection layer flip
 // arbitrary bytes on the wire and still keep the receiver memory-safe.
+//
+// Storage (see DESIGN.md, "DES core internals"):
+//  - Small buffers (control messages: a few ints/handles) live entirely in a
+//    64-byte inline array — no heap allocation at all.
+//  - Larger bodies promote to a ref-counted immutable heap block.  Copying a
+//    PackBuffer then shares that one allocation: a send, every mailbox hop,
+//    and an N-way broadcast fan-out all alias the same bytes.  Only the read
+//    cursor is per-copy.
+//  - Mutation (pack_*, append, corrupt_byte) is copy-on-write: a holder with
+//    sole ownership writes in place, a sharer clones first.  Receivers that
+//    only unpack never trigger a copy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace opalsim::pvm {
@@ -30,6 +44,14 @@ class UnpackError : public std::runtime_error {
 class PackBuffer {
  public:
   PackBuffer() = default;
+
+  // Copies share the heap block (refcount bump, no byte copy); only the
+  // inline array and cursor/size bookkeeping are copied.  Mutators below
+  // clone on demand, so sharers can never observe each other's writes.
+  PackBuffer(const PackBuffer&) = default;
+  PackBuffer& operator=(const PackBuffer&) = default;
+  PackBuffer(PackBuffer&&) noexcept = default;
+  PackBuffer& operator=(PackBuffer&&) noexcept = default;
 
   // -- packing -------------------------------------------------------------
   void pack_i32(std::int32_t v) { put(Tag::I32, &v, sizeof v); }
@@ -86,27 +108,57 @@ class PackBuffer {
   }
 
   /// Appends all of `other`'s items after this buffer's items (used by the
-  /// RPC layer to wrap a handler's reply in a call envelope).
+  /// RPC layer to wrap a handler's reply in a call envelope).  Appending a
+  /// heap-backed buffer onto an empty one adopts its block — zero-copy.
   void append(const PackBuffer& other) {
-    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    if (this == &other) {
+      // Self-append: stage the bytes first — inserting a vector's own range
+      // into itself invalidates the source on reallocation.
+      const std::vector<std::uint8_t> tmp(data(), data() + size());
+      auto& dst = writable(tmp.size());
+      dst.insert(dst.end(), tmp.begin(), tmp.end());
+    } else if (size() == 0 && other.heap_) {
+      heap_ = other.heap_;
+      inline_size_ = 0;
+    } else if (other.size() > 0) {
+      // If `other` shares this buffer's block, writable() clones ours while
+      // other.heap_ keeps the source alive — the pointer stays valid.
+      auto& dst = writable(other.size());
+      const std::uint8_t* src = other.data();
+      dst.insert(dst.end(), src, src + other.size());
+    }
     payload_bytes_ += other.payload_bytes_;
   }
 
   /// Wire size in bytes (payload; tags are bookkeeping, not charged).
   std::size_t byte_size() const noexcept { return payload_bytes_; }
   /// Encoded size including type tags (what checksum/corruption act on).
-  std::size_t raw_size() const noexcept { return data_.size(); }
+  std::size_t raw_size() const noexcept { return size(); }
   /// True when every packed item has been unpacked.
-  bool fully_consumed() const noexcept { return cursor_ == data_.size(); }
+  bool fully_consumed() const noexcept { return cursor_ == size(); }
   /// Rewinds the read cursor (e.g. to re-read a received buffer).
   void rewind() noexcept { cursor_ = 0; }
+
+  /// True while the contents still fit the inline small-buffer storage.
+  bool is_inline() const noexcept { return heap_ == nullptr; }
+  /// True when this buffer and `other` alias the same heap block.
+  bool shares_storage(const PackBuffer& other) const noexcept {
+    return heap_ != nullptr && heap_ == other.heap_;
+  }
+  /// A copy guaranteed to own its bytes (breaks any sharing).
+  PackBuffer deep_copy() const {
+    PackBuffer b(*this);
+    if (b.heap_) b.heap_ = std::make_shared<std::vector<std::uint8_t>>(*heap_);
+    return b;
+  }
 
   /// FNV-1a over the encoded bytes — the payload checksum stamped on
   /// messages when fault injection is active.
   std::uint64_t checksum() const noexcept {
     std::uint64_t h = 14695981039346656037ULL;
-    for (const std::uint8_t b : data_) {
-      h ^= b;
+    const std::uint8_t* p = data();
+    for (std::size_t i = 0; i < size(); ++i) {
+      h ^= p[i];
       h *= 1099511628211ULL;
     }
     return h;
@@ -114,20 +166,49 @@ class PackBuffer {
 
   /// Fault injection: inverts one encoded byte (type tags included, so
   /// corruption can also surface as an UnpackError downstream).  No-op on an
-  /// empty buffer.
-  void corrupt_byte(std::size_t position) noexcept {
-    if (!data_.empty()) data_[position % data_.size()] ^= 0xff;
+  /// empty buffer.  Copy-on-write: never visible through sharing copies.
+  void corrupt_byte(std::size_t position) {
+    if (size() == 0) return;
+    const std::size_t at = position % size();
+    if (heap_) {
+      writable(0)[at] ^= 0xff;
+    } else {
+      inline_buf_[at] ^= 0xff;
+    }
   }
 
  private:
   enum class Tag : std::uint8_t { I32, U64, F64, Str, F64Arr, U32Arr };
+
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  const std::uint8_t* data() const noexcept {
+    return heap_ ? heap_->data() : inline_buf_.data();
+  }
+  std::size_t size() const noexcept {
+    return heap_ ? heap_->size() : inline_size_;
+  }
+
+  /// Uniquely-owned heap storage ready for `extra` appended bytes: promotes
+  /// inline contents, clones a shared block (COW).
+  std::vector<std::uint8_t>& writable(std::size_t extra) {
+    if (!heap_) {
+      heap_ = std::make_shared<std::vector<std::uint8_t>>();
+      heap_->reserve(inline_size_ + extra);
+      heap_->assign(inline_buf_.data(), inline_buf_.data() + inline_size_);
+      inline_size_ = 0;
+    } else if (heap_.use_count() > 1) {
+      heap_ = std::make_shared<std::vector<std::uint8_t>>(*heap_);
+    }
+    return *heap_;
+  }
 
   /// Validates a decoded element count against the bytes actually present
   /// before any allocation, so a corrupted length field cannot trigger a
   /// huge allocation or an overflowing size computation.
   std::uint64_t checked_count(std::uint64_t n, std::size_t elem_size,
                               const char* what) const {
-    const std::size_t remaining = data_.size() - cursor_;
+    const std::size_t remaining = size() - cursor_;
     if (n > remaining / elem_size)
       throw UnpackError(std::string("PackBuffer: ") + what +
                         " length exceeds buffer");
@@ -137,30 +218,38 @@ class PackBuffer {
   void put(Tag tag, const void* p, std::size_t n) { put_raw(tag, p, n); }
 
   void put_raw(Tag tag, const void* p, std::size_t n) {
-    data_.push_back(static_cast<std::uint8_t>(tag));
     const auto* bytes = static_cast<const std::uint8_t*>(p);
-    data_.insert(data_.end(), bytes, bytes + n);
+    if (!heap_ && inline_size_ + 1 + n <= kInlineCapacity) {
+      inline_buf_[inline_size_++] = static_cast<std::uint8_t>(tag);
+      std::memcpy(inline_buf_.data() + inline_size_, bytes, n);
+      inline_size_ += n;
+    } else {
+      auto& dst = writable(1 + n);
+      dst.push_back(static_cast<std::uint8_t>(tag));
+      dst.insert(dst.end(), bytes, bytes + n);
+    }
     payload_bytes_ += n;
   }
 
   void get(Tag tag, void* p, std::size_t n) { get_raw(tag, p, n); }
 
   void get_raw(Tag tag, void* p, std::size_t n) {
-    if (cursor_ >= data_.size())
-      throw UnpackError("PackBuffer: unpack past end");
-    const Tag actual = static_cast<Tag>(data_[cursor_]);
+    if (cursor_ >= size()) throw UnpackError("PackBuffer: unpack past end");
+    const std::uint8_t* bytes = data();
+    const Tag actual = static_cast<Tag>(bytes[cursor_]);
     if (actual != tag) throw UnpackError("PackBuffer: type mismatch on unpack");
     ++cursor_;
     // Overflow-safe: `cursor_ + n > size` would wrap for huge n (a decoded
     // length from a corrupted buffer), silently passing the check and
     // reading out of bounds.  Compare against the remaining bytes instead.
-    if (n > data_.size() - cursor_)
-      throw UnpackError("PackBuffer: truncated item");
-    std::memcpy(p, data_.data() + cursor_, n);
+    if (n > size() - cursor_) throw UnpackError("PackBuffer: truncated item");
+    std::memcpy(p, bytes + cursor_, n);
     cursor_ += n;
   }
 
-  std::vector<std::uint8_t> data_;
+  std::array<std::uint8_t, kInlineCapacity> inline_buf_{};
+  std::size_t inline_size_ = 0;
+  std::shared_ptr<std::vector<std::uint8_t>> heap_;
   std::size_t payload_bytes_ = 0;
   std::size_t cursor_ = 0;
 };

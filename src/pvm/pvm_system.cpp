@@ -102,6 +102,8 @@ std::optional<Message> PvmTask::try_recv(int src, int tag) {
 
 sim::Task<void> PvmTask::mcast(const std::vector<int>& dsts, int tag,
                                const PackBuffer& body) {
+  // Each send takes a copy of `body`, but PackBuffer copies share one
+  // immutable heap block — the fan-out moves no payload bytes.
   for (int dst : dsts) co_await send(dst, tag, body);
 }
 
@@ -193,7 +195,7 @@ sim::Task<PackBuffer> PvmTask::bcast(const std::vector<int>& members,
     const int child_rot = me + mask;
     if (child_rot < size) {
       const int child = members[(child_rot + root_rank) % size];
-      PackBuffer copy = payload;  // duplicate the wire payload
+      PackBuffer copy = payload;  // shares the payload block (zero-copy)
       co_await send(child, tag, std::move(copy));
     }
   }
@@ -204,6 +206,18 @@ PvmSystem::PvmSystem(mach::Machine& machine) : machine_(&machine) {}
 
 PvmSystem::~PvmSystem() = default;
 
+namespace {
+
+/// Root coroutine owning the task body.  The callable is moved into this
+/// frame (pooled, see sim/pool.hpp) and outlives the coroutine it creates —
+/// a lambda coroutine's captures live in the lambda object, not the frame —
+/// so no heap-boxed copy of the std::function is needed per spawn.
+sim::Task<void> run_task_body(PvmSystem::TaskBody body, PvmTask* task) {
+  co_await body(*task);
+}
+
+}  // namespace
+
 int PvmSystem::spawn(int node, TaskBody body) {
   if (node < 0 || node >= machine_->num_nodes())
     throw std::out_of_range("PvmSystem::spawn: bad node");
@@ -212,10 +226,11 @@ int PvmSystem::spawn(int node, TaskBody body) {
   entry.task.reset(new PvmTask(this, tid, node));
   entry.mailbox = std::make_unique<sim::Mailbox<Message>>(engine());
   entry.mailbox->audit_discipline().set_owner(static_cast<std::uint64_t>(tid));
-  entry.body = std::make_unique<TaskBody>(std::move(body));
   tasks_.push_back(std::move(entry));
-  PvmTask& task_ref = *tasks_.back().task;
-  tasks_.back().process = engine().spawn((*tasks_.back().body)(task_ref));
+  // entry.task is a stable unique_ptr: the pointer survives vector growth.
+  PvmTask* task_ptr = tasks_.back().task.get();
+  tasks_.back().process =
+      engine().spawn(run_task_body(std::move(body), task_ptr));
   return tid;
 }
 

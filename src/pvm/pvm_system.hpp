@@ -144,10 +144,6 @@ class PvmSystem {
   struct TaskEntry {
     std::unique_ptr<PvmTask> task;
     std::unique_ptr<sim::Mailbox<Message>> mailbox;
-    // The body callable must outlive the coroutine it creates (a lambda
-    // coroutine's captures live in the lambda object, not the frame), and
-    // must sit at a stable address across vector growth.
-    std::unique_ptr<TaskBody> body;
     sim::ProcessHandle process;
   };
 

@@ -125,12 +125,15 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   record(-1, "sync", engine.now() - b5, engine.now());
 
   // Send the call to every server; the client's link serializes these, so
-  // call_time grows linearly in p as the model assumes.
+  // call_time grows linearly in p as the model assumes.  The envelope
+  // prefix (call id + procedure name) is identical for all servers — pack
+  // it once and stamp per-server copies instead of re-encoding p times.
+  pvm::PackBuffer prefix;
+  prefix.pack_u64(call_id);
+  prefix.pack_string(proc);
   const double t_call0 = engine.now();
   for (int s = 0; s < num_servers_; ++s) {
-    pvm::PackBuffer envelope;
-    envelope.pack_u64(call_id);
-    envelope.pack_string(proc);
+    pvm::PackBuffer envelope = prefix;
     envelope.append(args[s]);
     co_await client.send(server_tids_[s], kTagCall, std::move(envelope));
   }
@@ -416,18 +419,21 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
   stats.sync_time += b5;
   record(-1, "sync", engine.now() - b5, engine.now());
 
-  auto call_envelope = [&args, &proc, call_id](int s) {
-    pvm::PackBuffer env;
-    env.pack_u64(call_id);
-    env.pack_string(proc);
+  // Both envelope kinds are built from prefixes packed exactly once per
+  // round: call envelopes stamp per-server args onto a shared (call id,
+  // proc) prefix; release envelopes are identical for every server and
+  // every retransmission, so copies just share the packed bytes.
+  pvm::PackBuffer call_prefix;
+  call_prefix.pack_u64(call_id);
+  call_prefix.pack_string(proc);
+  pvm::PackBuffer release_env;
+  release_env.pack_u64(call_id);
+  auto call_envelope = [&args, &call_prefix](int s) {
+    pvm::PackBuffer env = call_prefix;
     env.append(args[s]);
     return env;
   };
-  auto release_envelope = [call_id]() {
-    pvm::PackBuffer env;
-    env.pack_u64(call_id);
-    return env;
-  };
+  auto release_envelope = [&release_env]() { return release_env; };
 
   // Call phase: first-attempt sends to every live server.
   const double t_call0 = engine.now();

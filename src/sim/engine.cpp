@@ -16,8 +16,12 @@ detail::RootCoro drive(Engine* engine, Task<void> task,
     state->exception = std::current_exception();
   }
   state->done = true;
-  for (auto h : state->joiners) engine->schedule_now(h);
-  state->joiners.clear();
+  if (state->joiner) {
+    engine->schedule_now(state->joiner);
+    state->joiner = nullptr;
+  }
+  for (auto h : state->extra_joiners) engine->schedule_now(h);
+  state->extra_joiners.clear();
 }
 
 }  // namespace
@@ -33,7 +37,10 @@ Engine::~Engine() {
 }
 
 ProcessHandle Engine::spawn(Task<void> task) {
-  auto state = std::make_shared<detail::ProcessState>();
+  // allocate_shared over the thread pool: state + control block are one
+  // pooled allocation, reused across spawns via the free list.
+  auto state = std::allocate_shared<detail::ProcessState>(
+      PoolAllocator<detail::ProcessState>{});
   detail::RootCoro root = drive(this, std::move(task), state);
   root.handle.promise().state = state;
   schedule(now_, root.handle);
@@ -51,7 +58,7 @@ void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
                   now_);
     }
   }
-  queue_.push(ScheduledEvent{t, next_seq_++, h});
+  queue_->push(ScheduledEvent{t, next_seq_++, h});
 }
 
 void Engine::audit_pop(SimTime t) {
@@ -68,9 +75,8 @@ void Engine::audit_pop(SimTime t) {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    ScheduledEvent ev = queue_.top();
-    queue_.pop();
+  while (!queue_->empty()) {
+    ScheduledEvent ev = queue_->pop();
     if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;
@@ -80,9 +86,8 @@ void Engine::run() {
 }
 
 void Engine::run_until(SimTime t_end) {
-  while (!queue_.empty() && queue_.top().t <= t_end) {
-    ScheduledEvent ev = queue_.top();
-    queue_.pop();
+  while (!queue_->empty() && queue_->next_time() <= t_end) {
+    ScheduledEvent ev = queue_->pop();
     if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;

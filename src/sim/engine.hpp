@@ -6,15 +6,24 @@
 // Queue, Mailbox, Resource, Barrier).  Exactly one coroutine runs at a time,
 // so no synchronization is required, and ties in virtual time are broken by a
 // monotone sequence number — runs are bit-for-bit deterministic.
+//
+// Hot-path machinery (see DESIGN.md, "DES core internals"):
+//  - the event queue is pluggable (sim/event_queue.hpp): a ladder-style
+//    queue by default, the seed binary heap as reference — both pop the
+//    identical (t, seq) total order;
+//  - per-spawn ProcessState blocks and every coroutine frame come from the
+//    thread's FramePool slab arena (sim/pool.hpp), so steady-state spawning
+//    and event dispatch perform no global-heap allocation.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -24,17 +33,21 @@ class Engine;
 
 namespace detail {
 
-/// Shared completion state of a spawned process.
+/// Shared completion state of a spawned process.  The first joiner parks in
+/// the inline slot (a process is almost always joined at most once);
+/// additional joiners spill into the vector.
 struct ProcessState {
   bool done = false;
   bool exception_observed = false;
   std::exception_ptr exception;
-  std::vector<std::coroutine_handle<>> joiners;
+  std::coroutine_handle<> joiner;
+  std::vector<std::coroutine_handle<>> extra_joiners;
 };
 
 /// Eager root coroutine that drives a Task<void> and records completion.
+/// The frame is pool-allocated (PooledFrame) like every Task frame.
 struct RootCoro {
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::shared_ptr<ProcessState> state;
     RootCoro get_return_object() noexcept {
       return RootCoro{
@@ -68,7 +81,11 @@ class ProcessHandle {
     std::shared_ptr<detail::ProcessState> state;
     bool await_ready() const noexcept { return state->done; }
     void await_suspend(std::coroutine_handle<> h) const {
-      state->joiners.push_back(h);
+      if (!state->joiner) {
+        state->joiner = h;
+      } else {
+        state->extra_joiners.push_back(h);
+      }
     }
     void await_resume() const {
       if (state->exception) {
@@ -89,9 +106,20 @@ class ProcessHandle {
   std::shared_ptr<detail::ProcessState> state_;
 };
 
+/// Snapshot of the engine's hot-path counters (see bench_des_core).
+struct EngineCounters {
+  std::uint64_t events_processed = 0;
+  const char* queue_name = "";
+  EventQueueStats queue;
+  FramePool::Stats frame_pool;  ///< the engine thread's pool counters
+};
+
 class Engine {
  public:
-  Engine() = default;
+  /// Uses the process-default queue kind (OPALSIM_EVENT_QUEUE / setter).
+  Engine() : Engine(default_event_queue()) {}
+  explicit Engine(EventQueueKind queue_kind)
+      : queue_(make_event_queue(queue_kind)) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -131,22 +159,22 @@ class Engine {
   /// Number of events processed since construction (for tests/diagnostics).
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Hot-path counters: events, queue ops, frame-pool hit rate.
+  EngineCounters counters() const {
+    EngineCounters c;
+    c.events_processed = processed_;
+    c.queue_name = queue_->name();
+    c.queue = queue_->stats();
+    c.frame_pool = FramePool::local_stats();
+    return c;
+  }
+
   /// Schedules a raw coroutine handle at time t (used by primitives).
   void schedule(SimTime t, std::coroutine_handle<> h);
   /// Schedules at the current time (after already-queued same-time events).
   void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
  private:
-  struct ScheduledEvent {
-    SimTime t = 0.0;
-    std::uint64_t seq = 0;
-    std::coroutine_handle<> handle;
-    bool operator>(const ScheduledEvent& o) const noexcept {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
-  };
-
   void rethrow_pending_failure();
 
   /// Audit hooks for one event pop (time monotonicity + run isolation).
@@ -158,9 +186,7 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
-                      std::greater<>>
-      queue_;
+  std::unique_ptr<EventQueue> queue_;
   struct Root {
     detail::RootCoro coro;
     std::shared_ptr<detail::ProcessState> state;

@@ -1,0 +1,129 @@
+// Pluggable event queue for the DES engine.
+//
+// The engine's contract is a strict total order on (time, seq): seq is a
+// monotone counter assigned at schedule time, so any queue that pops the
+// exact same (t, seq) order is a legal drop-in replacement — virtual-time
+// results stay bit-for-bit identical.  Two implementations live behind this
+// interface:
+//
+//   heap    — std::priority_queue reference implementation (the seed
+//             engine's queue).  O(log n) push/pop, always correct, used as
+//             the oracle in the randomized equivalence tests.
+//   ladder  — a ladder-style (calendar) queue tuned for the engine's
+//             mostly-near-future schedule pattern: O(1) appends into an
+//             unsorted far band, on-demand splitting of the far band into
+//             rung buckets, and a small sorted bottom band served by index.
+//             Events are stored by value in reused vectors, so the steady
+//             state performs no per-event allocation at all.
+//
+// The active implementation is selected per engine (Engine ctor) with the
+// process default from OPALSIM_EVENT_QUEUE (ladder | heap; default ladder),
+// overridable programmatically for tests/benches via
+// set_default_event_queue().
+//
+// Cancellation is lazy: cancel(seq) records a tombstone and pops skip it.
+// The engine itself never cancels; the primitive exists for queue users and
+// for the randomized property tests that drive schedule/cancel mixes.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "sim/time.hpp"
+
+namespace opalsim::sim {
+
+/// One scheduled resumption.  Total order: (t, seq) lexicographic.
+struct ScheduledEvent {
+  SimTime t = 0.0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> handle;
+};
+
+/// Lifetime operation counters of one queue instance.
+struct EventQueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t peak_size = 0;
+};
+
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  virtual const char* name() const noexcept = 0;
+
+  void push(const ScheduledEvent& ev) {
+    ++stats_.pushes;
+    ++live_;
+    if (live_ > stats_.peak_size) stats_.peak_size = live_;
+    do_push(ev);
+  }
+
+  /// Pops the live event with the smallest (t, seq).  Precondition: !empty().
+  ScheduledEvent pop() {
+    purge_cancelled();
+    ++stats_.pops;
+    --live_;
+    return do_pop();
+  }
+
+  /// Time of the next live event.  Precondition: !empty().
+  SimTime next_time() {
+    purge_cancelled();
+    return do_peek().t;
+  }
+
+  /// Lazily removes the pending event with sequence number `seq`.  The
+  /// caller must pass a seq that is actually pending and not yet cancelled
+  /// (the tombstone is trusted, not verified).
+  void cancel(std::uint64_t seq) {
+    cancelled_.insert(seq);
+    ++stats_.cancels;
+    --live_;
+  }
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
+  const EventQueueStats& stats() const noexcept { return stats_; }
+
+ protected:
+  virtual void do_push(const ScheduledEvent& ev) = 0;
+  virtual ScheduledEvent do_pop() = 0;
+  /// May mutate internal bands (the ladder materializes its bottom band);
+  /// the returned reference is valid until the next queue operation.
+  virtual const ScheduledEvent& do_peek() = 0;
+
+ private:
+  void purge_cancelled() {
+    while (!cancelled_.empty()) {
+      const auto it = cancelled_.find(do_peek().seq);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      do_pop();
+    }
+  }
+
+  std::size_t live_ = 0;
+  std::set<std::uint64_t> cancelled_;
+  EventQueueStats stats_;
+};
+
+enum class EventQueueKind { kLadder, kHeap };
+
+/// Process-wide default used by Engine's default constructor.  Initialized
+/// once from OPALSIM_EVENT_QUEUE (ladder | heap; unset = ladder); atomically
+/// readable from sweep worker threads constructing engines concurrently.
+EventQueueKind default_event_queue() noexcept;
+void set_default_event_queue(EventQueueKind kind) noexcept;
+
+std::unique_ptr<EventQueue> make_event_queue(EventQueueKind kind);
+
+}  // namespace opalsim::sim

@@ -15,6 +15,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/pool.hpp"
+
 namespace opalsim::sim {
 
 template <typename T>
@@ -22,7 +24,9 @@ class Task;
 
 namespace detail {
 
-struct TaskPromiseBase {
+/// PooledFrame: the whole coroutine frame (promise + locals) is allocated
+/// from the thread's FramePool slab arena instead of the global heap.
+struct TaskPromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;  ///< resumed at final suspend
   std::exception_ptr exception;
 

@@ -199,4 +199,122 @@ TEST(PackBuffer, AppendConcatenatesItems) {
   EXPECT_EQ(a.byte_size(), 4u + 8u + 8u + 1u);
 }
 
+// -- zero-copy storage semantics --------------------------------------------
+
+TEST(PackBuffer, SmallBuffersStayInline) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_u64(7);       // 9 encoded bytes
+  b.pack_f64(1.5);     // 9 more
+  b.pack_i32(3);       // 5 more: still well under the 64-byte inline cap
+  EXPECT_TRUE(b.is_inline());
+  const opalsim::pvm::PackBuffer c = b;  // inline copies never share
+  EXPECT_FALSE(b.shares_storage(c));
+  EXPECT_EQ(c.checksum(), b.checksum());
+}
+
+TEST(PackBuffer, LargeBodyPromotesToHeapAndCopiesShare) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>(512, 1.25));
+  EXPECT_FALSE(b.is_inline());
+  const opalsim::pvm::PackBuffer c1 = b;
+  const opalsim::pvm::PackBuffer c2 = b;
+  EXPECT_TRUE(c1.shares_storage(b));
+  EXPECT_TRUE(c2.shares_storage(c1));  // N-way fan-out: one allocation
+}
+
+TEST(PackBuffer, SharedCopiesUnpackIndependently) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>(512, 2.0));
+  b.pack_i32(9);
+  opalsim::pvm::PackBuffer c = b;
+  ASSERT_TRUE(c.shares_storage(b));
+  // Cursors are per-copy: consuming one copy leaves the other untouched.
+  EXPECT_EQ(c.unpack_f64_array().size(), 512u);
+  EXPECT_EQ(c.unpack_i32(), 9);
+  EXPECT_TRUE(c.fully_consumed());
+  EXPECT_FALSE(b.fully_consumed());
+  EXPECT_EQ(b.unpack_f64_array().size(), 512u);
+  EXPECT_TRUE(c.shares_storage(b));  // reads never broke the sharing
+}
+
+TEST(PackBuffer, PackAfterCopyTriggersCopyOnWrite) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>(512, 3.0));
+  opalsim::pvm::PackBuffer c = b;
+  ASSERT_TRUE(c.shares_storage(b));
+  c.pack_i32(1);  // mutation: c must detach, b must not see the new item
+  EXPECT_FALSE(c.shares_storage(b));
+  EXPECT_EQ(c.unpack_f64_array().size(), 512u);
+  EXPECT_EQ(c.unpack_i32(), 1);
+  EXPECT_EQ(b.unpack_f64_array().size(), 512u);
+  EXPECT_TRUE(b.fully_consumed());
+}
+
+TEST(PackBuffer, CorruptByteTriggersCopyOnWrite) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>(512, 4.0));
+  const std::uint64_t clean = b.checksum();
+  opalsim::pvm::PackBuffer c = b;
+  c.corrupt_byte(100);
+  EXPECT_FALSE(c.shares_storage(b));
+  EXPECT_NE(c.checksum(), clean);
+  EXPECT_EQ(b.checksum(), clean);  // the shared original is untouched
+}
+
+TEST(PackBuffer, AppendOntoEmptyAdoptsStorage) {
+  opalsim::pvm::PackBuffer body;
+  body.pack_f64_array(std::vector<double>(512, 5.0));
+  opalsim::pvm::PackBuffer env;
+  env.append(body);  // empty destination: adopt, don't copy
+  EXPECT_TRUE(env.shares_storage(body));
+  EXPECT_EQ(env.byte_size(), body.byte_size());
+  EXPECT_EQ(env.unpack_f64_array().size(), 512u);
+}
+
+TEST(PackBuffer, AppendOntoNonEmptyDetaches) {
+  opalsim::pvm::PackBuffer body;
+  body.pack_f64_array(std::vector<double>(512, 6.0));
+  opalsim::pvm::PackBuffer env;
+  env.pack_u64(42);
+  env.append(body);
+  EXPECT_FALSE(env.shares_storage(body));
+  EXPECT_EQ(env.unpack_u64(), 42u);
+  EXPECT_EQ(env.unpack_f64_array().size(), 512u);
+}
+
+TEST(PackBuffer, SelfAppendDoublesContents) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_i32(5);
+  b.append(b);
+  EXPECT_EQ(b.unpack_i32(), 5);
+  EXPECT_EQ(b.unpack_i32(), 5);
+  EXPECT_TRUE(b.fully_consumed());
+  EXPECT_EQ(b.byte_size(), 8u);
+
+  opalsim::pvm::PackBuffer big;
+  big.pack_f64_array(std::vector<double>(512, 7.0));
+  big.append(big);
+  EXPECT_EQ(big.unpack_f64_array().size(), 512u);
+  EXPECT_EQ(big.unpack_f64_array().size(), 512u);
+  EXPECT_TRUE(big.fully_consumed());
+}
+
+TEST(PackBuffer, DeepCopyBreaksSharing) {
+  opalsim::pvm::PackBuffer b;
+  b.pack_f64_array(std::vector<double>(512, 8.0));
+  const opalsim::pvm::PackBuffer d = b.deep_copy();
+  EXPECT_FALSE(d.shares_storage(b));
+  EXPECT_EQ(d.checksum(), b.checksum());
+}
+
+TEST(PackBuffer, InlineGrowthCrossesCapMidItem) {
+  // Pack items until the encoded size crosses the inline capacity: contents
+  // must survive the promotion byte-for-byte.
+  opalsim::pvm::PackBuffer b;
+  for (std::uint64_t i = 0; i < 12; ++i) b.pack_u64(i);  // 12 * 9 = 108 bytes
+  EXPECT_FALSE(b.is_inline());
+  for (std::uint64_t i = 0; i < 12; ++i) EXPECT_EQ(b.unpack_u64(), i);
+  EXPECT_TRUE(b.fully_consumed());
+}
+
 }  // namespace

@@ -31,6 +31,12 @@ ways host-level nondeterminism leaks into virtual time or model code:
                     and predicts in double; accumulating into float loses
                     bits run-order-dependently once any parallel reduction
                     is introduced.
+  priority-queue    direct std::priority_queue in src/sim outside the
+                    EventQueue implementation (sim/event_queue.{hpp,cpp}).
+                    The engine's event ordering is a (t, seq) total-order
+                    contract behind the EventQueue interface; an ad-hoc heap
+                    beside it can silently break tie ordering — and with it
+                    bit-identical replay.
 
 Escape hatch: a finding is suppressed when the offending line, or the line
 directly above it, carries  // lint:allow(<rule>)  with the rule name.
@@ -64,10 +70,19 @@ WALL_CLOCK_PATTERN = re.compile(
 )
 UNORDERED_PATTERN = re.compile(r"std::unordered_(?:map|set|multimap|multiset)")
 FLOAT_PATTERN = re.compile(r"(?<![\w:])float(?![\w])")
+PRIORITY_QUEUE_PATTERN = re.compile(r"std::priority_queue")
 
 # Files whose whole purpose is the thing a rule forbids.
 RNG_ALLOWED_FILES = {"src/util/rng.hpp"}
 WALL_CLOCK_ALLOWED_FILES = {"src/util/host_timer.hpp"}
+
+# std::priority_queue is banned in the engine tree except inside the
+# EventQueue implementation itself (the reference binary heap lives there).
+PRIORITY_QUEUE_CHECKED_DIRS = ("src/sim",)
+PRIORITY_QUEUE_ALLOWED_FILES = {
+    "src/sim/event_queue.hpp",
+    "src/sim/event_queue.cpp",
+}
 
 # float is forbidden where model/accounting arithmetic lives; util string/
 # table helpers and mach descriptor structs are out of scope.
@@ -80,6 +95,8 @@ FLOAT_CHECKED_DIRS = ("src/model", "src/hpm", "src/sim", "src/opal",
 UNINIT_CHECKED_FILES = {
     "src/sim/event.hpp",
     "src/sim/engine.hpp",
+    "src/sim/event_queue.hpp",
+    "src/sim/pool.hpp",
     "src/sim/fault.hpp",
     "src/sim/queue.hpp",
     "src/sim/mailbox.hpp",
@@ -99,7 +116,7 @@ SCALAR_MEMBER_PATTERN = re.compile(
 ALLOW_PATTERN = re.compile(r"//\s*lint:allow\(([\w,\s-]+)\)")
 
 RULES = ("rng", "wall-clock", "unordered-container", "uninit-member",
-         "float-narrowing")
+         "float-narrowing", "priority-queue")
 
 
 class Finding:
@@ -272,6 +289,16 @@ def check_file(path: pathlib.Path, root: pathlib.Path,
                     "in double — float accumulation drops bits "
                     "run-order-dependently"))
 
+        if rel.startswith(PRIORITY_QUEUE_CHECKED_DIRS) and \
+                rel not in PRIORITY_QUEUE_ALLOWED_FILES:
+            m = PRIORITY_QUEUE_PATTERN.search(line)
+            if m and not allow("priority-queue"):
+                findings.append(Finding(
+                    rel, lineno, "priority-queue",
+                    "'std::priority_queue' beside the EventQueue interface; "
+                    "event ordering must go through sim/event_queue.hpp so "
+                    "the (t, seq) total order stays in one place"))
+
     if rel in UNINIT_CHECKED_FILES:
         check_uninit_members(code_lines, raw_lines, rel, findings)
 
@@ -345,6 +372,32 @@ def self_test() -> int:
                   f"{snippet!r}", file=sys.stderr)
             failures += 1
 
+    # priority-queue: fires in src/sim generally, silent inside the
+    # EventQueue implementation files, outside src/sim, and when suppressed.
+    pq_cases = [
+        (True, "src/sim/engine.hpp",
+         "std::priority_queue<Ev> q;"),
+        (False, "src/sim/event_queue.cpp",
+         "std::priority_queue<Ev> q;"),
+        (False, "src/pvm/pvm_system.cpp",
+         "std::priority_queue<Ev> q;"),
+        (False, "src/sim/engine.hpp",
+         "std::priority_queue<Ev> q;  // lint:allow(priority-queue)"),
+        (False, "src/sim/engine.hpp", "queue_->push(ev);"),
+    ]
+    for should_fire, rel, snippet in pq_cases:
+        raw = [snippet]
+        code = strip_code(raw)
+        fired = bool(
+            rel.startswith(PRIORITY_QUEUE_CHECKED_DIRS) and
+            rel not in PRIORITY_QUEUE_ALLOWED_FILES and
+            PRIORITY_QUEUE_PATTERN.search(code[0]) and
+            "priority-queue" not in allowed_rules(raw, 0))
+        if fired != should_fire:
+            print(f"self-test FAIL: priority-queue on {rel!r}: {snippet!r}",
+                  file=sys.stderr)
+            failures += 1
+
     # uninit-member: struct member without initializer fires; class member
     # and initialized member do not.
     uninit_cases = [
@@ -365,7 +418,8 @@ def self_test() -> int:
 
     if failures:
         return 1
-    print(f"self-test OK: {len(SELF_TEST_CASES) + len(uninit_cases)} cases")
+    print(f"self-test OK: "
+          f"{len(SELF_TEST_CASES) + len(pq_cases) + len(uninit_cases)} cases")
     return 0
 
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Regression gate for bench_des_core (BENCH_des.json).
+
+Compares a fresh bench run against the committed baseline
+(bench/baselines/BENCH_des_baseline.json) and fails on:
+
+  * any equivalence failure ("agree": false anywhere) — the configurations
+    stopped replaying identical virtual-time histories;
+  * a relative events/sec regression: the pooled-ladder-vs-seed speedup
+    (hold or churn) dropping more than --tolerance (default 20%) below the
+    baseline's.  Speedups are ratios of two runs on the same machine, so
+    the gate is hardware-independent, unlike raw events/sec;
+  * the hold speedup falling below --min-speedup — the absolute floor the
+    overhaul must clear on any machine (CI uses a conservative value; the
+    committed baseline records the real measured margin).
+
+Usage:
+  check_bench_des.py CURRENT_JSON [--baseline PATH] [--tolerance 0.20]
+                     [--min-speedup 1.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "BENCH_des_baseline.json"
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {path}: {exc}")
+    raise AssertionError  # unreachable
+
+
+def check_agreement(current: dict) -> None:
+    if not current.get("agree", False):
+        fail("virtual-time results differ between queue/pool configurations")
+    payload = current.get("payload", {})
+    if not payload.get("agree", False):
+        fail("payload section: shared/deep copies disagree")
+    sweep = current.get("sweep", {})
+    if not sweep.get("agree", False):
+        fail("sweep section: per-thread engines produced different results")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=pathlib.Path,
+                        help="BENCH_des.json from the run under test")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative speedup drop vs baseline")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="absolute floor for the hold speedup")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    check_agreement(current)
+
+    ok = True
+    for key in ("hold_speedup", "churn_speedup"):
+        cur = float(current.get(key, 0.0))
+        base = float(baseline.get(key, 0.0))
+        floor = base * (1.0 - args.tolerance)
+        status = "ok" if cur >= floor else "REGRESSION"
+        if cur < floor:
+            ok = False
+        print(f"{key}: current {cur:.3f} vs baseline {base:.3f} "
+              f"(floor {floor:.3f}) — {status}")
+
+    hold = float(current.get("hold_speedup", 0.0))
+    if hold < args.min_speedup:
+        ok = False
+        print(f"hold_speedup {hold:.3f} below absolute floor "
+              f"{args.min_speedup:.2f} — REGRESSION")
+
+    if not ok:
+        fail("bench_des_core regressed against the committed baseline")
+    print("bench_des_core within baseline envelope")
+
+
+if __name__ == "__main__":
+    main()
