@@ -32,9 +32,13 @@ int usage(const char* prog) {
          "       [--cutoff A] [--update-every U] [--method rd|sd|fd]\n"
          "       [--strategy historical|uniform|rowcyclic|folded]\n"
          "       [--minimize] [--overlap] [--trace] [--predict]\n"
+         "       [--trace-out FILE] [--metrics-out FILE]\n"
          "       [--solute N --water M] [--seed X]\n"
          "       [--fault-seed X] [--loss-rate R] [--corrupt-rate R]\n"
          "       [--dup-rate R] [--kill-server S --kill-step K] [--retry]\n"
+         "--trace-out writes a Perfetto-loadable Chrome trace (.csv for\n"
+         "CSV); --metrics-out snapshots the run's metrics registry as\n"
+         "JSON.  OPALSIM_TRACE / OPALSIM_METRICS set defaults.\n"
          "platforms: t3e j90 slow-cops smp-cops fast-cops hippi-j90\n";
   return 2;
 }
@@ -119,6 +123,8 @@ int main(int argc, char** argv) {
   }
   cfg.kill_server = static_cast<int>(args.get_long("kill-server", -1));
   cfg.kill_at_step = static_cast<int>(args.get_long("kill-step", -1));
+  cfg.trace_out = args.get_or("trace-out", "");
+  cfg.metrics_out = args.get_or("metrics-out", "");
 
   sciddle::Tracer tracer;
   sciddle::Options mw;

@@ -1,0 +1,78 @@
+// MetricsRegistry: named counters, gauges and histograms with a
+// deterministic JSON snapshot — the companion to the trace sink for
+// aggregate (rather than per-event) observability.  ParallelOpal absorbs
+// the engine/queue/pool/network/fault counters into one registry at the end
+// of a run; OPALSIM_METRICS=<path> writes the snapshot.
+//
+// Determinism: names live in std::map (ordered), values are integers or
+// doubles printed round-trippably, so two identical runs snapshot to
+// byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opalsim::obs {
+
+/// Fixed-bound histogram with Prometheus-style upper-inclusive buckets:
+/// a value v lands in the first bucket whose bound satisfies v <= bound;
+/// values above the last bound land in the implicit +inf overflow bucket.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  /// Index of the bucket `value` falls into (bounds().size() = overflow).
+  std::size_t bucket_index(double value) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created at zero on first touch).
+  void add(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void set(const std::string& name, double value);
+  double gauge(const std::string& name) const;
+
+  /// Returns the histogram `name`, creating it with `bounds` on first use.
+  /// Later calls ignore `bounds` (the first registration pins them).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Deterministic JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  ///  "counts":[...],"count":N,"sum":S}}}
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace opalsim::obs

@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace opalsim::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double (JSON/CSV cells).
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* cat_name(Cat cat) noexcept {
+  switch (cat) {
+    case Cat::kEngine: return "engine";
+    case Cat::kPvm: return "pvm";
+    case Cat::kRpc: return "rpc";
+    case Cat::kFault: return "fault";
+    case Cat::kPhase: return "phase";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> MemorySink::sorted_events() const {
+  std::vector<TraceEvent> out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string MemorySink::to_chrome_json() const {
+  const std::vector<TraceEvent> sorted = sorted_events();
+
+  // Track inventory: pid = node + 1 (node -1, the engine's global track
+  // group, becomes pid 0); tid = category index.
+  std::map<int, std::map<int, const char*>> tracks;  // pid -> tid -> name
+  for (const TraceEvent& e : sorted) {
+    tracks[e.node + 1][static_cast<int>(e.cat)] = cat_name(e.cat);
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [pid, tids] : tracks) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\""
+       << (pid == 0 ? std::string("engine")
+                    : "node " + std::to_string(pid - 1))
+       << "\"}}";
+    for (const auto& [tid, tname] : tids) {
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tname
+         << "\"}}";
+    }
+  }
+  for (const TraceEvent& e : sorted) {
+    sep();
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << cat_name(e.cat)
+       << "\",\"ph\":\"" << static_cast<char>(e.ph)
+       << "\",\"ts\":" << fmt(e.t * 1e6) << ",\"pid\":" << (e.node + 1)
+       << ",\"tid\":" << static_cast<int>(e.cat);
+    if (e.ph == Ph::kInstant) os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"seq\":" << e.seq;
+    if (e.a0.name != nullptr) {
+      os << ",\"" << e.a0.name << "\":" << fmt(e.a0.value);
+    }
+    if (e.a1.name != nullptr) {
+      os << ",\"" << e.a1.name << "\":" << fmt(e.a1.value);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string MemorySink::to_csv() const {
+  std::ostringstream os;
+  util::CsvWriter writer(os);
+  writer.write_row({"t", "seq", "node", "cat", "ph", "name", "arg0", "val0",
+                    "arg1", "val1"});
+  for (const TraceEvent& e : sorted_events()) {
+    writer.write_row({fmt(e.t), std::to_string(e.seq),
+                      std::to_string(e.node), cat_name(e.cat),
+                      std::string(1, static_cast<char>(e.ph)), e.name,
+                      e.a0.name != nullptr ? e.a0.name : "",
+                      e.a0.name != nullptr ? fmt(e.a0.value) : "",
+                      e.a1.name != nullptr ? e.a1.name : "",
+                      e.a1.name != nullptr ? fmt(e.a1.value) : ""});
+  }
+  return os.str();
+}
+
+std::string trace_path_from_env() {
+  return util::env_string("OPALSIM_TRACE").value_or("");
+}
+
+std::string metrics_path_from_env() {
+  return util::env_string("OPALSIM_METRICS").value_or("");
+}
+
+std::string unique_output_path(const std::string& path) {
+  static std::mutex mu;
+  static std::map<std::string, int>* counts = nullptr;
+  std::lock_guard<std::mutex> lock(mu);
+  if (counts == nullptr) counts = new std::map<std::string, int>();
+  const int n = ++(*counts)[path];
+  if (n == 1) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + std::to_string(n);
+  }
+  return path.substr(0, dot) + "." + std::to_string(n) + path.substr(dot);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os << content;
+  return static_cast<bool>(os);
+}
+
+}  // namespace opalsim::obs

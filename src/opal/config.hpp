@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "opal/pairs.hpp"
 
@@ -46,6 +47,14 @@ struct SimulationConfig {
   /// Requires fault-tolerant middleware (Options::retry.enabled) to survive.
   int kill_server = -1;
   int kill_at_step = -1;
+  /// When non-empty, the run is traced and the trace written here: .csv
+  /// extension selects CSV, anything else Chrome trace_event JSON
+  /// (Perfetto-loadable).  The OPALSIM_TRACE environment knob supplies a
+  /// default when this is empty.
+  std::string trace_out;
+  /// When non-empty, the run's MetricsRegistry snapshot (JSON) is written
+  /// here.  OPALSIM_METRICS supplies a default when empty.
+  std::string metrics_out;
 
   /// The model's update-frequency parameter u in (0, 1].
   double u() const noexcept { return 1.0 / update_every; }

@@ -1,7 +1,10 @@
 #include "opal/parallel.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opal/forcefield.hpp"
 #include "opal/soa.hpp"
 #include "opal/trajectory.hpp"
@@ -62,6 +65,20 @@ ParallelOpal::ParallelOpal(mach::PlatformSpec platform, MolecularComplex mc,
 ParallelRunResult ParallelOpal::run() {
   if (ran_) throw std::logic_error("ParallelOpal::run called twice");
   ran_ = true;
+
+  // Tracing/metrics knobs: config fields win, environment fills the blanks.
+  // The sink is installed thread-locally for the duration of the run, so
+  // sweeps fanning runs over a thread pool each trace independently.
+  std::string trace_path = cfg_.trace_out;
+  if (trace_path.empty()) trace_path = obs::trace_path_from_env();
+  std::string metrics_path = cfg_.metrics_out;
+  if (metrics_path.empty()) metrics_path = obs::metrics_path_from_env();
+  std::optional<obs::MemorySink> trace_sink;
+  std::optional<obs::ScopedSink> trace_scope;
+  if (!trace_path.empty()) {
+    trace_sink.emplace();
+    trace_scope.emplace(*trace_sink);
+  }
 
   sim::Engine engine;
   mach::Machine machine(engine, platform_, num_servers_ + 1);
@@ -217,6 +234,10 @@ ParallelRunResult ParallelOpal::run() {
     // serial reference.
     std::vector<double> update_coords;
     for (int step = 0; step < cfg_.steps; ++step) {
+      if (obs::enabled()) {
+        obs::instant(obs::Cat::kPhase, "step", engine.now(), 0,
+                     {"step", static_cast<double>(step)});
+      }
       if (step == cfg_.kill_at_step && cfg_.kill_server >= 0) {
         machine.fault().kill_node(cfg_.kill_server + 1, engine.now());
       }
@@ -323,6 +344,10 @@ ParallelRunResult ParallelOpal::run() {
       co_await client.cpu().compute(
           seq_ops, mc_.n() * (sizeof(MassCenter) + 2 * sizeof(Vec3)));
       metrics.seq_comp += engine.now() - t_seq0;
+      if (obs::enabled()) {
+        obs::span(obs::Cat::kPhase, "seq", t_seq0, engine.now(), 0,
+                  {"step", static_cast<double>(step)});
+      }
     }
 
     metrics.wall = engine.now() - t_start;
@@ -348,6 +373,50 @@ ParallelRunResult ParallelOpal::run() {
     result.server_busy.push_back(counter.busy_seconds());
     result.server_counted_mflop.push_back(
         counter.counted_mflop(platform_.cpu.intrinsics));
+  }
+
+  if (trace_sink) {
+    const std::string path = obs::unique_output_path(trace_path);
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    obs::write_file(
+        path, csv ? trace_sink->to_csv() : trace_sink->to_chrome_json());
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    const sim::EngineCounters ec = engine.counters();
+    reg.add("engine.events_processed", ec.events_processed);
+    reg.add("engine.queue.pushes", ec.queue.pushes);
+    reg.add("engine.queue.pops", ec.queue.pops);
+    reg.add("engine.queue.cancels", ec.queue.cancels);
+    reg.add("engine.queue.peak_size", ec.queue.peak_size);
+    reg.add("engine.pool.reused", ec.frame_pool.reused);
+    reg.add("engine.pool.carved", ec.frame_pool.carved);
+    reg.add("engine.pool.fallback", ec.frame_pool.fallback);
+    reg.set("engine.pool.hit_rate", ec.frame_pool.hit_rate());
+    reg.add("pvm.bytes_sent", pvm.bytes_sent());
+    reg.add("pvm.messages_sent", pvm.messages_sent());
+    reg.add("fault.dropped", fc.dropped);
+    reg.add("fault.duplicated", fc.duplicated);
+    reg.add("fault.corrupted", fc.corrupted);
+    reg.add("fault.daemon_stalls", fc.daemon_stalls);
+    reg.add("rpc.retries", rt.retries);
+    reg.add("rpc.timeouts", rt.timeouts);
+    reg.add("rpc.heartbeats", rt.heartbeats);
+    reg.add("rpc.servers_failed", rt.servers_failed);
+    reg.set("run.par_update_s", metrics.par_update);
+    reg.set("run.par_nbint_s", metrics.par_nbint);
+    reg.set("run.seq_comp_s", metrics.seq_comp);
+    reg.set("run.comm_s", metrics.tot_comm());
+    reg.set("run.sync_s", metrics.sync);
+    reg.set("run.idle_s", metrics.idle);
+    reg.set("run.recovery_s", metrics.recovery);
+    reg.set("run.wall_s", metrics.wall);
+    auto& busy = reg.histogram(
+        "run.server_busy_s",
+        {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+    for (const double b : result.server_busy) busy.observe(b);
+    obs::write_file(obs::unique_output_path(metrics_path), reg.to_json());
   }
   return result;
 }

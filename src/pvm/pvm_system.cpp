@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace opalsim::pvm {
 
 sim::Engine& PvmTask::engine() { return system_->engine(); }
@@ -19,6 +21,11 @@ sim::Task<Message> PvmTask::recv(int src, int tag) {
                                      engine().now());
   Message m = co_await mb.get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "recv", engine().now(), node_,
+                 {"src", static_cast<double>(m.src)},
+                 {"tag", static_cast<double>(m.tag)});
+  }
   co_return m;
 }
 
@@ -89,7 +96,13 @@ sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
                                         {}},
       std::make_shared<TimedRecvShared>(),
       timeout};
-  co_return co_await awaiter;
+  std::optional<Message> m = co_await awaiter;
+  if (m.has_value() && obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "recv", engine().now(), node_,
+                 {"src", static_cast<double>(m->src)},
+                 {"tag", static_cast<double>(m->tag)});
+  }
+  co_return m;
 }
 
 std::optional<Message> PvmTask::try_recv(int src, int tag) {
@@ -108,6 +121,10 @@ sim::Task<void> PvmTask::mcast(const std::vector<int>& dsts, int tag,
 }
 
 sim::Task<void> PvmTask::barrier(const std::string& group, int count) {
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "barrier", engine().now(), node_,
+                 {"count", static_cast<double>(count)});
+  }
   return system_->do_barrier(group, count);
 }
 
@@ -176,6 +193,11 @@ sim::Task<double> PvmTask::reduce_sum(const std::vector<int>& members,
 
 sim::Task<PackBuffer> PvmTask::bcast(const std::vector<int>& members,
                                      int root, int tag, PackBuffer data) {
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "bcast", engine().now(), node_,
+                 {"members", static_cast<double>(members.size())},
+                 {"bytes", static_cast<double>(data.byte_size())});
+  }
   const int size = static_cast<int>(members.size());
   const int root_rank = rank_of(members, root);
   const int me = rotated(rank_of(members, tid_), root_rank, size);
@@ -276,13 +298,27 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
   m.src = src_tid;
   m.tag = tag;
   m.seq = next_send_seq_++;
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "send", engine().now(), src_node,
+                 {"bytes", static_cast<double>(bytes)},
+                 {"dst", static_cast<double>(dst_node)});
+  }
+  auto deliver = [this, src_tid, dst_tid, dst_node](Message msg,
+                                                    bool faults_active) {
+    audit_note_delivery(src_tid, dst_tid, msg.seq, faults_active);
+    sim::Mailbox<Message>& mb = mailbox(dst_tid);
+    mb.put(std::move(msg));
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kPvm, "deliver", engine().now(), dst_node,
+                   {"queue", static_cast<double>(mb.size())});
+    }
+  };
   if (!fault.enabled()) {
     // Fault-free fast path: no checksumming, no extra RNG draws — runs with
     // faults disabled stay bit-for-bit identical to the seed model.
     m.body = std::move(body);
     co_await machine_->transfer(src_node, dst_node, bytes);
-    audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/false);
-    mailbox(dst_tid).put(std::move(m));
+    deliver(std::move(m), /*faults_active=*/false);
     co_return;
   }
 
@@ -296,22 +332,28 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
 
   switch (fault.next_message_fault(src_node, dst_node)) {
     case sim::MessageFault::Drop:
+      obs::instant(obs::Cat::kFault, "drop", engine().now(), dst_node,
+                   {"src", static_cast<double>(src_node)},
+                   {"mseq", static_cast<double>(m.seq)});
       co_return;
     case sim::MessageFault::Duplicate: {
+      obs::instant(obs::Cat::kFault, "duplicate", engine().now(), dst_node,
+                   {"src", static_cast<double>(src_node)},
+                   {"mseq", static_cast<double>(m.seq)});
       Message copy = m;  // same seq: receivers dedup on it
-      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
-      mailbox(dst_tid).put(std::move(copy));
-      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
-      mailbox(dst_tid).put(std::move(m));
+      deliver(std::move(copy), /*faults_active=*/true);
+      deliver(std::move(m), /*faults_active=*/true);
       co_return;
     }
     case sim::MessageFault::Corrupt:
       m.body.corrupt_byte(fault.next_corrupt_position(m.body.raw_size()));
+      obs::instant(obs::Cat::kFault, "corrupt", engine().now(), dst_node,
+                   {"src", static_cast<double>(src_node)},
+                   {"mseq", static_cast<double>(m.seq)});
       [[fallthrough]];
     case sim::MessageFault::None:
       m.corrupted = m.body.checksum() != m.checksum;
-      audit_note_delivery(src_tid, dst_tid, m.seq, /*faults_active=*/true);
-      mailbox(dst_tid).put(std::move(m));
+      deliver(std::move(m), /*faults_active=*/true);
       co_return;
   }
 }

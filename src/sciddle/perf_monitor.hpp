@@ -5,6 +5,7 @@
 // synchronization / idle) sums to the wall clock by construction.
 #pragma once
 
+#include <cstdio>
 #include <map>
 #include <string>
 
@@ -61,6 +62,24 @@ class PerfMonitor {
   void reset() {
     buckets_.clear();
     running_ = false;
+  }
+
+  /// Deterministic JSON snapshot: {"phase": seconds, ...}, phases in map
+  /// (lexicographic) order, doubles printed round-trippably.  The golden
+  /// trace test diffs this against the summary the trace summarizer
+  /// recomputes from a trace alone.
+  std::string to_json() const {
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto& [phase, seconds] : buckets_) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", seconds);
+      if (!first) out += ",\n";
+      out += "  \"" + phase + "\": " + buf;
+      first = false;
+    }
+    out += first ? "}\n" : "\n}\n";
+    return out;
   }
 
   /// RAII phase scope: enters `phase`, restores the previous phase on exit.

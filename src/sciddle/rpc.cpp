@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 
 namespace opalsim::sciddle {
@@ -62,8 +63,23 @@ void Rpc::start() {
   }
 }
 
-void Rpc::record(int task, const char* phase, double t0, double t1) {
+void Rpc::record(int task, const char* phase, double t0, double t1,
+                 std::uint64_t round) {
   if (options_.tracer != nullptr) options_.tracer->record(task, phase, t0, t1);
+  record_obs(task, phase, t0, t1, round);
+}
+
+void Rpc::record_obs(int task, const char* phase, double t0, double t1,
+                     std::uint64_t round, int participants) {
+  if (!obs::enabled()) return;
+  // The client runs on node 0, server s on node s + 1.
+  const int node = task < 0 ? 0 : task + 1;
+  obs::Arg a0, a1;
+  if (round > 0) a0 = {"round", static_cast<double>(round)};
+  if (participants > 0) {
+    a1 = {"participants", static_cast<double>(participants)};
+  }
+  obs::span(obs::Cat::kRpc, phase, t0, t1, node, a0, a1);
 }
 
 // ---------------------------------------------------------------------------
@@ -87,7 +103,7 @@ sim::Task<void> Rpc::server_loop(pvm::PvmTask& task, int server_index) {
     const double t0 = task.engine().now();
     pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
     const double busy = task.engine().now() - t0;
-    record(server_index, "compute", t0, t0 + busy);
+    record(server_index, "compute", t0, t0 + busy, call_id);
 
     if (options_.barrier_mode) {
       // §3.3: separate computation from the reply phase.
@@ -122,7 +138,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   // (the model's t_str component).
   co_await engine.delay(b5);
   stats.sync_time += b5;
-  record(-1, "sync", engine.now() - b5, engine.now());
+  record(-1, "sync", engine.now() - b5, engine.now(), call_id);
 
   // Send the call to every server; the client's link serializes these, so
   // call_time grows linearly in p as the model assumes.  The envelope
@@ -138,7 +154,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
     co_await client.send(server_tids_[s], kTagCall, std::move(envelope));
   }
   stats.call_time = engine.now() - t_call0;
-  record(-1, "call", t_call0, engine.now());
+  record(-1, "call", t_call0, engine.now(), call_id);
 
   if (options_.barrier_mode) {
     // Wait for all handlers to finish: the barrier trips b5 after the last
@@ -149,6 +165,13 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
     const double wait = engine.now() - t_wait0;
     stats.compute_wall = wait > b5 ? wait - b5 : 0.0;
     stats.sync_time += b5;
+    // Obs-only partition of the wait: the compute window, then the embedded
+    // end synchronization (t_end).  Lets the trace summarizer rebuild
+    // compute_wall/sync exactly without knowing b5.
+    record_obs(-1, "compute", t_wait0, t_wait0 + stats.compute_wall, call_id,
+               num_servers_);
+    record_obs(-1, "sync", t_wait0 + stats.compute_wall, engine.now(),
+               call_id);
   }
 
   // Collect the p replies (serialized at the client's receive side).
@@ -162,7 +185,7 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
     if (replies != nullptr) replies->push_back(std::move(m.body));
   }
   const double t_ret = engine.now() - t_ret0;
-  record(-1, "return", t_ret0, engine.now());
+  record(-1, "return", t_ret0, engine.now(), call_id);
 
   if (options_.barrier_mode) {
     stats.return_time = t_ret;
@@ -269,7 +292,7 @@ sim::Task<void> Rpc::server_loop_ft(pvm::PvmTask& task, int server_index) {
     const double t0 = task.engine().now();
     pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
     const double busy = task.engine().now() - t0;
-    record(server_index, "compute", t0, t0 + busy);
+    record(server_index, "compute", t0, t0 + busy, call_id);
     last_call_id = call_id;
     last_busy = busy;
     last_payload = std::move(payload);
@@ -299,6 +322,11 @@ sim::Task<bool> Rpc::probe(pvm::PvmTask& client, int server_index,
     ++stats.heartbeats;
     ++totals_.heartbeats;
     const std::uint64_t nonce = next_probe_id_++;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kRpc, "heartbeat", engine.now(), 0,
+                   {"server", static_cast<double>(server_index)},
+                   {"attempt", static_cast<double>(attempt + 1)});
+    }
     pvm::PackBuffer ping;
     ping.pack_u64(nonce);
     co_await client.send(tid, kTagPing, std::move(ping));
@@ -344,7 +372,7 @@ sim::Task<std::optional<pvm::Message>> Rpc::await_server(
       if (!m) {
         // Wait expired empty-handed.
         stats.recovery_time += engine.now() - t0;
-        record(-1, "recovery", t0, engine.now());
+        record(-1, "recovery", t0, engine.now(), call_id);
         break;
       }
       bool good = !m->corrupted;
@@ -365,7 +393,7 @@ sim::Task<std::optional<pvm::Message>> Rpc::await_server(
       ++stats.stale_discarded;
       ++totals_.stale_discarded;
       stats.recovery_time += engine.now() - t0;
-      record(-1, "recovery", t0, engine.now());
+      record(-1, "recovery", t0, engine.now(), call_id);
     }
     ++stats.timeouts;
     ++totals_.timeouts;
@@ -375,7 +403,7 @@ sim::Task<std::optional<pvm::Message>> Rpc::await_server(
       const double t_probe0 = engine.now();
       const bool is_alive = co_await probe(client, server_index, stats);
       stats.recovery_time += engine.now() - t_probe0;
-      record(-1, "recovery", t_probe0, engine.now());
+      record(-1, "recovery", t_probe0, engine.now(), call_id);
       if (!is_alive || graces >= kMaxGraces) {
         alive_[server_index] = false;
         stats.failed_servers.push_back(server_index);
@@ -391,9 +419,14 @@ sim::Task<std::optional<pvm::Message>> Rpc::await_server(
     // Retransmit the request (the server stub dedups by call id) and back
     // off the timeout, with deterministic jitter to avoid lockstep retries.
     const double t_send0 = engine.now();
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kRpc, "retry", t_send0, 0,
+                   {"server", static_cast<double>(server_index)},
+                   {"attempt", static_cast<double>(attempts)});
+    }
     co_await client.send(tid, request_tag, make_request());
     stats.recovery_time += engine.now() - t_send0;
-    record(-1, "recovery", t_send0, engine.now());
+    record(-1, "recovery", t_send0, engine.now(), call_id);
     ++attempts;
     ++stats.retries;
     ++totals_.retries;
@@ -417,7 +450,7 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
   // Start synchronization (t_str), as in barrier mode.
   co_await engine.delay(b5);
   stats.sync_time += b5;
-  record(-1, "sync", engine.now() - b5, engine.now());
+  record(-1, "sync", engine.now() - b5, engine.now(), call_id);
 
   // Both envelope kinds are built from prefixes packed exactly once per
   // round: call envelopes stamp per-server args onto a shared (call id,
@@ -442,9 +475,10 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
     co_await client.send(server_tids_[s], kTagCall, call_envelope(s));
   }
   stats.call_time = engine.now() - t_call0;
-  record(-1, "call", t_call0, engine.now());
+  record(-1, "call", t_call0, engine.now(), call_id);
 
   // Compute phase: one completion notification per live server.
+  const double t_comp0 = engine.now();
   for (int s = 0; s < num_servers_; ++s) {
     if (!alive_[s]) continue;
     auto m = co_await await_server(client, s, kTagDone, call_id,
@@ -452,6 +486,13 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
                                    kTagCall, stats, &stats.compute_wall);
     if (!m) continue;  // declared dead; round will be re-issued
     stats.server_busy[s] = m->body.unpack_f64();
+  }
+  if (stats.failed_servers.empty()) {
+    // Obs-only compute window.  The window is compute_wall plus interleaved
+    // recovery; the summarizer subtracts the overlapping recovery spans to
+    // recover compute_wall exactly.
+    record_obs(-1, "compute", t_comp0, engine.now(), call_id,
+               stats.participants);
   }
   if (!stats.failed_servers.empty()) {
     // Incomplete round: skip release/reply — the caller redistributes the
@@ -469,9 +510,10 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
     co_await client.send(server_tids_[s], kTagRelease, release_envelope());
   }
   stats.sync_time += engine.now() - t_rel0;
-  record(-1, "sync", t_rel0, engine.now());
+  record(-1, "sync", t_rel0, engine.now(), call_id);
 
   // Return phase: collect the replies.
+  const double t_reply0 = engine.now();
   for (int s = 0; s < num_servers_; ++s) {
     if (!alive_[s]) continue;
     auto m = co_await await_server(client, s, kTagReply, call_id,
@@ -481,9 +523,15 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
     stats.server_busy[s] = m->body.unpack_f64();
     if (replies != nullptr) replies->push_back(std::move(m->body));
   }
-  if (stats.return_time > 0.0) {
+  if (stats.failed_servers.empty()) {
+    // Obs-only true collection window (recovery interleaving subtracted by
+    // the summarizer), plus the legacy coarse span for the Tracer only.
+    record_obs(-1, "return", t_reply0, engine.now(), call_id);
+  }
+  if (stats.return_time > 0.0 && options_.tracer != nullptr) {
     // One coarse span for the whole collection (mirrors the legacy trace).
-    record(-1, "return", engine.now() - stats.return_time, engine.now());
+    options_.tracer->record(-1, "return", engine.now() - stats.return_time,
+                            engine.now());
   }
   totals_.recovery_time_s += stats.recovery_time;
   co_return stats;

@@ -217,7 +217,16 @@ class Rpc {
   /// patience; false declares it dead.
   sim::Task<bool> probe(pvm::PvmTask& client, int server_index,
                         CallAllStats& stats);
-  void record(int task, const char* phase, double t0, double t1);
+  /// Records a phase span into the legacy Tracer (when configured) and the
+  /// thread's obs::TraceSink.  `round` (the call id) tags the span so the
+  /// trace summarizer can regroup per-round accounting; 0 = no round.
+  void record(int task, const char* phase, double t0, double t1,
+              std::uint64_t round = 0);
+  /// Sink-only span (no legacy Tracer entry): the phase partitions the
+  /// obs layer adds beyond the seed tracer (client compute window, embedded
+  /// end-synchronization).  `participants` = live servers this round.
+  void record_obs(int task, const char* phase, double t0, double t1,
+                  std::uint64_t round = 0, int participants = 0);
 
   pvm::PvmSystem* pvm_;
   int num_servers_;

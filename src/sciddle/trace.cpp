@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/csv.hpp"
+
 namespace opalsim::sciddle {
 
 double Tracer::total_time(const std::string& phase) const {
@@ -65,8 +67,8 @@ std::string Tracer::to_csv() const {
   std::ostringstream oss;
   oss << "task,phase,start,end\n";
   for (const auto& e : events_) {
-    oss << e.task << ',' << e.phase << ',' << e.t_start << ',' << e.t_end
-        << '\n';
+    oss << e.task << ',' << util::CsvWriter::escape(e.phase) << ','
+        << e.t_start << ',' << e.t_end << '\n';
   }
   return oss.str();
 }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace opalsim::sim {
 
 namespace {
@@ -16,6 +18,9 @@ detail::RootCoro drive(Engine* engine, Task<void> task,
     state->exception = std::current_exception();
   }
   state->done = true;
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "exit", engine->now(), -1);
+  }
   if (state->joiner) {
     engine->schedule_now(state->joiner);
     state->joiner = nullptr;
@@ -43,6 +48,9 @@ ProcessHandle Engine::spawn(Task<void> task) {
       PoolAllocator<detail::ProcessState>{});
   detail::RootCoro root = drive(this, std::move(task), state);
   root.handle.promise().state = state;
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "spawn", now_, -1);
+  }
   schedule(now_, root.handle);
   roots_.push_back(Root{root, state});
   return ProcessHandle(this, std::move(state));
@@ -57,6 +65,10 @@ void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
                       " in the virtual past of now=" + std::to_string(now_),
                   now_);
     }
+  }
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "schedule", now_, -1,
+                 {"t", t}, {"eseq", static_cast<double>(next_seq_)});
   }
   queue_->push(ScheduledEvent{t, next_seq_++, h});
 }
@@ -80,6 +92,10 @@ void Engine::run() {
     if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)});
+    }
     ev.handle.resume();
   }
   rethrow_pending_failure();
@@ -91,6 +107,10 @@ void Engine::run_until(SimTime t_end) {
     if (audit::enabled()) audit_pop(ev.t);
     now_ = ev.t;
     ++processed_;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)});
+    }
     ev.handle.resume();
   }
   if (now_ < t_end) now_ = t_end;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace opalsim::sim {
 
 void FaultSpec::add_flap(double t_start, double t_end, double period_s,
@@ -71,11 +73,13 @@ std::size_t FaultModel::next_corrupt_position(std::size_t payload_bytes) {
   return static_cast<std::size_t>(corrupt_rng_.below(payload_bytes));
 }
 
-double FaultModel::next_daemon_stall(double /*now*/) {
+double FaultModel::next_daemon_stall(double now) {
   if (spec_.daemon_stall_rate <= 0.0 || spec_.daemon_stall_s <= 0.0)
     return 0.0;
   if (stall_rng_.uniform() < spec_.daemon_stall_rate) {
     ++counters_.daemon_stalls;
+    obs::instant(obs::Cat::kFault, "stall", now, -1,
+                 {"seconds", spec_.daemon_stall_s});
     return spec_.daemon_stall_s;
   }
   return 0.0;
@@ -107,6 +111,7 @@ bool FaultModel::node_dead(int node, double now) const noexcept {
 void FaultModel::kill_node(int node, double t) {
   spec_.node_faults.push_back(NodeFault{node, t});
   enabled_ = true;
+  obs::instant(obs::Cat::kFault, "kill", t, node);
 }
 
 }  // namespace opalsim::sim

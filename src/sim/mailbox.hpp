@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
 
@@ -91,6 +92,9 @@ class Mailbox {
     for (auto it = getters_.begin(); it != getters_.end(); ++it) {
       if (*it == g) {
         getters_.erase(it);
+        if (obs::enabled()) {
+          obs::instant(obs::Cat::kEngine, "cancel", engine_->now(), -1);
+        }
         return true;
       }
     }

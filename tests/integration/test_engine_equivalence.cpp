@@ -6,7 +6,9 @@
 // the PVM transport, the sciddle RPC rounds and the opal physics.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -95,6 +97,60 @@ TEST(EngineEquivalence, CsvBytesIdenticalWithPoolingDisabled) {
   sim::FramePool::set_enabled(false);
   const std::string heap_alloc_csv = sweep_csv();
   EXPECT_EQ(pooled_csv, heap_alloc_csv);
+}
+
+opal::RunMetrics run_case_traced(int p, double cutoff,
+                                 const std::string& trace_out) {
+  opal::SimulationConfig cfg;
+  cfg.steps = 3;
+  cfg.cutoff = cutoff;
+  cfg.strategy = opal::DistributionStrategy::PseudoRandomUniform;
+  cfg.trace_out = trace_out;
+  opal::ParallelOpal run(mach::cray_j90(), equivalence_complex(), p, cfg);
+  return run.run().metrics;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// Tracing must be a pure observer: the same sweep with OPALSIM_TRACE set
+// renders byte-identical results CSV.
+TEST(TracingEquivalence, SweepCsvIdenticalWithTracingEnabled) {
+  const std::string off = sweep_csv();
+  ::setenv("OPALSIM_TRACE",
+           (::testing::TempDir() + "opalsim-equiv-env.json").c_str(), 1);
+  const std::string on = sweep_csv();
+  ::unsetenv("OPALSIM_TRACE");
+  EXPECT_EQ(off, on);
+}
+
+// Deterministic emission: two traced same-seed runs export byte-identical
+// trace files, and the bytes survive an event-queue swap (the sink assigns
+// seq in execution order, which the (t, seq) contract fixes).
+TEST(TracingEquivalence, TraceBytesIdenticalAcrossRunsAndQueueKinds) {
+  ConfigGuard guard;
+  const std::string dir = ::testing::TempDir();
+  sim::set_default_event_queue(sim::EventQueueKind::kHeap);
+  run_case_traced(3, 8.0, dir + "equiv-trace-a.json");
+  run_case_traced(3, 8.0, dir + "equiv-trace-b.json");
+  const std::string a = read_file(dir + "equiv-trace-a.json");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, read_file(dir + "equiv-trace-b.json"));
+  sim::set_default_event_queue(sim::EventQueueKind::kLadder);
+  run_case_traced(3, 8.0, dir + "equiv-trace-c.json");
+  EXPECT_EQ(a, read_file(dir + "equiv-trace-c.json"));
+}
+
+// A .csv trace_out selects the CSV exporter.
+TEST(TracingEquivalence, CsvExtensionSelectsCsvExport) {
+  const std::string path = ::testing::TempDir() + "equiv-trace.csv";
+  run_case_traced(2, 8.0, path);
+  const std::string csv = read_file(path);
+  EXPECT_EQ(csv.rfind("t,seq,node,cat,ph,name", 0), 0u);
 }
 
 TEST(EngineEquivalence, SeedConfigurationMatchesNewDefault) {

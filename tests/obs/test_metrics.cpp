@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+TEST(Histogram, RejectsEmptyOrNonIncreasingBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, UpperInclusiveBucketEdges) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  // Prometheus `le` semantics: v lands in the first bucket with v <= bound.
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);  // exactly on the edge: inclusive
+  EXPECT_EQ(h.bucket_index(1.0000001), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.0000001), 3u);  // +inf overflow bucket
+}
+
+TEST(Histogram, ObserveAccumulatesCountsCountAndSum) {
+  obs::Histogram h({1.0, 2.0});
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+}
+
+TEST(MetricsRegistry, CountersStartAtZeroAndAccumulate) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  reg.add("events");
+  reg.add("events", 9);
+  EXPECT_EQ(reg.counter("events"), 10u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, GaugesLastWriteWins) {
+  obs::MetricsRegistry reg;
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+  reg.set("wall_s", 1.5);
+  reg.set("wall_s", 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("wall_s"), 2.5);
+}
+
+TEST(MetricsRegistry, HistogramFirstRegistrationPinsBounds) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("busy", {1.0, 2.0});
+  h.observe(1.5);
+  // Second call with different bounds returns the same histogram.
+  obs::Histogram& again = reg.histogram("busy", {100.0});
+  EXPECT_EQ(&h, &again);
+  ASSERT_EQ(again.bounds().size(), 2u);
+  EXPECT_EQ(again.count(), 1u);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  ASSERT_NE(reg.find_histogram("busy"), nullptr);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsDeterministicAndComplete) {
+  auto build = [] {
+    obs::MetricsRegistry reg;
+    reg.add("b.count", 2);
+    reg.add("a.count", 1);
+    reg.set("wall_s", 0.125);
+    reg.histogram("busy", {1.0, 2.0}).observe(1.5);
+    return reg.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  // std::map ordering: "a.count" precedes "b.count".
+  EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("\"wall_s\": 0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1, 2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [0, 1, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 1.5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ClearEmptiesEverything) {
+  obs::MetricsRegistry reg;
+  reg.add("c");
+  reg.set("g", 1.0);
+  reg.histogram("h", {1.0});
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.find_histogram("h"), nullptr);
+}
+
+}  // namespace

@@ -58,6 +58,19 @@ TEST(Tracer, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("2,return,1,2"), std::string::npos);
 }
 
+TEST(Tracer, CsvEscapesPhasesWithCommasAndQuotes) {
+  Tracer t;
+  t.record(0, "setup,phase", 0.0, 1.0);
+  t.record(1, "say \"hi\"", 1.0, 2.0);
+  t.record(2, "plain", 2.0, 3.0);
+  const std::string csv = t.to_csv();
+  // RFC 4180: the comma-bearing phase is quoted (so the row still has four
+  // cells), embedded quotes are doubled, plain cells stay bare.
+  EXPECT_NE(csv.find("0,\"setup,phase\",0,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,\"say \"\"hi\"\"\",1,2"), std::string::npos);
+  EXPECT_NE(csv.find("2,plain,2,3"), std::string::npos);
+}
+
 TEST(Tracer, ClearResets) {
   Tracer t;
   t.record(0, "x", 0, 1);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over src/, built on `gcov --json-format` alone.
+
+Walks a coverage-instrumented build tree (OPALSIM_COVERAGE=ON, suite
+executed) for .gcda note files, asks gcov for JSON intermediate output, and
+aggregates line coverage for sources under src/.  A line counts as covered
+when any translation unit executed it (headers are merged across TUs by
+taking the max count per (file, line)).
+
+No gcovr/lcov dependency: CI installs gcovr only for the human-readable
+HTML artifact; this gate runs anywhere gcc and gcov exist.
+
+Usage:
+  check_coverage.py --build-dir build-cov [--source-root .]
+                    [--fail-under 80.0] [--gcov gcov] [--json report.json]
+
+Exit codes: 0 coverage >= floor, 1 below floor (or no data found).
+
+Raising the floor: when a PR adds tests that lift coverage, re-run and bump
+--fail-under in .github/workflows/ci.yml to just below the new measured
+value (leave ~1% slack for compiler-version line-table jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json_docs(gcov, gcda, cwd):
+    """Runs gcov in JSON mode on one .gcda; yields the parsed documents."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", "--branch-probabilities", gcda],
+        cwd=cwd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--source-root", default=".",
+                    help="repository root; only files under "
+                         "<source-root>/src count")
+    ap.add_argument("--fail-under", type=float, default=0.0,
+                    help="minimum line coverage percentage for src/")
+    ap.add_argument("--gcov", default="gcov")
+    ap.add_argument("--json", help="write the per-file report here")
+    args = ap.parse_args(argv)
+
+    src_root = os.path.realpath(os.path.join(args.source_root, "src"))
+    # (file, line) -> max execution count across TUs.
+    hits = defaultdict(int)
+    seen_gcda = 0
+    for gcda in find_gcda(args.build_dir):
+        seen_gcda += 1
+        cwd = os.path.dirname(gcda)
+        for doc in gcov_json_docs(args.gcov, os.path.basename(gcda), cwd):
+            for f in doc.get("files", []):
+                path = os.path.realpath(
+                    os.path.join(cwd, doc.get("current_working_directory",
+                                              "."), f["file"])
+                ) if not os.path.isabs(f["file"]) else os.path.realpath(
+                    f["file"])
+                if not path.startswith(src_root + os.sep):
+                    continue
+                rel = os.path.relpath(path, os.path.dirname(src_root))
+                for ln in f.get("lines", []):
+                    # defaultdict lookup registers executable-but-unhit
+                    # lines at count 0.
+                    key = (rel, ln["line_number"])
+                    if ln["count"] > hits[key]:
+                        hits[key] = ln["count"]
+    if seen_gcda == 0:
+        print(f"no .gcda files under {args.build_dir} — build with "
+              "-DOPALSIM_COVERAGE=ON and run the test suite first",
+              file=sys.stderr)
+        return 1
+    if not hits:
+        print("no src/ coverage data found", file=sys.stderr)
+        return 1
+
+    per_file = defaultdict(lambda: [0, 0])  # file -> [covered, total]
+    for (rel, _line), count in hits.items():
+        per_file[rel][1] += 1
+        if count > 0:
+            per_file[rel][0] += 1
+    covered = sum(c for c, _t in per_file.values())
+    total = sum(t for _c, t in per_file.values())
+    pct = 100.0 * covered / total
+
+    width = max(len(f) for f in per_file)
+    for rel in sorted(per_file):
+        c, t = per_file[rel]
+        print(f"{rel:<{width}}  {c:>5}/{t:<5}  {100.0 * c / t:6.1f}%")
+    print(f"{'TOTAL':<{width}}  {covered:>5}/{total:<5}  {pct:6.1f}%")
+
+    if args.json:
+        report = {
+            "total": {"covered": covered, "lines": total, "percent": pct},
+            "files": {f: {"covered": c, "lines": t,
+                          "percent": 100.0 * c / t}
+                      for f, (c, t) in sorted(per_file.items())},
+        }
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report, fp, indent=2)
+            fp.write("\n")
+
+    if pct < args.fail_under:
+        print(f"FAIL: src/ line coverage {pct:.2f}% is below the floor "
+              f"{args.fail_under:.2f}%", file=sys.stderr)
+        return 1
+    print(f"OK: src/ line coverage {pct:.2f}% "
+          f"(floor {args.fail_under:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

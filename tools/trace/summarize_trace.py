@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Recompute the paper's five-way phase breakdown from an opalsim trace.
+
+Reads a trace produced by OPALSIM_TRACE / SimulationConfig::trace_out —
+Chrome trace_event JSON (Perfetto-loadable) or the CSV flavour — and
+rebuilds, from the spans alone, the breakdown the instrumented middleware
+accounts internally (PerfMonitor / RunMetrics):
+
+  parallel        mean-over-servers handler time, summed per RPC round
+  sequential      client-side computation between rounds ("seq" phase spans)
+  communication   call + return span time (recovery overlap subtracted)
+  synchronization start/end synchronization spans
+  idle            client compute-window time not covered by parallel work
+  recovery        fault-tolerance machinery (timeouts, retransmits, probes)
+
+Exactness: on fault-free barrier-mode runs the spans partition every round,
+so the recomputed breakdown matches the run's own PerfMonitor buckets to
+floating-point round-off (the golden-trace test holds this at 1e-9).  Under
+injected faults the re-issued rounds are indistinguishable from ordinary
+ones in the trace, and in overlap mode there is no compute window at all,
+so the breakdown is approximate (see DESIGN.md, "Observability layer").
+
+Usage:
+  summarize_trace.py TRACE [--out SUMMARY.json] [--compare BUCKETS.json]
+                     [--tolerance 1e-9]
+
+--compare diffs the recomputed breakdown against a {"phase": seconds}
+snapshot (PerfMonitor::to_json) and exits non-zero past the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+
+# Category tracks as exported by obs::MemorySink (tid = category index).
+TID_RPC = 2
+TID_PHASE = 4
+
+PHASES = ("parallel", "sequential", "communication", "synchronization",
+          "idle", "recovery")
+
+
+def load_events(path):
+    """Yields (ts_seconds, seq, pid, tid, ph, name, args) from JSON or CSV."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    events = []
+    if blob.lstrip().startswith(b"{"):
+        doc = json.loads(blob)
+        for e in doc.get("traceEvents", []):
+            if e.get("ph") == "M":
+                continue
+            args = e.get("args", {})
+            events.append((float(e["ts"]) / 1e6, int(args.get("seq", 0)),
+                           int(e["pid"]), int(e["tid"]), e["ph"], e["name"],
+                           args))
+    else:
+        cats = {"engine": 0, "pvm": 1, "rpc": 2, "fault": 3, "phase": 4}
+        reader = csv.DictReader(io.StringIO(blob.decode("utf-8")))
+        for row in reader:
+            args = {}
+            if row["arg0"]:
+                args[row["arg0"]] = float(row["val0"])
+            if row["arg1"]:
+                args[row["arg1"]] = float(row["val1"])
+            events.append((float(row["t"]), int(row["seq"]),
+                           int(row["node"]) + 1, cats.get(row["cat"], -1),
+                           row["ph"], row["name"], args))
+    events.sort(key=lambda e: (e[0], e[1]))
+    return events
+
+
+def build_spans(events):
+    """Matches B/E pairs into spans: (pid, tid, name, t0, t1, args-of-B).
+
+    Spans of one name on one track close LIFO; differently-named spans on a
+    track may interleave (e.g. a compute window emitted after the recovery
+    spans it encloses).
+    """
+    open_stacks = {}  # (pid, tid, name) -> [(t0, args), ...]
+    spans = []
+    for t, _seq, pid, tid, ph, name, args in events:
+        key = (pid, tid, name)
+        if ph == "B":
+            open_stacks.setdefault(key, []).append((t, args))
+        elif ph == "E":
+            stack = open_stacks.get(key)
+            if not stack:
+                raise SystemExit(
+                    f"unbalanced trace: E without B for {key} at t={t}")
+            t0, bargs = stack.pop()
+            spans.append((pid, tid, name, t0, t, bargs))
+    for key, stack in open_stacks.items():
+        if stack:
+            raise SystemExit(f"unbalanced trace: unclosed B for {key}")
+    return spans
+
+
+def overlap(t0, t1, intervals):
+    """Total length of `intervals` clipped to [t0, t1]."""
+    total = 0.0
+    for a, b in intervals:
+        lo = a if a > t0 else t0
+        hi = b if b < t1 else t1
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def summarize(spans):
+    client_rpc = [s for s in spans if s[0] == 1 and s[1] == TID_RPC]
+    recovery_iv = [(s[3], s[4]) for s in client_rpc if s[2] == "recovery"]
+
+    out = dict.fromkeys(PHASES, 0.0)
+    out["sequential"] = sum(s[4] - s[3] for s in spans
+                            if s[0] == 1 and s[1] == TID_PHASE
+                            and s[2] == "seq")
+    out["synchronization"] = sum(s[4] - s[3] for s in client_rpc
+                                 if s[2] == "sync")
+    out["recovery"] = sum(b - a for a, b in recovery_iv)
+    # Call and return windows, with any interleaved recovery subtracted
+    # (the FT return-collection loop retries inside its window).
+    out["communication"] = sum(
+        (s[4] - s[3]) - overlap(s[3], s[4], recovery_iv)
+        for s in client_rpc if s[2] in ("call", "return"))
+
+    # Per-round parallel/idle: server compute spans grouped by round, client
+    # compute windows supplying the wall and participant count.
+    busy_by_round = {}
+    for pid, tid, name, t0, t1, _args in spans:
+        if pid >= 2 and tid == TID_RPC and name == "compute":
+            r = _args.get("round")
+            if r is not None:
+                busy_by_round.setdefault(r, []).append(t1 - t0)
+    windows = [(s[5].get("round"), s[3], s[4],
+                s[5].get("participants")) for s in client_rpc
+               if s[2] == "compute"]
+    seen_rounds = set()
+    for r, t0, t1, participants in windows:
+        busy = busy_by_round.get(r, [])
+        n = participants if participants else len(busy)
+        par = sum(busy) / n if n else 0.0
+        wall = (t1 - t0) - overlap(t0, t1, recovery_iv)
+        out["parallel"] += par
+        idle = wall - par
+        if idle > 0.0:
+            out["idle"] += idle
+        seen_rounds.add(r)
+    # Overlap-mode fallback: server work without a client compute window
+    # still counts as parallel (idle is unrecoverable there).
+    for r, busy in busy_by_round.items():
+        if r not in seen_rounds and busy:
+            out["parallel"] += sum(busy) / len(busy)
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("trace", help="trace file (Chrome JSON or CSV)")
+    ap.add_argument("--out", help="write the summary JSON here")
+    ap.add_argument("--compare",
+                    help="PerfMonitor bucket JSON to diff against")
+    ap.add_argument("--tolerance", type=float, default=1e-9)
+    args = ap.parse_args(argv)
+
+    summary = summarize(build_spans(load_events(args.trace)))
+    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as f:
+            want = json.load(f)
+        bad = []
+        for phase in sorted(set(PHASES) | set(want)):
+            got_v = summary.get(phase, 0.0)
+            want_v = float(want.get(phase, 0.0))
+            if abs(got_v - want_v) > args.tolerance:
+                bad.append(f"  {phase}: trace={got_v!r} expected={want_v!r} "
+                           f"(|diff|={abs(got_v - want_v):.3e})")
+        if bad:
+            print("breakdown mismatch beyond tolerance "
+                  f"{args.tolerance}:\n" + "\n".join(bad), file=sys.stderr)
+            return 1
+        print(f"breakdown matches to {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
