@@ -11,6 +11,8 @@
 // Platforms: t3e | j90 | slow-cops | smp-cops | fast-cops | hippi-j90
 // Sizes:     small | medium | large   (or --solute N --water M)
 // Methods:   rd | sd | fd
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "mach/platforms_db.hpp"
@@ -36,11 +38,57 @@ int usage(const char* prog) {
          "       [--solute N --water M] [--seed X]\n"
          "       [--fault-seed X] [--loss-rate R] [--corrupt-rate R]\n"
          "       [--dup-rate R] [--kill-server S --kill-step K] [--retry]\n"
+         "       [--checkpoint-out FILE] [--checkpoint-every-steps N]\n"
+         "       [--checkpoint-at-step K] [--resume FILE] [--csv-out FILE]\n"
          "--trace-out writes a Perfetto-loadable Chrome trace (.csv for\n"
          "CSV); --metrics-out snapshots the run's metrics registry as\n"
          "JSON.  OPALSIM_TRACE / OPALSIM_METRICS set defaults.\n"
+         "--checkpoint-out (or OPALSIM_CHECKPOINT) snapshots run state at\n"
+         "quiescent step boundaries; --resume restarts from such an image\n"
+         "and reproduces the uninterrupted run byte for byte.  --csv-out\n"
+         "writes a one-row full-precision results CSV (the crash-harness\n"
+         "oracle).\n"
          "platforms: t3e j90 slow-cops smp-cops fast-cops hippi-j90\n";
   return 2;
+}
+
+/// One-row full-precision results CSV: every physics observable, the
+/// measured breakdown, the robustness counters and the per-server busy
+/// seconds, all printed with %.17g so the file is a bit-exact oracle for
+/// the crash/resume harness (tools/chaos/crash_harness.py).
+void write_results_csv(const std::string& path,
+                       const opal::ParallelRunResult& r) {
+  std::ofstream out(path);
+  auto g = [&out](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out << buf;
+  };
+  out << "evdw,ecoul,bond,angle,dihedral,improper,kinetic,temperature,"
+         "pressure,volume,wall,par_update,par_nbint,seq_comp,sync,idle,"
+         "recovery,pairs_checked,pairs_evaluated,list_updates,retries,"
+         "timeouts,heartbeats,servers_failed,failovers";
+  for (std::size_t s = 0; s < r.server_busy.size(); ++s) {
+    out << ",server_busy_" << s;
+  }
+  out << "\n";
+  const auto& p = r.physics;
+  const auto& m = r.metrics;
+  for (double v : {p.evdw, p.ecoul, p.bonded.bond, p.bonded.angle,
+                   p.bonded.dihedral, p.bonded.improper, p.kinetic,
+                   p.temperature, p.pressure, p.volume, m.wall, m.par_update,
+                   m.par_nbint, m.seq_comp, m.sync, m.idle, m.recovery}) {
+    g(v);
+    out << ",";
+  }
+  out << m.pairs_checked << "," << m.pairs_evaluated << "," << m.list_updates
+      << "," << m.retries << "," << m.timeouts << "," << m.heartbeats << ","
+      << m.servers_failed << "," << m.failovers;
+  for (double v : r.server_busy) {
+    out << ",";
+    g(v);
+  }
+  out << "\n";
 }
 
 std::optional<mach::PlatformSpec> platform_by_name(const std::string& name) {
@@ -125,6 +173,20 @@ int main(int argc, char** argv) {
   cfg.kill_at_step = static_cast<int>(args.get_long("kill-step", -1));
   cfg.trace_out = args.get_or("trace-out", "");
   cfg.metrics_out = args.get_or("metrics-out", "");
+  cfg.checkpoint_out = args.get_or("checkpoint-out", "");
+  cfg.checkpoint_every_steps =
+      static_cast<int>(args.get_long("checkpoint-every-steps", 0));
+  cfg.checkpoint_at_step =
+      static_cast<int>(args.get_long("checkpoint-at-step", -1));
+  cfg.resume_from = args.get_or("resume", "");
+  const std::string csv_out = args.get_or("csv-out", "");
+  if (method != opal::Method::ReplicatedData &&
+      (!cfg.checkpoint_out.empty() || !cfg.resume_from.empty() ||
+       cfg.checkpoint_every_steps > 0 || cfg.checkpoint_at_step >= 0)) {
+    std::cerr << "error: checkpoint/restart is only implemented for the "
+                 "replicated-data method (--method rd)\n";
+    return 2;
+  }
 
   sciddle::Tracer tracer;
   sciddle::Options mw;
@@ -153,6 +215,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+
+  if (!csv_out.empty()) write_results_csv(csv_out, r);
 
   util::Table phys({"observable", "value"});
   phys.row().add("vdW energy").add(r.physics.evdw, 3);

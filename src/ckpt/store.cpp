@@ -1,0 +1,151 @@
+#include "ckpt/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/env.hpp"
+#include "util/fatal.hpp"
+
+namespace opalsim::ckpt {
+
+namespace {
+
+/// Parsed OPALSIM_CKPT_CRASH directive.
+struct CrashPlan {
+  enum class Point { kNone, kMidTmp, kAfterTmp, kBetweenRenames };
+  Point point = Point::kNone;
+  int at_write = 1;  ///< 1-based index of the write that dies
+};
+
+CrashPlan crash_plan() {
+  CrashPlan plan;
+  const auto v = util::env_string("OPALSIM_CKPT_CRASH");
+  if (!v) return plan;
+  std::string mode = *v;
+  const std::size_t at = mode.find('@');
+  if (at != std::string::npos) {
+    plan.at_write = std::atoi(mode.c_str() + at + 1);
+    if (plan.at_write < 1) plan.at_write = 1;
+    mode = mode.substr(0, at);
+  }
+  if (mode == "mid_tmp") plan.point = CrashPlan::Point::kMidTmp;
+  else if (mode == "after_tmp") plan.point = CrashPlan::Point::kAfterTmp;
+  else if (mode == "between_renames")
+    plan.point = CrashPlan::Point::kBetweenRenames;
+  return plan;
+}
+
+/// Host-process write counter (crash targeting only; a planned crash kills
+/// the process, so this never influences virtual-time determinism).
+int g_write_count = 0;
+
+[[noreturn]] void die_now() { std::_Exit(42); }
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      util::fatal("ckpt", "write failed for " + path + ": " +
+                              std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+WriteResult write_image_atomic(const std::string& path,
+                               const std::vector<std::uint8_t>& image) {
+  ++g_write_count;
+  const CrashPlan plan = crash_plan();
+  const bool crash_here =
+      plan.point != CrashPlan::Point::kNone && g_write_count == plan.at_write;
+
+  const std::string tmp = path + ".tmp";
+  const std::string prev = path + ".prev";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    util::fatal("ckpt",
+                "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  if (crash_here && plan.point == CrashPlan::Point::kMidTmp) {
+    write_all(fd, image.data(), image.size() / 2, tmp);
+    die_now();
+  }
+  write_all(fd, image.data(), image.size(), tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    util::fatal("ckpt", "fsync failed for " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  ::close(fd);
+  if (crash_here && plan.point == CrashPlan::Point::kAfterTmp) die_now();
+
+  if (file_exists(path)) {
+    if (std::rename(path.c_str(), prev.c_str()) != 0) {
+      util::fatal("ckpt", "rename " + path + " -> " + prev + " failed: " +
+                              std::strerror(errno));
+    }
+  }
+  if (crash_here && plan.point == CrashPlan::Point::kBetweenRenames) {
+    die_now();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    util::fatal("ckpt", "rename " + tmp + " -> " + path + " failed: " +
+                            std::strerror(errno));
+  }
+  return WriteResult{image.size()};
+}
+
+namespace {
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) util::fatal("ckpt", "cannot open checkpoint image " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+RunSnapshot load_snapshot(const std::string& path,
+                          std::uint64_t* loaded_bytes) {
+  std::string primary_error;
+  try {
+    const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+    RunSnapshot s = decode(bytes);
+    if (loaded_bytes != nullptr) *loaded_bytes = bytes.size();
+    return s;
+  } catch (const std::exception& e) {
+    primary_error = e.what();
+  }
+  const std::string prev = path + ".prev";
+  try {
+    const std::vector<std::uint8_t> bytes = read_file_bytes(prev);
+    RunSnapshot s = decode(bytes);
+    if (loaded_bytes != nullptr) *loaded_bytes = bytes.size();
+    return s;
+  } catch (const std::exception& e) {
+    util::fatal("ckpt", "no usable checkpoint image: " + path + " (" +
+                            primary_error + "); " + prev + " (" + e.what() +
+                            ")");
+  }
+}
+
+}  // namespace opalsim::ckpt

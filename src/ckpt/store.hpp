@@ -1,0 +1,51 @@
+// Atomic checkpoint image storage.
+//
+// Write protocol (crash-safe at every interleaving):
+//   1. write the full image to `<path>.tmp` and fsync it;
+//   2. rename the current `<path>` (if any) to `<path>.prev`;
+//   3. rename `<path>.tmp` to `<path>`.
+//
+// A crash mid-(1) leaves a torn .tmp that is never read; a crash between
+// (2) and (3) leaves only .prev.  load_snapshot() therefore tries `<path>`
+// first and falls back to `<path>.prev` when the primary is missing, torn,
+// or fails its CRC — the previous-good image is always recoverable.
+//
+// Crash injection (exercised by tools/chaos/crash_harness.py and the CI
+// chaos shard): when OPALSIM_CKPT_CRASH is set to
+//
+//   mid_tmp[@N]         _Exit(42) after writing half the .tmp bytes
+//   after_tmp[@N]       _Exit(42) after the fsync, before any rename
+//   between_renames[@N] _Exit(42) after <path> -> .prev, before tmp -> <path>
+//
+// the Nth write_image_atomic call in this process (default: the 1st) dies at
+// exactly that point.  _Exit skips atexit/flush — the closest in-process
+// stand-in for SIGKILL that still lets the harness target a precise phase of
+// the protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+
+namespace opalsim::ckpt {
+
+/// Bytes the last successful write_image_atomic persisted (for accounting).
+struct WriteResult {
+  std::uint64_t bytes = 0;
+};
+
+/// Atomically replaces `path` with `image` per the protocol above.  Throws
+/// util::FatalError (subsystem "ckpt") on I/O failure.
+WriteResult write_image_atomic(const std::string& path,
+                               const std::vector<std::uint8_t>& image);
+
+/// Loads and decodes `path`, falling back to `path` + ".prev" when the
+/// primary image is missing or invalid.  Throws util::FatalError when
+/// neither decodes.  On success *loaded_bytes (when non-null) receives the
+/// byte size of the image actually used.
+RunSnapshot load_snapshot(const std::string& path,
+                          std::uint64_t* loaded_bytes = nullptr);
+
+}  // namespace opalsim::ckpt

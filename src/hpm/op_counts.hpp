@@ -77,6 +77,13 @@ class HpmCounter {
     cycles_ += busy_seconds * clock_hz;
   }
   void reset() noexcept { *this = HpmCounter{}; }
+  /// Overwrites the accumulated mix (checkpoint resume).
+  void restore(const OpCounts& ops, double busy_seconds,
+               double cycles) noexcept {
+    ops_ = ops;
+    busy_seconds_ = busy_seconds;
+    cycles_ = cycles;
+  }
 
   const OpCounts& ops() const noexcept { return ops_; }
   double busy_seconds() const noexcept { return busy_seconds_; }

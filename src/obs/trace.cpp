@@ -31,6 +31,7 @@ const char* cat_name(Cat cat) noexcept {
     case Cat::kRpc: return "rpc";
     case Cat::kFault: return "fault";
     case Cat::kPhase: return "phase";
+    case Cat::kCkpt: return "ckpt";
   }
   return "?";
 }

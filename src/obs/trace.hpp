@@ -34,6 +34,7 @@ enum class Cat : std::uint8_t {
   kRpc = 2,     ///< middleware phases: call/compute/return/sync/recovery
   kFault = 3,   ///< injected faults: drop/duplicate/corrupt/stall/kill
   kPhase = 4,   ///< application phase transitions (ParallelOpal)
+  kCkpt = 5,    ///< checkpoint/restart: image writes, deferrals, resumes
 };
 
 /// Chrome trace_event phase letter.
@@ -96,6 +97,12 @@ class MemorySink final : public TraceSink {
     events_.clear();
     next_seq_ = 0;
   }
+
+  /// Next seq this sink will assign.  Checkpointed and restored so a resumed
+  /// run's trace tail numbers events exactly as the golden run does (seq
+  /// appears in every export row).
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
 
   /// Events sorted by (t, seq) — the deterministic emission order every
   /// export uses.

@@ -55,6 +55,18 @@ struct SimulationConfig {
   /// When non-empty, the run's MetricsRegistry snapshot (JSON) is written
   /// here.  OPALSIM_METRICS supplies a default when empty.
   std::string metrics_out;
+  /// When non-empty, checkpoint images are written here (atomically: .tmp +
+  /// fsync + rename, previous image kept as .prev).  OPALSIM_CHECKPOINT
+  /// supplies a default when empty.  ParallelOpal only.
+  std::string checkpoint_out;
+  /// Checkpoint every N quiescent step boundaries (0 disables periodic
+  /// checkpoints).
+  int checkpoint_every_steps = 0;
+  /// Additionally checkpoint at the top of this step (< 0 disables).
+  int checkpoint_at_step = -1;
+  /// When non-empty, resume from this checkpoint image instead of starting
+  /// at step 0.  The image's config fingerprint must match.
+  std::string resume_from;
 
   /// The model's update-frequency parameter u in (0, 1].
   double u() const noexcept { return 1.0 / update_every; }
@@ -64,6 +76,8 @@ struct SimulationConfig {
     if (update_every <= 0)
       throw std::invalid_argument("update_every must be > 0");
     if (dt <= 0.0) throw std::invalid_argument("dt must be > 0");
+    if (checkpoint_every_steps < 0)
+      throw std::invalid_argument("checkpoint_every_steps must be >= 0");
   }
 
   bool has_cutoff() const noexcept { return cutoff > 0.0; }

@@ -114,6 +114,27 @@ class ServerDomain {
   /// and test introspection).
   bool last_update_used_cells() const noexcept { return used_cells_; }
 
+  // -- checkpoint/restart (src/ckpt) ---------------------------------------
+  // Only the result state is serialized: static domain, materialized active
+  // list, materialization flag.  The membership/cell/Verlet structures are
+  // lazy caches rebuilt on demand, and both host paths produce the identical
+  // active list — so a resumed server replays the golden run's lists exactly.
+
+  const std::vector<PairIdx>& domain() const noexcept { return domain_; }
+  const std::vector<PairIdx>& active_list() const noexcept { return active_; }
+  bool materialized() const noexcept { return materialized_; }
+
+  /// Restores serialized list state; caches start cold (resume only).
+  void restore(std::vector<PairIdx> domain, std::vector<PairIdx> active,
+               bool materialized) {
+    domain_ = std::move(domain);
+    active_ = std::move(active);
+    materialized_ = materialized;
+    used_cells_ = false;
+    membership_ready_ = false;
+    verlet_ready_ = false;
+  }
+
  private:
   /// How candidate pairs map back to positions in domain_.
   enum class Membership : unsigned char {

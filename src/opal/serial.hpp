@@ -39,6 +39,32 @@ class SteepestDescent {
   std::uint64_t accepted() const noexcept { return accepted_; }
   std::uint64_t rejected() const noexcept { return rejected_; }
 
+  // -- checkpoint/restart (src/ckpt) ---------------------------------------
+
+  /// Full minimizer state at a step boundary.
+  struct Snapshot {
+    double step = 0.0;
+    bool has_prev = false;
+    double prev_energy = 0.0;
+    std::vector<Vec3> prev_pos;
+    std::vector<Vec3> prev_grad;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  Snapshot snapshot() const {
+    return {step_, has_prev_, prev_energy_, prev_pos_, prev_grad_,
+            accepted_, rejected_};
+  }
+  void restore(Snapshot s) {
+    step_ = s.step;
+    has_prev_ = s.has_prev;
+    prev_energy_ = s.prev_energy;
+    prev_pos_ = std::move(s.prev_pos);
+    prev_grad_ = std::move(s.prev_grad);
+    accepted_ = s.accepted;
+    rejected_ = s.rejected;
+  }
+
  private:
   double step_;
   bool has_prev_ = false;

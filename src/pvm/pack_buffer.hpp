@@ -164,6 +164,31 @@ class PackBuffer {
     return h;
   }
 
+  /// Encoded bytes (tags included) — what a checkpoint image stores for an
+  /// undelivered mailbox item.
+  std::span<const std::uint8_t> raw_bytes() const noexcept {
+    return {data(), size()};
+  }
+
+  /// Rebuilds a buffer from encoded bytes + the original payload byte count
+  /// (checkpoint resume).  The read cursor starts at 0: only unread items
+  /// are ever checkpointed, so a restored buffer is unread by construction.
+  static PackBuffer from_raw(std::span<const std::uint8_t> bytes,
+                             std::size_t payload_bytes) {
+    PackBuffer b;
+    if (bytes.size() <= kInlineCapacity) {
+      // Empty span: data() may be null, and memcpy(p, nullptr, 0) is UB.
+      if (!bytes.empty())
+        std::memcpy(b.inline_buf_.data(), bytes.data(), bytes.size());
+      b.inline_size_ = bytes.size();
+    } else {
+      b.heap_ = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
+                                                            bytes.end());
+    }
+    b.payload_bytes_ = payload_bytes;
+    return b;
+  }
+
   /// Fault injection: inverts one encoded byte (type tags included, so
   /// corruption can also surface as an UnpackError downstream).  No-op on an
   /// empty buffer.  Copy-on-write: never visible through sharing copies.
@@ -221,7 +246,8 @@ class PackBuffer {
     const auto* bytes = static_cast<const std::uint8_t*>(p);
     if (!heap_ && inline_size_ + 1 + n <= kInlineCapacity) {
       inline_buf_[inline_size_++] = static_cast<std::uint8_t>(tag);
-      std::memcpy(inline_buf_.data() + inline_size_, bytes, n);
+      // An empty array packs as a bare tag; its source pointer may be null.
+      if (n > 0) std::memcpy(inline_buf_.data() + inline_size_, bytes, n);
       inline_size_ += n;
     } else {
       auto& dst = writable(1 + n);

@@ -1,9 +1,11 @@
 #include "pvm/pvm_system.hpp"
 
 #include <cassert>
+#include <type_traits>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/fatal.hpp"
 
 namespace opalsim::pvm {
 
@@ -31,11 +33,42 @@ sim::Task<Message> PvmTask::recv(int src, int tag) {
 
 namespace {
 
-/// Shared flag block of one recv_timeout call: which side settled the race.
+/// Shared flag block of one recv_timeout call: which side settled the race,
+/// and the timer's scheduled wake event so the winner can cancel the loser.
 struct TimedRecvShared {
-  bool fulfilled = false;  ///< mailbox delivered before the deadline
-  bool cancelled = false;  ///< timer removed the parked getter
+  bool fulfilled = false;   ///< mailbox delivered before the deadline
+  bool cancelled = false;   ///< timer removed the parked getter
+  bool timer_armed = false; ///< timer's wake event is still pending
+  std::uint64_t timer_seq = 0;  ///< seq of that pending wake event
 };
+
+/// Delay that records its scheduled event's sequence number into the shared
+/// block before parking, so a fulfilled receive can cancel the wake event
+/// outright.  Without the cancellation the dead timer would still pop at its
+/// deadline, keeping the engine queue non-empty and breaking the checkpoint
+/// quiescence rule (pending_events()==0 at step boundaries) whenever
+/// fault-tolerant RPC timeouts are in flight.
+// The awaiter is deliberately trivially destructible: it borrows the shared
+// block instead of owning it (the timer frame's `shared` parameter keeps it
+// alive across the suspension).  GCC's frame cleanup runs the destructor of
+// a co_await operand temporary a second time when a frame parked at that
+// await is destroyed (observed with GCC 12), so an owning awaiter would
+// double-release its reference and free the block under the other holders.
+struct ArmedDelayAwaiter {
+  sim::Engine* engine;
+  TimedRecvShared* shared;  ///< borrowed, never owned — see above
+  sim::SimTime wake_at = 0.0;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    shared->timer_seq = engine->next_event_seq();
+    shared->timer_armed = true;
+    engine->schedule(wake_at, h);
+  }
+  void await_resume() const noexcept {}
+};
+static_assert(std::is_trivially_destructible_v<ArmedDelayAwaiter>,
+              "await-operand temporaries may be destroyed twice on frame "
+              "teardown; the awaiter must not own resources");
 
 /// Timer process backing recv_timeout: after `dt`, cancels the parked getter
 /// (unless the mailbox delivered first) and resumes the receiver empty-
@@ -49,7 +82,8 @@ sim::Task<void> recv_timeout_timer(
     std::shared_ptr<TimedRecvShared> shared,
     const sim::Mailbox<Message>::GetAwaiter* getter,
     std::coroutine_handle<> receiver, double dt) {
-  co_await engine->delay(dt);
+  co_await ArmedDelayAwaiter{engine, shared.get(), engine->now() + dt};
+  shared->timer_armed = false;  // our wake event just popped
   if (shared->fulfilled) co_return;
   if (mb->cancel(getter)) {
     shared->cancelled = true;
@@ -74,6 +108,15 @@ struct TimedRecvAwaiter {
   std::optional<Message> await_resume() {
     if (shared->cancelled) return std::nullopt;
     shared->fulfilled = true;
+    // The message won the race; the timer's wake event is dead weight.
+    // Cancel it so the queue can drain to quiescence.  Safe: the timer pops
+    // strictly before any same-time delivery resumption (its seq was
+    // assigned at recv start), so a still-armed flag here means the event
+    // really is pending.
+    if (shared->timer_armed) {
+      engine->cancel_scheduled(shared->timer_seq);
+      shared->timer_armed = false;
+    }
     return std::move(inner.slot);
   }
 };
@@ -361,8 +404,12 @@ sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
 sim::Task<void> PvmSystem::do_barrier(const std::string& group, int count) {
   BarrierState& st = barriers_[group];
   if (st.count == 0) st.count = count;
-  if (st.count != count)
-    throw std::invalid_argument("pvm barrier: inconsistent party count");
+  if (st.count != count) {
+    util::fatal("pvm", "barrier '" + group + "': inconsistent party count (" +
+                           std::to_string(count) + " vs " +
+                           std::to_string(st.count) + ")",
+                engine().now());
+  }
   if (!st.release) st.release = std::make_shared<sim::Event>(engine());
 
   if (++st.arrived < st.count) {

@@ -5,6 +5,7 @@
 
 #include "obs/trace.hpp"
 #include "sim/fault.hpp"
+#include "util/fatal.hpp"
 
 namespace opalsim::sciddle {
 
@@ -13,19 +14,23 @@ constexpr const char* kBarrierName = "sciddle-rpc-barrier";
 }
 
 void RetryPolicy::validate() const {
+  // ConfigError derives std::invalid_argument, so callers catching the old
+  // type keep working; the structured rendering adds the subsystem tag the
+  // crash harness greps for.
   if (!enabled) return;
   if (timeout_s <= 0.0)
-    throw std::invalid_argument("RetryPolicy: timeout_s must be > 0");
+    throw util::ConfigError("sciddle", "RetryPolicy: timeout_s must be > 0");
   if (backoff < 1.0)
-    throw std::invalid_argument("RetryPolicy: backoff must be >= 1");
+    throw util::ConfigError("sciddle", "RetryPolicy: backoff must be >= 1");
   if (max_timeout_s < timeout_s)
-    throw std::invalid_argument("RetryPolicy: max_timeout_s < timeout_s");
+    throw util::ConfigError("sciddle", "RetryPolicy: max_timeout_s < timeout_s");
   if (max_attempts < 1)
-    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+    throw util::ConfigError("sciddle", "RetryPolicy: max_attempts must be >= 1");
   if (jitter_frac < 0.0 || jitter_frac >= 1.0)
-    throw std::invalid_argument("RetryPolicy: jitter_frac out of [0, 1)");
+    throw util::ConfigError("sciddle", "RetryPolicy: jitter_frac out of [0, 1)");
   if (heartbeat_timeout_s <= 0.0)
-    throw std::invalid_argument("RetryPolicy: heartbeat_timeout_s must be > 0");
+    throw util::ConfigError("sciddle",
+                            "RetryPolicy: heartbeat_timeout_s must be > 0");
 }
 
 Rpc::Rpc(pvm::PvmSystem& pvm, int num_servers, Options opts)
@@ -91,14 +96,20 @@ sim::Task<void> Rpc::server_loop(pvm::PvmTask& task, int server_index) {
   for (;;) {
     pvm::Message m = co_await task.recv(pvm::kAny, pvm::kAny);
     if (m.tag == kTagStop) break;
-    if (m.tag != kTagCall)
-      throw std::runtime_error("sciddle server: unexpected message tag");
+    if (m.tag != kTagCall) {
+      util::fatal("sciddle",
+                  "server " + std::to_string(server_index) +
+                      ": unexpected message tag " + std::to_string(m.tag),
+                  task.engine().now());
+    }
 
     const std::uint64_t call_id = m.body.unpack_u64();
     const std::string proc = m.body.unpack_string();
     auto it = procs_.find(proc);
-    if (it == procs_.end())
-      throw std::runtime_error("sciddle server: unknown procedure " + proc);
+    if (it == procs_.end()) {
+      util::fatal("sciddle", "server: unknown procedure " + proc,
+                  task.engine().now());
+    }
 
     const double t0 = task.engine().now();
     pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
@@ -179,8 +190,12 @@ sim::Task<CallAllStats> Rpc::call_all(pvm::PvmTask& client,
   for (int s = 0; s < num_servers_; ++s) {
     pvm::Message m = co_await client.recv(server_tids_[s], kTagReply);
     const std::uint64_t got_id = m.body.unpack_u64();
-    if (got_id != call_id)
-      throw std::runtime_error("Rpc: reply call-id mismatch");
+    if (got_id != call_id) {
+      util::fatal("sciddle",
+                  "reply call-id mismatch: got " + std::to_string(got_id) +
+                      ", expected " + std::to_string(call_id),
+                  engine.now());
+    }
     stats.server_busy[s] = m.body.unpack_f64();
     if (replies != nullptr) replies->push_back(std::move(m.body));
   }
@@ -286,8 +301,10 @@ sim::Task<void> Rpc::server_loop_ft(pvm::PvmTask& task, int server_index) {
     }
 
     auto it = procs_.find(proc);
-    if (it == procs_.end())
-      throw std::runtime_error("sciddle server: unknown procedure " + proc);
+    if (it == procs_.end()) {
+      util::fatal("sciddle", "server: unknown procedure " + proc,
+                  task.engine().now());
+    }
 
     const double t0 = task.engine().now();
     pvm::PackBuffer payload = co_await it->second(std::move(m.body), ctx);
@@ -443,8 +460,9 @@ sim::Task<CallAllStats> Rpc::call_all_ft(pvm::PvmTask& client,
   CallAllStats stats;
   stats.server_busy.assign(num_servers_, 0.0);
   stats.participants = num_alive();
-  if (stats.participants == 0)
-    throw std::runtime_error("sciddle: no live servers left");
+  if (stats.participants == 0) {
+    util::fatal("sciddle", "no live servers left", engine.now());
+  }
   const std::uint64_t call_id = next_call_id_++;
 
   // Start synchronization (t_str), as in barrier mode.

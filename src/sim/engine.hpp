@@ -174,6 +174,33 @@ class Engine {
   /// Schedules at the current time (after already-queued same-time events).
   void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
+  /// Sequence number the next schedule() call will consume.  Primitives that
+  /// may later cancel their own event (recv_timeout's armed timer) record
+  /// this before scheduling.
+  std::uint64_t next_event_seq() const noexcept { return next_seq_; }
+  /// Cancels a pending scheduled event by its sequence number (must be
+  /// pending and not yet cancelled — see EventQueue::cancel's contract).
+  void cancel_scheduled(std::uint64_t seq) { queue_->cancel(seq); }
+  /// Live (pending, uncancelled) events — the checkpoint quiescence test:
+  /// a run boundary is quiescent iff this is zero.
+  std::size_t pending_events() const noexcept { return queue_->size(); }
+
+  // -- Checkpoint/restart hooks (src/ckpt) -----------------------------------
+  // Only meaningful on a freshly constructed engine that is being rebuilt
+  // from a snapshot: restore_clock() warps virtual time forward before any
+  // process is spawned; restore_counters() swaps in the golden run's event
+  // accounting once the rebuild's own bookkeeping events have drained.
+
+  /// Warps the virtual clock (resume only; never call on a live engine).
+  void restore_clock(SimTime t) noexcept { now_ = t; }
+  /// Overwrites event accounting with snapshot values (resume only).
+  void restore_counters(std::uint64_t next_seq, std::uint64_t processed,
+                        const EventQueueStats& queue_stats) {
+    next_seq_ = next_seq;
+    processed_ = processed;
+    queue_->restore_stats(queue_stats);
+  }
+
  private:
   void rethrow_pending_failure();
 

@@ -94,6 +94,11 @@ class EventQueue {
   std::size_t size() const noexcept { return live_; }
   const EventQueueStats& stats() const noexcept { return stats_; }
 
+  /// Overwrites lifetime counters with snapshot values (checkpoint resume).
+  /// live_ is left untouched: restore happens at a quiescent boundary where
+  /// the queue is empty in both the golden and the resumed run.
+  void restore_stats(const EventQueueStats& s) noexcept { stats_ = s; }
+
  protected:
   virtual void do_push(const ScheduledEvent& ev) = 0;
   virtual ScheduledEvent do_pop() = 0;

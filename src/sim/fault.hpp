@@ -124,6 +124,28 @@ class FaultModel {
   };
   const Counters& counters() const noexcept { return counters_; }
 
+  // -- checkpoint/restart (src/ckpt) ---------------------------------------
+  // The model's future decisions are fully determined by (spec node_faults +
+  // dynamic kills, enabled flag, the three stream states, counters); the
+  // static rate/degradation config is rebuilt from the run config.
+
+  util::Xoshiro256& message_rng() noexcept { return message_rng_; }
+  util::Xoshiro256& corrupt_rng() noexcept { return corrupt_rng_; }
+  util::Xoshiro256& stall_rng() noexcept { return stall_rng_; }
+  const util::Xoshiro256& message_rng() const noexcept { return message_rng_; }
+  const util::Xoshiro256& corrupt_rng() const noexcept { return corrupt_rng_; }
+  const util::Xoshiro256& stall_rng() const noexcept { return stall_rng_; }
+
+  /// Restores the dynamic state captured at a quiescent boundary (resume
+  /// only).  `node_faults` replaces the spec's list wholesale — it includes
+  /// both configured and dynamically killed nodes.
+  void restore(std::vector<NodeFault> node_faults, bool enabled,
+               const Counters& counters) {
+    spec_.node_faults = std::move(node_faults);
+    enabled_ = enabled;
+    counters_ = counters;
+  }
+
  private:
   FaultSpec spec_;
   bool enabled_ = false;

@@ -101,6 +101,16 @@ class Mailbox {
     return false;
   }
 
+  /// Read-only view of stored (undelivered) items, oldest first — what a
+  /// checkpoint serializes at a quiescent boundary.
+  const std::deque<T>& items() const noexcept { return items_; }
+
+  /// Re-stores an item during checkpoint resume: appended directly, never
+  /// delivered to a parked getter (restore runs before any getter could
+  /// legally match it, and delivery would schedule an event the golden run
+  /// never scheduled).
+  void restore_item(T value) { items_.push_back(std::move(value)); }
+
   /// Non-blocking matching receive.
   std::optional<T> try_get(const Predicate& pred) {
     for (auto it = items_.begin(); it != items_.end(); ++it) {

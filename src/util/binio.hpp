@@ -1,0 +1,141 @@
+// Little-endian binary encode/decode helpers for checkpoint images.
+//
+// The wire format is explicit and host-independent: fixed-width integers are
+// written byte by byte in little-endian order, doubles as the IEEE-754 bit
+// pattern of their uint64 image.  BinReader bounds-checks every read and
+// throws DecodeError instead of reading past the end, so a truncated or
+// corrupted image fails loudly (the checkpoint loader turns that into a
+// fall-back to the previous-good image).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opalsim::util {
+
+/// Thrown by BinReader on any structurally invalid input (read past end,
+/// absurd length prefix).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class BinWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_bytes(std::span<const std::uint8_t> b) {
+    put_u64(b.size());
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+  void put_string(const std::string& s) {
+    put_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  void put_f64_vec(const std::vector<double>& xs) {
+    put_u64(xs.size());
+    for (const double x : xs) put_f64(x);
+  }
+  void put_u64_vec(const std::vector<std::uint64_t>& xs) {
+    put_u64(xs.size());
+    for (const std::uint64_t x : xs) put_u64(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  bool get_bool() { return get_u8() != 0; }
+  std::vector<std::uint8_t> get_bytes() {
+    const std::uint64_t n = checked_count(get_u64(), 1);
+    std::vector<std::uint8_t> out(bytes_.begin() + pos_,
+                                  bytes_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::string get_string() {
+    const std::vector<std::uint8_t> b = get_bytes();
+    return std::string(b.begin(), b.end());
+  }
+  std::vector<double> get_f64_vec() {
+    const std::uint64_t n = checked_count(get_u64(), 8);
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = get_f64();
+    return xs;
+  }
+  std::vector<std::uint64_t> get_u64_vec() {
+    const std::uint64_t n = checked_count(get_u64(), 8);
+    std::vector<std::uint64_t> xs(n);
+    for (auto& x : xs) x = get_u64();
+    return xs;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (n > bytes_.size() - pos_) {
+      throw DecodeError("BinReader: read past end of buffer");
+    }
+  }
+  /// Validates a decoded element count against the bytes actually present
+  /// before any allocation, so a corrupted length cannot trigger a huge
+  /// allocation or an overflowing size computation.
+  std::uint64_t checked_count(std::uint64_t n, std::size_t elem_size) const {
+    if (n > (bytes_.size() - pos_) / elem_size) {
+      throw DecodeError("BinReader: length prefix exceeds buffer");
+    }
+    return n;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace opalsim::util

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges — the
+// integrity check guarding checkpoint images.  Table-driven, byte at a time;
+// speed is irrelevant next to the image's fsync, and the classic polynomial
+// keeps images verifiable with any external CRC tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opalsim::util {
+
+/// CRC-32 of `n` bytes starting at `data`, continuing from `seed` (pass the
+/// previous call's result to checksum a buffer in pieces; 0 starts fresh).
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace opalsim::util

@@ -1,0 +1,12 @@
+#include "util/fatal.hpp"
+
+#include "util/run_tag.hpp"
+
+namespace opalsim::util {
+
+[[noreturn]] void fatal(const std::string& subsystem,
+                        const std::string& message, double vtime) {
+  throw FatalError(subsystem, message, current_run_tag(), vtime);
+}
+
+}  // namespace opalsim::util

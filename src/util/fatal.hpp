@@ -1,0 +1,86 @@
+// Structured fatal-error reporting for library invariant failures.
+//
+// Library code (sim, pvm, sciddle, ckpt) must not abort() or throw bare
+// exceptions on invariant breaks: the crash harness needs to attribute every
+// failure to a run, a point in virtual time, and a subsystem — the same
+// identity triple the audit layer stamps on its reports.  FatalError carries
+// that triple and renders it into what() as
+//
+//   opalsim fatal [subsystem] run=N vt=T: message
+//
+// (vt omitted when the failure is not tied to a simulated instant).
+//
+// FatalError derives std::runtime_error and ConfigError derives
+// std::invalid_argument so existing catch sites and EXPECT_THROW expectations
+// keep working — the structure is additive.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace opalsim::util {
+
+namespace detail {
+
+inline std::string format_fatal(const std::string& subsystem,
+                                const std::string& message,
+                                std::uint64_t run_tag, double vtime) {
+  std::string out = "opalsim fatal [" + subsystem + "]";
+  out += " run=" + std::to_string(run_tag);
+  if (vtime >= 0.0) {
+    out += " vt=" + std::to_string(vtime);
+  }
+  out += ": " + message;
+  return out;
+}
+
+}  // namespace detail
+
+/// Invariant failure inside library code, attributable to a subsystem and
+/// (when applicable) a point in virtual time.  Pass vtime < 0 for failures
+/// outside simulated time (e.g. during setup or image decode).
+class FatalError : public std::runtime_error {
+ public:
+  FatalError(std::string subsystem, const std::string& message,
+             std::uint64_t run_tag, double vtime = -1.0)
+      : std::runtime_error(
+            detail::format_fatal(subsystem, message, run_tag, vtime)),
+        subsystem_(std::move(subsystem)),
+        run_tag_(run_tag),
+        vtime_(vtime) {}
+
+  const std::string& subsystem() const noexcept { return subsystem_; }
+  std::uint64_t run_tag() const noexcept { return run_tag_; }
+  /// Virtual time of the failure; negative when not applicable.
+  double vtime() const noexcept { return vtime_; }
+
+ private:
+  std::string subsystem_;
+  std::uint64_t run_tag_ = 0;
+  double vtime_ = -1.0;
+};
+
+/// Invalid user-supplied configuration (knobs, CLI flags, policy fields).
+/// Same structured rendering as FatalError but derives invalid_argument:
+/// config mistakes are caller errors, not simulator invariant breaks.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string subsystem, const std::string& message)
+      : std::invalid_argument(
+            detail::format_fatal(subsystem, message, /*run_tag=*/0,
+                                 /*vtime=*/-1.0)),
+        subsystem_(std::move(subsystem)) {}
+
+  const std::string& subsystem() const noexcept { return subsystem_; }
+
+ private:
+  std::string subsystem_;
+};
+
+/// Throws FatalError stamped with the calling thread's current run tag.
+/// Declared out of line so call sites stay one instruction on the happy path.
+[[noreturn]] void fatal(const std::string& subsystem,
+                        const std::string& message, double vtime = -1.0);
+
+}  // namespace opalsim::util

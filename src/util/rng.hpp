@@ -3,6 +3,7 @@
 // generators so that a fixed seed reproduces a run bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -87,6 +88,15 @@ class Xoshiro256 {
       }
     }
     return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Raw generator state, for checkpoint images.  Restoring a saved state
+  /// makes the stream continue exactly where the snapshot left it.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mach/platforms_db.hpp"
+#include "util/fatal.hpp"
 
 namespace {
 
@@ -194,7 +195,15 @@ TEST_F(PvmSystemTest, BarrierInconsistentCountThrows) {
     co_await t.engine().delay(0.1);
     co_await t.barrier("g", 3);  // wrong count
   });
-  EXPECT_THROW(engine.run(), std::invalid_argument);
+  try {
+    engine.run();
+    FAIL() << "expected FatalError";
+  } catch (const opalsim::util::FatalError& e) {
+    EXPECT_EQ(e.subsystem(), "pvm");
+    EXPECT_DOUBLE_EQ(e.vtime(), 0.1);
+    EXPECT_NE(std::string(e.what()).find("inconsistent party count"),
+              std::string::npos);
+  }
 }
 
 TEST_F(PvmSystemTest, ProcessJoinWorks) {

@@ -231,4 +231,64 @@ TEST(RecvTimeoutDeterminism, SameFaultSeedReplaysIdentically) {
   EXPECT_NE(a, c);  // different seed, different loss pattern
 }
 
+
+// A successful delivery must cancel the still-armed timer event: otherwise
+// the dead timer wakes later and the engine queue is never empty at the
+// step boundaries the checkpoint layer declares quiescent.
+TEST_F(RecvTimeoutTest, SuccessfulDeliveryCancelsArmedTimer) {
+  pvm.spawn(0, [&](PvmTask& t) -> Task<void> {
+    PackBuffer b;
+    b.pack_i32(1);
+    co_await t.send(1, 5, std::move(b));
+  });
+  bool checked = false;
+  pvm.spawn(1, [&](PvmTask& t) -> Task<void> {
+    const auto m = co_await t.recv_timeout(0, 5, 50.0);
+    EXPECT_TRUE(m.has_value());
+    // The 50 s timer must be gone the moment the receive completes.
+    EXPECT_EQ(t.engine().pending_events(), 0u);
+    checked = true;
+  });
+  engine.run();
+  EXPECT_TRUE(checked);
+  EXPECT_GE(engine.counters().queue.cancels, 1u);
+  // And the run ends at delivery time, not at the abandoned deadline.
+  EXPECT_LT(engine.now(), 50.0);
+}
+
+// recv_timeout racing a node kill: the sender dies mid-run, so a wait that
+// a delivery would have satisfied must fall back to a clean timeout, and
+// the receiver must remain usable afterwards.
+TEST_F(RecvTimeoutTest, TimeoutRacesNodeKill) {
+  std::vector<int> received;
+  pvm.spawn(0, [&](PvmTask& t) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      PackBuffer b;
+      b.pack_i32(i);
+      co_await t.send(1, 5, std::move(b));
+      // The fault layer suppresses every send after the kill instant.
+    }
+  });
+  pvm.spawn(1, [&](PvmTask& t) -> Task<void> {
+    // First message arrives; then the sender's node dies at a time chosen
+    // to land between deliveries, so the remaining waits time out.
+    for (int i = 0; i < 3; ++i) {
+      auto m = co_await t.recv_timeout(0, 5, 0.5);
+      if (m.has_value()) {
+        received.push_back(m->body.unpack_i32());
+        if (received.size() == 1) {
+          machine.fault().kill_node(0, t.engine().now());
+        }
+      }
+    }
+  });
+  engine.run();
+  ASSERT_GE(received.size(), 1u);
+  EXPECT_EQ(received[0], 0);
+  // Dead sender => at most the messages already on the wire arrive; the
+  // loop completed via timeouts, not deliveries.
+  EXPECT_LT(received.size(), 3u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 }  // namespace

@@ -1,0 +1,88 @@
+// RetryPolicy knob validation: every invalid knob must be rejected at
+// construction with a structured ConfigError (subsystem "sciddle"), never
+// surface later as a mid-run failure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sciddle/rpc.hpp"
+#include "util/fatal.hpp"
+
+namespace {
+
+using opalsim::sciddle::RetryPolicy;
+using opalsim::util::ConfigError;
+
+RetryPolicy valid_policy() {
+  RetryPolicy p;
+  p.enabled = true;
+  return p;
+}
+
+void expect_rejected(const RetryPolicy& p, const std::string& want) {
+  try {
+    p.validate();
+    FAIL() << "validate() accepted: " << want;
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sciddle"), std::string::npos) << what;
+    EXPECT_NE(what.find(want), std::string::npos) << what;
+  }
+}
+
+TEST(RetryPolicyValidate, DefaultsAreValid) {
+  EXPECT_NO_THROW(valid_policy().validate());
+}
+
+TEST(RetryPolicyValidate, DisabledPolicySkipsChecks) {
+  RetryPolicy p;  // disabled
+  p.timeout_s = -1.0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(RetryPolicyValidate, RejectsNonPositiveTimeout) {
+  RetryPolicy p = valid_policy();
+  p.timeout_s = 0.0;
+  expect_rejected(p, "timeout_s must be > 0");
+}
+
+TEST(RetryPolicyValidate, RejectsShrinkingBackoff) {
+  RetryPolicy p = valid_policy();
+  p.backoff = 0.5;
+  expect_rejected(p, "backoff must be >= 1");
+}
+
+TEST(RetryPolicyValidate, RejectsCeilingBelowInitialTimeout) {
+  RetryPolicy p = valid_policy();
+  p.max_timeout_s = p.timeout_s / 2.0;
+  expect_rejected(p, "max_timeout_s < timeout_s");
+}
+
+TEST(RetryPolicyValidate, RejectsZeroAttempts) {
+  RetryPolicy p = valid_policy();
+  p.max_attempts = 0;
+  expect_rejected(p, "max_attempts must be >= 1");
+}
+
+TEST(RetryPolicyValidate, RejectsJitterOutOfRange) {
+  RetryPolicy p = valid_policy();
+  p.jitter_frac = 1.0;
+  expect_rejected(p, "jitter_frac out of [0, 1)");
+  p.jitter_frac = -0.1;
+  expect_rejected(p, "jitter_frac out of [0, 1)");
+}
+
+TEST(RetryPolicyValidate, RejectsNonPositiveHeartbeatTimeout) {
+  RetryPolicy p = valid_policy();
+  p.heartbeat_timeout_s = 0.0;
+  expect_rejected(p, "heartbeat_timeout_s must be > 0");
+}
+
+TEST(RetryPolicyValidate, ConfigErrorIsInvalidArgument) {
+  RetryPolicy p = valid_policy();
+  p.timeout_s = -1.0;
+  // Compatibility: pre-existing callers catch std::invalid_argument.
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Crash-chaos harness for the checkpoint/restart layer.
+
+Drives opalsim_cli through seeded kill/resume cycles and checks the
+determinism contract: however often the process is killed — including in
+the middle of a checkpoint-image write — the completed resumed run must
+reproduce the uninterrupted run's results byte for byte.
+
+Per trial (seeded, reproducible kill schedule):
+  1. launch the run with periodic checkpointing; SIGKILL it after a
+     randomized wall-clock delay, or let the store's fault-injection hook
+     (OPALSIM_CKPT_CRASH=mid_tmp|after_tmp|between_renames[@N]) abort the
+     process partway through the Nth image write;
+  2. relaunch with --resume as long as a usable image (primary or .prev)
+     exists, killing again at a fresh random offset, until a launch runs
+     to completion (a kill before the first checkpoint restarts from
+     scratch — that path must converge too);
+  3. compare the completed run's full-precision results CSV and metrics
+     JSON byte-for-byte against the golden uninterrupted run, and check
+     the trace file is exactly a suffix of the golden trace.
+
+Only the Python standard library is used.  Exit status is nonzero on any
+divergence, stuck trial, or failed golden run.
+
+Example (the CI chaos shard):
+  python3 tools/chaos/crash_harness.py \
+      --binary build/examples/opalsim_cli --seed 1 --trials 10
+"""
+
+import argparse
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# Store-level crash points (see src/ckpt/store.cpp).  Each trial drawn as a
+# mid-write trial picks one, plus which write of the process it fires on.
+CRASH_MODES = ["mid_tmp", "after_tmp", "between_renames"]
+
+MAX_CYCLES_PER_TRIAL = 60
+
+
+def sim_args(ns, outdir, resume_image=None):
+    """CLI argument list for one launch writing outputs under `outdir`."""
+    image = os.path.join(outdir, "run.ckpt")
+    args = [
+        "--platform", ns.platform,
+        "--servers", str(ns.servers),
+        "--size", ns.size,
+        "--steps", str(ns.steps),
+        "--cutoff", str(ns.cutoff),
+        "--update-every", str(ns.update_every),
+        "--retry",
+        "--checkpoint-out", image,
+        "--checkpoint-every-steps", str(ns.checkpoint_every_steps),
+        "--csv-out", os.path.join(outdir, "results.csv"),
+        "--metrics-out", os.path.join(outdir, "metrics.json"),
+        "--trace-out", os.path.join(outdir, "trace.csv"),
+    ]
+    if ns.kill_server >= 0:
+        args += ["--kill-server", str(ns.kill_server),
+                 "--kill-step", str(ns.kill_step)]
+    if ns.loss_rate > 0 or ns.dup_rate > 0 or ns.corrupt_rate > 0:
+        args += ["--fault-seed", str(ns.fault_seed),
+                 "--loss-rate", str(ns.loss_rate),
+                 "--dup-rate", str(ns.dup_rate),
+                 "--corrupt-rate", str(ns.corrupt_rate)]
+    if resume_image:
+        args += ["--resume", resume_image]
+    return args
+
+
+def launch(binary, args, kill_after=None, crash_env=None):
+    """Runs the CLI; SIGKILLs it after `kill_after` seconds if still alive.
+
+    Returns (returncode, was_killed).  returncode 42 is the store's
+    self-inflicted crash-injection exit.
+    """
+    env = os.environ.copy()
+    env.pop("OPALSIM_CKPT_CRASH", None)
+    if crash_env:
+        env["OPALSIM_CKPT_CRASH"] = crash_env
+    proc = subprocess.Popen(
+        [binary] + args,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+    killed = False
+    try:
+        proc.wait(timeout=kill_after)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        killed = True
+    _, err = proc.communicate()
+    if proc.returncode not in (0, 42, -9):
+        sys.stderr.write(err.decode(errors="replace"))
+    return proc.returncode, killed
+
+
+def usable_image(outdir):
+    """Path to pass to --resume, or None when no image survived yet."""
+    image = os.path.join(outdir, "run.ckpt")
+    if os.path.exists(image) or os.path.exists(image + ".prev"):
+        return image
+    return None
+
+
+def read_lines(path):
+    with open(path, "rb") as f:
+        return f.read().splitlines(keepends=True)
+
+
+def compare_outputs(golden_dir, trial_dir, label):
+    """Byte-compares CSV + metrics; trace must be a suffix of golden's."""
+    failures = []
+    for name in ("results.csv", "metrics.json"):
+        g = open(os.path.join(golden_dir, name), "rb").read()
+        t = open(os.path.join(trial_dir, name), "rb").read()
+        if g != t:
+            failures.append(f"{label}: {name} diverged from golden")
+    g_trace = read_lines(os.path.join(golden_dir, "trace.csv"))
+    t_trace = read_lines(os.path.join(trial_dir, "trace.csv"))
+    if not t_trace or t_trace[0] != g_trace[0]:
+        failures.append(f"{label}: trace header diverged")
+    elif t_trace[1:] != g_trace[len(g_trace) - len(t_trace) + 1:]:
+        failures.append(f"{label}: trace is not a suffix of the golden trace")
+    return failures
+
+
+def run_trial(ns, trial, golden_dir, golden_wall, workdir):
+    """One seeded kill/resume trial.  Returns (failures, n_kills, modes)."""
+    rng = random.Random(ns.seed * 1000 + trial)
+    trial_dir = os.path.join(workdir, f"trial{trial}")
+    os.makedirs(trial_dir)
+    kills = 0
+    modes = []
+    for cycle in range(MAX_CYCLES_PER_TRIAL):
+        resume = usable_image(trial_dir)
+        args = sim_args(ns, trial_dir, resume_image=resume)
+        # Every third cycle uses the store's crash injection so the kill
+        # lands deterministically inside write_image_atomic; the others
+        # SIGKILL at a random fraction of the golden wall time.
+        if cycle % 3 == 2:
+            mode = rng.choice(CRASH_MODES)
+            at = rng.randint(1, 3)
+            crash_env = f"{mode}@{at}"
+            rc, _ = launch(ns.binary, args, crash_env=crash_env)
+            if rc == 42:
+                kills += 1
+                modes.append(mode)
+                continue
+        else:
+            delay = rng.uniform(0.05, 0.9) * golden_wall
+            rc, killed = launch(ns.binary, args, kill_after=delay)
+            if killed:
+                kills += 1
+                modes.append("sigkill")
+                continue
+        if rc != 0:
+            return ([f"trial {trial}: exit code {rc} on cycle {cycle}"],
+                    kills, modes)
+        failures = compare_outputs(golden_dir, trial_dir,
+                                   f"trial {trial} (cycle {cycle})")
+        return (failures, kills, modes)
+    return ([f"trial {trial}: no completion in {MAX_CYCLES_PER_TRIAL} cycles"],
+            kills, modes)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--binary", required=True, help="path to opalsim_cli")
+    ap.add_argument("--seed", type=int, default=1,
+                    help="base seed of the kill schedule (default 1)")
+    ap.add_argument("--trials", type=int, default=20,
+                    help="number of kill/resume trials (default 20)")
+    ap.add_argument("--workdir", default=None,
+                    help="scratch dir (default: a fresh temp dir)")
+    ap.add_argument("--keep", action="store_true",
+                    help="keep the scratch dir for inspection")
+    # Simulation profile: fault-tolerant run with message faults and a
+    # scheduled server kill — the hardest determinism surface we have.
+    ap.add_argument("--platform", default="fast-cops")
+    ap.add_argument("--size", default="medium")
+    ap.add_argument("--servers", type=int, default=4)
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--cutoff", type=float, default=10.0)
+    ap.add_argument("--update-every", type=int, default=2)
+    ap.add_argument("--checkpoint-every-steps", type=int, default=1)
+    ap.add_argument("--kill-server", type=int, default=2)
+    ap.add_argument("--kill-step", type=int, default=5)
+    ap.add_argument("--fault-seed", type=int, default=7)
+    ap.add_argument("--loss-rate", type=float, default=0.02)
+    ap.add_argument("--dup-rate", type=float, default=0.02)
+    ap.add_argument("--corrupt-rate", type=float, default=0.0)
+    ns = ap.parse_args()
+
+    workdir = ns.workdir or tempfile.mkdtemp(prefix="opalsim_chaos_")
+    os.makedirs(workdir, exist_ok=True)
+
+    # Golden uninterrupted run, with the same checkpoint flags as the trial
+    # runs so the trace and metrics carry the same checkpoint instants.
+    golden_dir = os.path.join(workdir, "golden")
+    os.makedirs(golden_dir, exist_ok=True)
+    import time
+    t0 = time.monotonic()
+    rc, _ = launch(ns.binary, sim_args(ns, golden_dir))
+    golden_wall = max(time.monotonic() - t0, 0.05)
+    if rc != 0:
+        print(f"FAIL: golden run exited with {rc}", file=sys.stderr)
+        return 1
+
+    all_failures = []
+    total_kills = 0
+    mid_write_kills = 0
+    for trial in range(ns.trials):
+        failures, kills, modes = run_trial(ns, trial, golden_dir,
+                                           golden_wall, workdir)
+        total_kills += kills
+        mid_write_kills += sum(1 for m in modes if m != "sigkill")
+        status = "FAIL" if failures else "ok"
+        print(f"trial {trial}: {status}  kills={kills} "
+              f"[{', '.join(modes) or 'none'}]")
+        all_failures.extend(failures)
+
+    print(f"\n{ns.trials} trials, {total_kills} kills "
+          f"({mid_write_kills} inside write_image_atomic), "
+          f"{len(all_failures)} failure(s)")
+    for f in all_failures:
+        print(f"  {f}", file=sys.stderr)
+    if not ns.keep and not all_failures and ns.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    elif all_failures:
+        print(f"scratch dir kept at {workdir}", file=sys.stderr)
+    if total_kills == 0:
+        print("FAIL: no kill landed — raise --steps or check timing",
+              file=sys.stderr)
+        return 1
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
