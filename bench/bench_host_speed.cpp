@@ -9,17 +9,26 @@
 //                     (bit-identical energies/gradients required),
 //   3. sweep runner — independent DES runs serial vs util::ThreadPool
 //                     (identical RunMetrics required).
+// Plus the crossover sweep: a ladder of complex sizes timing both forced
+// update paths and recording which one the Auto heuristic picks — the
+// empirical basis for kDefaultCellCrossover / OPALSIM_CELL_CROSSOVER
+// (DESIGN.md, "Host execution engine").
+//
 // Emits a machine-readable BENCH_host.json (path: OPALSIM_BENCH_JSON, or
-// ./BENCH_host.json) and exits non-zero when any equivalence check fails —
-// the CI perf-smoke gate.
+// ./BENCH_host.json) — including a MetricsRegistry snapshot of the host-path
+// counters (cells.*, pool.*) — and exits non-zero when any equivalence
+// check fails; tools/perf/check_bench_host.py gates the ratios in CI.
 #include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "mach/platforms_db.hpp"
+#include "obs/metrics.hpp"
 #include "opal/forcefield.hpp"
 #include "opal/pairs.hpp"
 #include "opal/parallel.hpp"
@@ -43,6 +52,7 @@ struct UpdateResult {
   std::size_t active_pairs_cells = 0;
   bool cells_path_taken = false;
   bool agree = false;
+  opal::PairUpdateStats stats;  ///< host-path counters after the runs
   double speedup() const {
     return cells_s > 0.0 ? brute_s / cells_s : 0.0;
   }
@@ -82,7 +92,76 @@ UpdateResult measure_update(const opal::MolecularComplex& mc, double cutoff,
   res.active_pairs_cells = dom.active_size();
   res.agree = res.active_pairs_cells == brute.size() &&
               std::equal(brute.begin(), brute.end(), dom.active().begin());
+  res.stats = dom.stats();
   return res;
+}
+
+struct CrossoverPoint {
+  std::size_t n = 0;
+  double brute_s = 0.0;
+  double cells_s = 0.0;  ///< steady state, path forced
+  bool auto_cells = false;  ///< what the Auto heuristic picked
+  bool model_ok = false;    ///< Auto matched the faster path (or noise band)
+  bool agree = false;       ///< active lists identical at this size
+  double speedup() const {
+    return cells_s > 0.0 ? brute_s / cells_s : 0.0;
+  }
+};
+
+/// Sweeps a ladder of complex sizes across the brute/cell-list crossover.
+/// Sizes are absolute, not OPALSIM_SCALE-scaled: the crossover is a property
+/// of n (at the synthetic complex's density and the production cut-off), and
+/// this sweep is what calibrates kDefaultCellCrossover.  Each point times
+/// both forced paths (steady state, best of 3 trials against host noise)
+/// and then asks the Auto heuristic on a fresh domain which path it picks.
+/// model_ok means Auto chose the measured-faster path, or the two paths are
+/// inside the 25% noise band where either choice costs nothing.
+std::vector<CrossoverPoint> measure_crossover(double cutoff, int r) {
+  std::vector<CrossoverPoint> points;
+  for (const std::size_t n :
+       {64, 128, 256, 384, 512, 768, 1024, 1536, 2048}) {
+    opal::SyntheticSpec spec;
+    spec.name = "xover";
+    spec.n_solute = n / 3;
+    spec.n_water = n - n / 3;
+    const auto mc = opal::make_synthetic_complex(spec);
+    const auto un = static_cast<std::uint32_t>(mc.n());
+    const std::size_t npairs = static_cast<std::size_t>(un) * (un - 1) / 2;
+    // Small points finish in microseconds; repeat until each trial is long
+    // enough for the timer, and take the best of 3 trials.
+    const int inner = std::max<int>(
+        r, static_cast<int>(2'000'000 / std::max<std::size_t>(1, npairs)));
+
+    CrossoverPoint pt;
+    pt.n = mc.n();
+    auto time_path = [&](opal::ServerDomain& dom, opal::PairUpdatePath path) {
+      dom.update(mc, cutoff, path);  // warm (grid + Verlet list built)
+      double best = std::numeric_limits<double>::max();
+      for (int trial = 0; trial < 3; ++trial) {
+        util::HostTimer t;
+        for (int k = 0; k < inner; ++k) dom.update(mc, cutoff, path);
+        best = std::min(best, t.seconds() / inner);
+      }
+      return best;
+    };
+
+    auto domains = opal::build_domains(
+        un, 1, opal::DistributionStrategy::RowCyclic, 1);
+    opal::ServerDomain dom(std::move(domains[0]));
+    pt.brute_s = time_path(dom, opal::PairUpdatePath::Brute);
+    const std::vector<opal::PairIdx> brute(dom.active().begin(),
+                                           dom.active().end());
+    pt.cells_s = time_path(dom, opal::PairUpdatePath::CellList);
+    pt.agree = brute.size() == dom.active_size() &&
+               std::equal(brute.begin(), brute.end(), dom.active().begin());
+    dom.update(mc, cutoff, opal::PairUpdatePath::Auto);
+    pt.auto_cells = dom.last_update_used_cells();
+    const bool cells_faster = pt.cells_s < pt.brute_s;
+    pt.model_ok = pt.auto_cells == cells_faster ||
+                  (pt.speedup() > 0.8 && pt.speedup() < 1.25);
+    points.push_back(pt);
+  }
+  return points;
 }
 
 struct KernelResult {
@@ -136,6 +215,8 @@ struct SweepResult {
   double serial_s = 0.0;
   double pooled_s = 0.0;
   unsigned threads = 1;
+  unsigned hardware_threads = 1;  ///< what this host can actually run
+  util::DispatchStats stats;      ///< chunked-dispatch counters
   bool agree = false;
   double speedup() const {
     return pooled_s > 0.0 ? serial_s / pooled_s : 0.0;
@@ -157,6 +238,7 @@ SweepResult measure_sweep() {
   };
 
   SweepResult res;
+  res.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
   std::vector<opal::RunMetrics> serial(kRuns), pooled(kRuns);
 
   util::HostTimer t;
@@ -171,6 +253,7 @@ SweepResult measure_sweep() {
                                pooled[i] = run_one(static_cast<int>(i));
                              });
   res.pooled_s = t.seconds();
+  res.stats = pool.dispatch_stats();
 
   res.agree = true;
   for (int i = 0; i < kRuns; ++i) {
@@ -185,8 +268,24 @@ SweepResult measure_sweep() {
   return res;
 }
 
-void write_json(const UpdateResult& u, const KernelResult& k,
-                const SweepResult& s, std::size_t n) {
+/// The host-path counters as a MetricsRegistry snapshot — the same
+/// deterministic JSON shape ParallelOpal writes for OPALSIM_METRICS, here
+/// fed from the bench's own measurements.  `pool.steal_count` is the one
+/// scheduling-dependent value (it never feeds anything that pins bytes).
+std::string metrics_snapshot(const UpdateResult& u, const SweepResult& s) {
+  obs::MetricsRegistry reg;
+  reg.add("cells.path_taken", u.stats.cell_updates);
+  reg.add("cells.rebuilds", u.stats.verlet_rebuilds);
+  reg.add("cells.updates", u.stats.updates);
+  reg.add("pool.dispatch_chunks", s.stats.chunks);
+  reg.add("pool.dispatches", s.stats.dispatches);
+  reg.add("pool.steal_count", s.stats.steals);
+  return reg.to_json();
+}
+
+void write_json(const UpdateResult& u,
+                const std::vector<CrossoverPoint>& xover,
+                const KernelResult& k, const SweepResult& s, std::size_t n) {
   const std::string path =
       util::env_string("OPALSIM_BENCH_JSON").value_or("BENCH_host.json");
   std::ofstream os(path);
@@ -203,6 +302,18 @@ void write_json(const UpdateResult& u, const KernelResult& k,
      << ",\n"
      << "    \"agree\": " << (u.agree ? "true" : "false") << "\n"
      << "  },\n"
+     << "  \"crossover\": [\n";
+  for (std::size_t i = 0; i < xover.size(); ++i) {
+    const CrossoverPoint& p = xover[i];
+    os << "    {\"n\": " << p.n << ", \"brute_s\": " << p.brute_s
+       << ", \"cell_list_s\": " << p.cells_s
+       << ", \"speedup\": " << p.speedup()
+       << ", \"auto_cells\": " << (p.auto_cells ? "true" : "false")
+       << ", \"model_ok\": " << (p.model_ok ? "true" : "false")
+       << ", \"agree\": " << (p.agree ? "true" : "false") << "}"
+       << (i + 1 < xover.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
      << "  \"nbint_kernel\": {\n"
      << "    \"aos_s\": " << k.aos_s << ",\n"
      << "    \"soa_s\": " << k.soa_s << ",\n"
@@ -213,9 +324,14 @@ void write_json(const UpdateResult& u, const KernelResult& k,
      << "    \"serial_s\": " << s.serial_s << ",\n"
      << "    \"pooled_s\": " << s.pooled_s << ",\n"
      << "    \"threads\": " << s.threads << ",\n"
+     << "    \"hardware_threads\": " << s.hardware_threads << ",\n"
+     << "    \"dispatches\": " << s.stats.dispatches << ",\n"
+     << "    \"dispatch_chunks\": " << s.stats.chunks << ",\n"
+     << "    \"steals\": " << s.stats.steals << ",\n"
      << "    \"speedup\": " << s.speedup() << ",\n"
      << "    \"agree\": " << (s.agree ? "true" : "false") << "\n"
-     << "  }\n"
+     << "  },\n"
+     << "  \"metrics\": " << metrics_snapshot(u, s) << "\n"
      << "}\n";
   std::cout << "[json] wrote " << path << "\n";
 }
@@ -233,6 +349,7 @@ int main() {
             << " A, reps = " << r << "\n\n";
 
   const UpdateResult u = measure_update(mc, cutoff, r);
+  const std::vector<CrossoverPoint> xover = measure_crossover(cutoff, r);
   const KernelResult k = measure_kernel(mc, cutoff, r);
   const SweepResult s = measure_sweep();
 
@@ -258,15 +375,34 @@ int main() {
       .add(s.agree ? "yes" : "NO");
   bench::emit(t, "host_speed");
 
+  util::Table xt({"n", "brute [s]", "cell list [s]", "speedup", "auto path",
+                  "model ok"});
+  for (const CrossoverPoint& p : xover) {
+    xt.row()
+        .add(static_cast<unsigned long>(p.n))
+        .add(p.brute_s, 7)
+        .add(p.cells_s, 7)
+        .add(p.speedup(), 2)
+        .add(p.auto_cells ? "cells" : "brute")
+        .add(p.model_ok ? "yes" : "NO");
+  }
+  bench::emit(xt, "host_crossover");
+
   std::cout << "active pairs: brute " << u.active_pairs_brute
             << ", cell list " << u.active_pairs_cells << " (cell path "
             << (u.cells_path_taken ? "taken" : "fell back to brute")
             << "; cold rebuild " << u.rebuild_s << " s, amortized over the "
             << "steps a Verlet list stays valid)\n";
+  std::cout << "sweep pool: " << s.threads << " threads ("
+            << s.hardware_threads << " hardware), " << s.stats.dispatches
+            << " dispatches, " << s.stats.chunks << " chunks, "
+            << s.stats.steals << " steals\n";
 
-  write_json(u, k, s, mc.n());
+  write_json(u, xover, k, s, mc.n());
 
-  if (!u.agree || !k.agree || !s.agree) {
+  bool xover_agree = true;
+  for (const CrossoverPoint& p : xover) xover_agree &= p.agree;
+  if (!u.agree || !k.agree || !s.agree || !xover_agree) {
     std::cerr << "FAIL: optimized paths disagree with the reference\n";
     return 1;
   }

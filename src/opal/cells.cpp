@@ -62,7 +62,14 @@ bool CellGrid::build(std::span<const double> x, std::span<const double> y,
     if (dims[widest] <= 1) break;
     dims[widest] = (dims[widest] + 1) / 2;
   }
-  if (static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] < 27) return false;
+  // Floor: a 2x2x2 grid already prunes — each cell's 27-neighborhood is
+  // the whole box, but for_each_near_above still skips j <= i per cell and
+  // the Verlet path amortizes the build across skin-validity windows, which
+  // measures faster than brute force from ~1k centers up (bench_host_speed
+  // crossover section).  Below 8 cells (any dim collapsed to degeneracy)
+  // neighbor enumeration IS the full sweep plus grid overhead: refuse, and
+  // let callers keep the brute path.
+  if (static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] < 8) return false;
 
   nx_ = dims[0];
   ny_ = dims[1];

@@ -23,9 +23,10 @@ namespace opalsim::opal {
 class CellGrid {
  public:
   /// Builds the grid for the given coordinates.  Returns false when the
-  /// geometry degenerates (fewer than 27 cells): then neighbor enumeration
-  /// would approximate the full O(n^2) sweep and callers should keep the
-  /// brute-force path.  `x`, `y`, `z` must have equal sizes.
+  /// geometry degenerates (fewer than 8 cells, i.e. no axis can be split):
+  /// then neighbor enumeration is the full O(n^2) sweep plus grid overhead
+  /// and callers should keep the brute-force path.  `x`, `y`, `z` must
+  /// have equal sizes.
   bool build(std::span<const double> x, std::span<const double> y,
              std::span<const double> z, double cutoff);
 

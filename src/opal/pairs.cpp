@@ -1,8 +1,10 @@
 #include "opal/pairs.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cctype>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -42,10 +44,27 @@ bool cell_list_enabled() {
   return enabled;
 }
 
-/// Below these sizes the brute sweep is already cheap and the grid build
-/// would dominate.
-constexpr std::uint32_t kMinCentersForCells = 96;
+/// Below this many assigned pairs the brute sweep is already cheap and any
+/// grid bookkeeping would dominate.
 constexpr std::size_t kMinPairsForCells = 1024;
+
+/// Default Auto-path crossover in centers.  The bench_host_speed crossover
+/// sweep (synthetic complex, production cut-off 10 A) measures brute/cells
+/// parity up to the size where the skin-padded grid first fits the box
+/// (~1.1k centers at that density) and a >10x cells win from there up — so
+/// the binding constraint at realistic sizes is the grid estimate below,
+/// and this floor only guards the small-n regime where grid bookkeeping
+/// costs more than the whole O(n^2) sweep.  See DESIGN.md.
+constexpr std::uint32_t kDefaultCellCrossover = 256;
+
+/// Cost of one neighbor-candidate visit on the domain-subset path relative
+/// to one brute-force distance check: the candidate pays the same distance
+/// test plus a membership lookup (binary search) and bitset mark, and the
+/// per-update grid build is amortized over the candidates.  Measured ~2x
+/// on the bench complex.
+constexpr double kSubsetCandidateCost = 2.0;
+
+std::atomic<std::uint32_t> g_cell_crossover{0};  // 0 = not yet resolved
 
 /// Verlet-list skin as a fraction of the cut-off.  Larger skins pad the
 /// candidate list (more distance checks per update) but survive more
@@ -56,6 +75,21 @@ constexpr double kVerletSkinFactor = 0.3;
 constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
 
 }  // namespace
+
+std::uint32_t cell_crossover_centers() {
+  std::uint32_t v = g_cell_crossover.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = kDefaultCellCrossover;
+    const long e = util::env_long("OPALSIM_CELL_CROSSOVER", 0);
+    if (e > 0) v = static_cast<std::uint32_t>(e);
+    g_cell_crossover.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_cell_crossover_centers(std::uint32_t n) {
+  g_cell_crossover.store(n, std::memory_order_relaxed);
+}
 
 std::string to_string(DistributionStrategy s) {
   switch (s) {
@@ -149,6 +183,7 @@ std::uint64_t ServerDomain::update(const MolecularComplex& mc, double cutoff,
     return domain_.size();
   }
   materialized_ = true;
+  ++stats_.updates;
   const double c2 = cutoff * cutoff;
   bool try_cells = false;
   switch (path) {
@@ -158,12 +193,75 @@ std::uint64_t ServerDomain::update(const MolecularComplex& mc, double cutoff,
       try_cells = true;
       break;
     case PairUpdatePath::Auto:
-      try_cells = cell_list_enabled() && mc.n() >= kMinCentersForCells &&
-                  domain_.size() >= kMinPairsForCells;
+      try_cells = cell_list_enabled() &&
+                  domain_.size() >= kMinPairsForCells &&
+                  cells_profitable(mc, cutoff);
       break;
   }
-  if (!try_cells || !update_cells(mc, c2, cutoff)) update_brute(mc, c2);
+  if (try_cells && update_cells(mc, c2, cutoff)) {
+    ++stats_.cell_updates;
+  } else {
+    update_brute(mc, c2);
+  }
   return domain_.size();
+}
+
+bool ServerDomain::cells_profitable(const MolecularComplex& mc,
+                                    double cutoff) const {
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  if (n < cell_crossover_centers()) return false;
+  const double total =
+      0.5 * static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+  const bool full_triangle =
+      domain_.size() == static_cast<std::size_t>(total);
+  // Grid edge the build would actually use: the full-triangle (Verlet)
+  // path builds with the skin-padded cut-off, the subset path with the
+  // bare cut-off.  Using the wrong edge here predicts a buildable grid
+  // that then degenerates — every update would pay a doomed build attempt.
+  const double edge =
+      full_triangle ? cutoff * (1.0 + kVerletSkinFactor) : cutoff;
+  // Estimate the grid the build would produce from the bounding box (O(n),
+  // negligible next to the O(n^2/p) sweep being decided on).  The estimate
+  // mirrors CellGrid::build: floor(span/edge) cells per axis, product
+  // capped near 8n (past that the grid is sparse and build() shrinks it).
+  double lo[3], hi[3];
+  const Vec3& r0 = mc.centers[0].position;
+  lo[0] = hi[0] = r0.x;
+  lo[1] = hi[1] = r0.y;
+  lo[2] = hi[2] = r0.z;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const Vec3& r = mc.centers[i].position;
+    lo[0] = std::min(lo[0], r.x);
+    hi[0] = std::max(hi[0], r.x);
+    lo[1] = std::min(lo[1], r.y);
+    hi[1] = std::max(hi[1], r.y);
+    lo[2] = std::min(lo[2], r.z);
+    hi[2] = std::max(hi[2], r.z);
+  }
+  double ncells = 1.0;
+  for (int a = 0; a < 3; ++a) {
+    const double span = hi[a] - lo[a];
+    if (!std::isfinite(span)) return false;
+    const double d = std::floor(span / edge);
+    ncells *= d < 1.0 ? 1.0 : d;
+  }
+  ncells = std::min(ncells, 8.0 * n + 64.0);
+  if (ncells < 8.0) return false;  // build() would refuse anyway
+
+  if (full_triangle) {
+    // Full-triangle domain: the Verlet-list steady state re-filters only
+    // the padded neighbor list per update, which wins from the crossover
+    // size up regardless of grid shape.
+    return true;
+  }
+  // Domain subset (p > 1 servers): the grid enumerates candidates from the
+  // WHOLE complex — roughly the 27-cell neighborhood fraction of all pairs
+  // — and each candidate costs ~kSubsetCandidateCost brute checks (distance
+  // + membership lookup), while the brute sweep only touches this server's
+  // domain_.  Cells win when the pruned candidate volume undercuts that.
+  const double candidates = std::min(total, total * 27.0 / ncells);
+  return candidates * kSubsetCandidateCost <
+         static_cast<double>(domain_.size());
 }
 
 void ServerDomain::update_brute(const MolecularComplex& mc, double c2) {
@@ -213,6 +311,7 @@ bool ServerDomain::update_cells(const MolecularComplex& mc, double c2,
     }
     if (!fresh) {
       if (!grid_.build(sx_, sy_, sz_, cutoff + skin)) return false;
+      ++stats_.verlet_rebuilds;
       const double padded2 = (cutoff + skin) * (cutoff + skin);
       const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
       marks_.assign(words, 0);

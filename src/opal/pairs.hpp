@@ -53,11 +53,29 @@ enum class DistributionStrategy {
 std::string to_string(DistributionStrategy s);
 
 /// Host path used by ServerDomain::update to rebuild the active list.
-/// Auto picks the cell list when it pays off (cut-off set, enough centers
-/// and assigned pairs) unless disabled via OPALSIM_CELL_LIST=0; Brute and
-/// CellList force a path (CellList still falls back when the grid
-/// degenerates, e.g. the cut-off exceeds the bounding box).
+/// Auto picks the cell list when the crossover model says it pays off
+/// (cut-off set, enough centers/pairs, grid dense enough to prune) unless
+/// disabled via OPALSIM_CELL_LIST=0; Brute and CellList force a path
+/// (CellList still falls back when the grid degenerates, e.g. the cut-off
+/// exceeds the bounding box).
 enum class PairUpdatePath { Auto, Brute, CellList };
+
+/// Auto-path crossover: minimum center count before the cell-list path is
+/// considered.  Default from the bench_host_speed crossover sweep
+/// (DESIGN.md, "Host execution engine"); OPALSIM_CELL_CROSSOVER overrides
+/// it (read once, cached).
+std::uint32_t cell_crossover_centers();
+/// Overrides the cached crossover (tests steer the Auto heuristic
+/// in-process; 0 restores the env/default resolution on next read).
+void set_cell_crossover_centers(std::uint32_t n);
+
+/// Host-path counters for one ServerDomain (bench/metrics introspection;
+/// not serialized — checkpointed runs omit the derived metrics keys).
+struct PairUpdateStats {
+  std::uint64_t updates = 0;          ///< update() calls with a cut-off
+  std::uint64_t cell_updates = 0;     ///< of which the cell path served
+  std::uint64_t verlet_rebuilds = 0;  ///< grid builds of the Verlet list
+};
 
 /// Owner server of pair number `k` = (i,j) under the given strategy.
 int pair_owner(DistributionStrategy strategy, std::uint64_t k,
@@ -113,6 +131,8 @@ class ServerDomain {
   /// True when the last update() went through the cell-list path (bench
   /// and test introspection).
   bool last_update_used_cells() const noexcept { return used_cells_; }
+  /// Cumulative host-path counters since construction/restore.
+  const PairUpdateStats& stats() const noexcept { return stats_; }
 
   // -- checkpoint/restart (src/ckpt) ---------------------------------------
   // Only the result state is serialized: static domain, materialized active
@@ -131,6 +151,7 @@ class ServerDomain {
     active_ = std::move(active);
     materialized_ = materialized;
     used_cells_ = false;
+    stats_ = {};
     membership_ready_ = false;
     verlet_ready_ = false;
   }
@@ -145,6 +166,8 @@ class ServerDomain {
 
   void update_brute(const MolecularComplex& mc, double c2);
   bool update_cells(const MolecularComplex& mc, double c2, double cutoff);
+  /// Crossover model for the Auto path: does the cell list pay off here?
+  bool cells_profitable(const MolecularComplex& mc, double cutoff) const;
   void ensure_membership(std::uint32_t n);
   /// Position of (i,j) in domain_, or npos when not assigned here.
   std::size_t find_position(std::uint32_t i, std::uint32_t j,
@@ -154,6 +177,7 @@ class ServerDomain {
   std::vector<PairIdx> active_;
   bool materialized_ = false;
   bool used_cells_ = false;
+  PairUpdateStats stats_;
 
   // Membership index over the static domain (built lazily, invalidated by
   // adopt()).

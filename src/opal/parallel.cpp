@@ -817,6 +817,18 @@ ParallelRunResult ParallelOpal::run() {
       reg.add("engine.pool.carved", ec.frame_pool.carved);
       reg.add("engine.pool.fallback", ec.frame_pool.fallback);
       reg.set("engine.pool.hit_rate", ec.frame_pool.hit_rate());
+      // Host-path counters: same omission rule — restore() resets them, so
+      // a resumed run could not reproduce the golden run's values.
+      std::uint64_t cell_upd = 0, rebuilds = 0, upd = 0;
+      for (int s = 0; s < num_servers_; ++s) {
+        const PairUpdateStats& ps = servers[s].domain.stats();
+        upd += ps.updates;
+        cell_upd += ps.cell_updates;
+        rebuilds += ps.verlet_rebuilds;
+      }
+      reg.add("cells.path_taken", cell_upd);
+      reg.add("cells.rebuilds", rebuilds);
+      reg.add("cells.updates", upd);
     }
     reg.add("pvm.bytes_sent", pvm.bytes_sent());
     reg.add("pvm.messages_sent", pvm.messages_sent());

@@ -4,10 +4,17 @@
 // The AoS MassCenter layout costs one 64-byte line per center touched even
 // though the kernel needs only position, charge and the two LJ
 // coefficients; mirroring those six fields into contiguous arrays roughly
-// halves the memory traffic of the pair loop.  The per-pair arithmetic is
-// expression-for-expression the one in nonbonded_pair (forcefield.hpp), so
-// energies and gradients are bit-identical to the AoS kernel — only host
-// wall time changes.  See DESIGN.md, "Host execution engine".
+// halves the memory traffic of the pair loop.  nonbonded_batch additionally
+// runs the per-pair arithmetic in a lane-blocked form (gather a block of
+// pairs into contiguous lane arrays, evaluate the math loop under
+// `#pragma omp simd`, then commit energies and gradients strictly in pair
+// order) so the autovectorizer emits packed AVX code.  Every lane computes
+// expression-for-expression the arithmetic of nonbonded_pair
+// (forcefield.hpp) on the same values — IEEE add/sub/mul/div/sqrt are
+// correctly rounded, and the tree is built with -ffp-contract=off — so
+// energies and gradients are bit-identical to the AoS kernel no matter the
+// ISA; only host wall time changes.  See DESIGN.md, "Host execution
+// engine".
 #pragma once
 
 #include <span>
@@ -25,15 +32,30 @@ struct CentersSoA {
 
   std::size_t size() const noexcept { return x.size(); }
 
-  /// Mirrors the per-run-constant fields (charge, LJ coefficients).
+  /// Mirrors the per-run-constant fields (charge, LJ coefficients).  Call
+  /// once per run — params never change after construction, so refreshing
+  /// them per step is pure waste on the hot path.
   void refresh_params(const MolecularComplex& mc);
-  /// Mirrors the positions; call once per step after integration moved them.
+  /// Mirrors the positions; call once per step after integration moved
+  /// them.  Debug builds assert that refresh_params ran first and still
+  /// matches `mc` (catches both a missing param mirror and a stale one).
   void refresh_positions(const MolecularComplex& mc);
   void refresh(const MolecularComplex& mc) {
     refresh_params(mc);
     refresh_positions(mc);
   }
 };
+
+/// Batch-kernel implementation selector: Blocked is the lane-blocked
+/// vectorized form (the default), Scalar the plain per-pair reference loop.
+/// Both produce bit-identical output — the scalar path exists as the
+/// equivalence oracle and as an escape hatch (OPALSIM_NB_KERNEL=scalar).
+enum class NbKernelMode { Blocked, Scalar };
+
+/// Active mode: OPALSIM_NB_KERNEL (blocked|scalar), read once.
+NbKernelMode nb_kernel_mode();
+/// Overrides the cached mode (tests compare the two paths in-process).
+void set_nb_kernel_mode(NbKernelMode mode);
 
 /// SoA twin of nonbonded_pair: same operations in the same order on the
 /// same values, loading from the mirrored arrays.

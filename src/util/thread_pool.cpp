@@ -6,11 +6,21 @@
 
 namespace opalsim::util {
 
-ThreadPool::ThreadPool(unsigned threads) {
+namespace {
+
+/// Set while a thread is executing indices of a dispatch_indexed call —
+/// both workers and the dispatching caller.  parallel_for_indexed reads it
+/// to degrade nested fan-out to an inline loop.
+thread_local bool t_in_dispatch = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+    : blocks_(static_cast<std::size_t>(std::max(1u, threads)) + 1) {
   threads = std::max(1u, threads);
   workers_.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -31,19 +41,129 @@ void ThreadPool::submit(std::function<void()> job) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::dispatch_indexed(std::size_t count,
+                                  void (*fn)(void*, std::size_t), void* ctx) {
+  if (count == 0 || fn == nullptr) return;
+  // One dispatch owns the block cursors at a time; concurrent dispatchers
+  // (pools shared across threads) line up here, not on the hot path.
+  std::lock_guard<std::mutex> dispatch_lk(dispatch_mutex_);
+  IndexedJob job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.count = count;
+  const auto nb = static_cast<unsigned>(blocks_.size());
+  // ~8 chunks per participant: coarse enough that the cursor fetch_add is
+  // noise, fine enough that stealing can even out skewed index costs.
+  job.chunk = std::max<std::size_t>(
+      1, count / (static_cast<std::size_t>(nb) * 8));
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job.seq = ++dispatch_seq_;
+    // Contiguous even split of [0, count) over workers + caller.  The
+    // writes (including the non-atomic `end`) are published to workers by
+    // the mutex: they read `active_` under it before touching any block.
+    for (unsigned b = 0; b < nb; ++b) {
+      blocks_[b].next.store(count * b / nb, std::memory_order_relaxed);
+      blocks_[b].end = count * (b + 1) / nb;
+    }
+    active_ = &job;
+  }
+  cv_.notify_all();
+  // The caller is a participant too: it takes the last block (workers take
+  // their own index), so a dispatch on a busy pool still makes progress.
+  run_blocks(job, nb - 1);
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] {
+      return job.completed.load(std::memory_order_acquire) == count &&
+             job.participants == 0;
+    });
+    // No worker can still touch `job` (participants deregister under the
+    // mutex before the wait above returns), so the stack frame may die.
+    active_ = nullptr;
+  }
+  stat_dispatches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::run_blocks(IndexedJob& job, unsigned my_block) {
+  t_in_dispatch = true;
+  const auto nb = static_cast<unsigned>(blocks_.size());
+  std::uint64_t chunks = 0;
+  std::uint64_t steals = 0;
+  // Own block first, then sweep the others as steal victims.
+  for (unsigned v = 0; v < nb; ++v) {
+    Block& blk = blocks_[(my_block + v) % nb];
+    for (;;) {
+      const std::size_t begin =
+          blk.next.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= blk.end) break;
+      const std::size_t end = std::min(begin + job.chunk, blk.end);
+      ++chunks;
+      if (v != 0) ++steals;
+      for (std::size_t i = begin; i < end; ++i) job.fn(job.ctx, i);
+      const std::size_t done =
+          job.completed.fetch_add(end - begin, std::memory_order_acq_rel) +
+          (end - begin);
+      if (done == job.count) {
+        // Lock before notifying: the dispatcher checks the predicate under
+        // mutex_, so an unlocked notify could land between its check and
+        // its sleep and be lost.
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+  t_in_dispatch = false;
+  stat_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+  stat_steals_.fetch_add(steals, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t last_seen = 0;  // newest dispatch this worker served
   for (;;) {
     std::function<void()> job;
+    IndexedJob* ij = nullptr;
     {
       std::unique_lock<std::mutex> lk(mutex_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lk, [&] {
+        return stop_ || !queue_.empty() ||
+               (active_ != nullptr && active_->seq != last_seen);
+      });
+      if (active_ != nullptr && active_->seq != last_seen) {
+        // Register as a participant under the mutex: the dispatcher only
+        // reclaims the job's stack frame once participants drops to zero.
+        ij = active_;
+        last_seen = ij->seq;
+        ++ij->participants;
+      } else if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stop_ set and drained
+      }
+    }
+    if (ij != nullptr) {
+      run_blocks(*ij, worker_index);
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--ij->participants == 0 &&
+          ij->completed.load(std::memory_order_acquire) == ij->count) {
+        done_cv_.notify_all();
+      }
+      continue;
     }
     job();
   }
 }
+
+DispatchStats ThreadPool::dispatch_stats() const noexcept {
+  return DispatchStats{
+      stat_dispatches_.load(std::memory_order_relaxed),
+      stat_chunks_.load(std::memory_order_relaxed),
+      stat_steals_.load(std::memory_order_relaxed),
+  };
+}
+
+bool ThreadPool::in_dispatch() noexcept { return t_in_dispatch; }
 
 unsigned ThreadPool::default_threads() {
   const long v = env_long("OPALSIM_THREADS", 0);

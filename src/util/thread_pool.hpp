@@ -5,11 +5,21 @@
 // sim::Engine, RNG and state), so whole runs parallelize trivially; what
 // must NOT change is the output: parallel_for_indexed commits results by
 // index, so a sweep's tables and CSVs are byte-identical to a serial run.
-// See DESIGN.md, "Host execution engine".
+//
+// Index fan-out goes through dispatch_indexed: a chunked work-stealing
+// distribution instead of one queued closure per index.  Each participant
+// (every worker plus the calling thread) owns a contiguous block of the
+// index range and grabs chunks from it with one relaxed fetch_add; when its
+// block runs dry it steals chunks from the other blocks.  The hot path
+// allocates nothing — the shared job descriptor lives on the dispatcher's
+// stack and the per-participant state is a cursor latch cached in the
+// worker loop.  See DESIGN.md, "Host execution engine".
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -20,6 +30,16 @@
 #include "util/run_tag.hpp"
 
 namespace opalsim::util {
+
+/// Cumulative counters of the chunked dispatch path (bench/metrics
+/// introspection).  `chunks` is deterministic in (count, pool size) per
+/// dispatch; `steals` depends on scheduling and must never feed anything
+/// that pins bytes.
+struct DispatchStats {
+  std::uint64_t dispatches = 0;  ///< dispatch_indexed fan-outs served
+  std::uint64_t chunks = 0;      ///< index chunks handed out
+  std::uint64_t steals = 0;      ///< chunks taken from another block
+};
 
 class ThreadPool {
  public:
@@ -39,17 +59,58 @@ class ThreadPool {
   /// own capture (parallel_for_indexed does).
   void submit(std::function<void()> job);
 
+  /// Runs fn(ctx, i) for every i in [0, count) across all workers plus the
+  /// calling thread, returning when every index has run.  `fn` must not
+  /// throw (parallel_for_indexed wraps exceptions before getting here).
+  /// Blocks concurrent dispatchers; do not call from inside a dispatch
+  /// (parallel_for_indexed detects that and runs inline instead).
+  void dispatch_indexed(std::size_t count, void (*fn)(void*, std::size_t),
+                        void* ctx);
+
+  /// Counters across the pool's lifetime (totals over all dispatches).
+  DispatchStats dispatch_stats() const noexcept;
+
+  /// True while the current thread is running indices of a dispatch —
+  /// nested fan-out must degrade to an inline loop, not deadlock.
+  static bool in_dispatch() noexcept;
+
   /// Number of worker threads a pool gets by default: OPALSIM_THREADS when
   /// set (clamped to >= 1), else the hardware concurrency.
   static unsigned default_threads();
 
  private:
-  void worker_loop();
+  /// One dispatch in flight; lives on the dispatcher's stack.
+  struct IndexedJob {
+    void (*fn)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    std::uint64_t seq = 0;                  ///< latch against re-entry
+    std::atomic<std::size_t> completed{0};  ///< indices fully run
+    int participants = 0;                   ///< workers inside (mutex_)
+  };
+  /// Per-participant index block; `next` is the only contended word on the
+  /// hot path, so each block gets its own cache line.
+  struct alignas(64) Block {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
+  void run_blocks(IndexedJob& job, unsigned my_block);
 
   std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       ///< wakes workers (queue or dispatch)
+  std::condition_variable done_cv_;  ///< wakes the waiting dispatcher
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  IndexedJob* active_ = nullptr;  ///< current dispatch (mutex_)
+  std::uint64_t dispatch_seq_ = 0;
+  std::vector<Block> blocks_;  ///< workers + 1 caller block; fixed size
+  std::mutex dispatch_mutex_;  ///< serializes dispatch_indexed callers
+  std::atomic<std::uint64_t> stat_dispatches_{0};
+  std::atomic<std::uint64_t> stat_chunks_{0};
+  std::atomic<std::uint64_t> stat_steals_{0};
   std::vector<std::thread> workers_;
 };
 
@@ -66,34 +127,37 @@ void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
   // audit layer's run-isolation invariant holds identically whether a sweep
   // runs pooled or serial): a DES engine created inside fn(i) is tagged to
   // that index and must not be driven by any other index or the caller.
-  if (pool.size() <= 1 || count == 1) {
+  // The tag is one relaxed fetch_add per index — the per-index setup the
+  // chunked dispatch cannot cache away without breaking run isolation.
+  if (pool.size() <= 1 || count == 1 || ThreadPool::in_dispatch()) {
     for (std::size_t i = 0; i < count; ++i) {
       RunTagScope run_scope;
       fn(i);
     }
     return;
   }
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t remaining = count;
-  std::exception_ptr first_error;
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&, i] {
-      std::exception_ptr err;
-      try {
-        RunTagScope run_scope;
-        fn(i);
-      } catch (...) {
-        err = std::current_exception();
-      }
-      std::lock_guard<std::mutex> lk(m);
-      if (err && !first_error) first_error = err;
-      if (--remaining == 0) cv.notify_one();
-    });
-  }
-  std::unique_lock<std::mutex> lk(m);
-  cv.wait(lk, [&] { return remaining == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  // The shared state is one stack frame; the dispatch itself allocates
+  // nothing (no per-index closures, no queue traffic).
+  struct Ctx {
+    Fn& fn;
+    std::mutex m;
+    std::exception_ptr first_error;
+  };
+  Ctx ctx{fn, {}, nullptr};
+  pool.dispatch_indexed(
+      count,
+      [](void* c, std::size_t i) {
+        Ctx& cx = *static_cast<Ctx*>(c);
+        try {
+          RunTagScope run_scope;
+          cx.fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(cx.m);
+          if (!cx.first_error) cx.first_error = std::current_exception();
+        }
+      },
+      &ctx);
+  if (ctx.first_error) std::rethrow_exception(ctx.first_error);
 }
 
 }  // namespace opalsim::util

@@ -70,7 +70,8 @@ TEST(CellGrid, RejectsDegenerateGeometry) {
   // Too few points.
   std::vector<double> one{0.0};
   EXPECT_FALSE(grid.build(one, one, one, 1.0));
-  // Cutoff exceeding the bounding box: fewer than 27 cells.
+  // Cutoff exceeding the bounding box: fewer than 8 cells (no splittable
+  // axis), so the grid cannot prune anything.
   auto mc = test_complex(50, 100, 7);
   std::vector<double> x, y, z;
   for (const auto& c : mc.centers) {
@@ -263,6 +264,142 @@ TEST(CellListEquivalence, EdgeCases) {
     EXPECT_FALSE(dom.last_update_used_cells());
     EXPECT_EQ(dom.active().size(), dom.domain_size());
   }
+}
+
+TEST(CellListEquivalence, AllCentersInOneCell) {
+  // Every center inside one cut-off sphere: the grid collapses to a single
+  // cell, build() refuses, the forced path falls back — and the lists must
+  // still match (everything is within the cut-off).
+  auto mc = test_complex(40, 80, 17);
+  for (auto& c : mc.centers) {
+    c.position.x *= 0.05;
+    c.position.y *= 0.05;
+    c.position.z *= 0.05;
+  }
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  dom.update(mc, 8.0, opal::PairUpdatePath::CellList);
+  EXPECT_FALSE(dom.last_update_used_cells());
+  EXPECT_EQ(dom.active_size(), dom.domain_size());  // all pairs in range
+  expect_paths_identical(dom, mc, 8.0);
+}
+
+TEST(CellListEquivalence, ZeroAndOneCenterDomains) {
+  // Degenerate complexes: no pairs exist, both paths must produce an empty
+  // (or unmaterialized-empty) active list without touching the grid.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    opal::MolecularComplex mc;
+    mc.name = "degenerate";
+    for (std::size_t i = 0; i < n; ++i) {
+      opal::MassCenter c;
+      c.position = {static_cast<double>(i), 0.0, 0.0};
+      c.mass = 12.0;
+      mc.centers.push_back(c);
+    }
+    opal::ServerDomain dom;  // empty domain — no pairs to assign
+    SCOPED_TRACE("n = " + std::to_string(n));
+    for (auto path : {opal::PairUpdatePath::Brute,
+                      opal::PairUpdatePath::CellList,
+                      opal::PairUpdatePath::Auto}) {
+      const auto checked = dom.update(mc, 5.0, path);
+      EXPECT_EQ(checked, 0u);
+      EXPECT_EQ(dom.active_size(), 0u);
+      EXPECT_FALSE(dom.last_update_used_cells());
+    }
+  }
+}
+
+TEST(CellListEquivalence, ExactSkinBoundaryDisplacement) {
+  // The Verlet list stays valid while every center is within skin/2 of its
+  // reference; the rebuild trigger is strictly "moved MORE than skin/2".
+  // Park one center exactly at the boundary, then a hair past it — the
+  // active list must equal brute force on both sides of the trigger.
+  auto mc = test_complex(110, 220, 23);
+  const double cutoff = 8.0;
+  const double half_skin = 0.5 * 0.3 * cutoff;  // kVerletSkinFactor = 0.3
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  expect_paths_identical(dom, mc, cutoff);  // builds the reference list
+
+  mc.centers[5].position.x += half_skin;  // exactly at the boundary
+  expect_paths_identical(dom, mc, cutoff);
+
+  mc.centers[5].position.x += 1e-9;  // past it: rebuild must fire
+  expect_paths_identical(dom, mc, cutoff);
+
+  // A displacement spanning several skins (a center leaves its old cell
+  // neighborhood entirely).
+  mc.centers[7].position.y += 4.0 * half_skin;
+  expect_paths_identical(dom, mc, cutoff);
+}
+
+TEST(CellListEquivalence, CrossoverOverrideKnobSteersAutoPath) {
+  // OPALSIM_CELL_CROSSOVER's in-process mirror: a huge crossover forces
+  // Auto to brute force; a tiny one re-enables the cell list where the
+  // grid fits.  Results are identical either way — the knob trades host
+  // time only.
+  const auto mc = test_complex(400, 800, 31);
+  const auto n = static_cast<std::uint32_t>(mc.n());
+  // A cut-off small enough that even the skin-padded grid has >= 2 cells
+  // per axis on the synthetic box.
+  std::vector<double> x, y, z;
+  for (const auto& c : mc.centers) {
+    x.push_back(c.position.x);
+    y.push_back(c.position.y);
+    z.push_back(c.position.z);
+  }
+  const double cutoff = grid_friendly_cutoff(x, y, z) / 1.3;
+
+  auto domains = opal::build_domains(n, 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+
+  opal::set_cell_crossover_centers(n + 1);  // out of reach: Auto -> brute
+  dom.update(mc, cutoff, opal::PairUpdatePath::Auto);
+  EXPECT_FALSE(dom.last_update_used_cells());
+  const auto brute = snapshot(dom);
+
+  opal::set_cell_crossover_centers(2);  // everything crosses: Auto -> cells
+  dom.update(mc, cutoff, opal::PairUpdatePath::Auto);
+  EXPECT_TRUE(dom.last_update_used_cells());
+  const auto cells = snapshot(dom);
+  ASSERT_EQ(brute.size(), cells.size());
+  EXPECT_TRUE(std::equal(brute.begin(), brute.end(), cells.begin()));
+
+  opal::set_cell_crossover_centers(0);  // restore env/default resolution
+  EXPECT_GT(opal::cell_crossover_centers(), 0u);
+}
+
+TEST(CellListEquivalence, UpdateStatsCountPathsTaken) {
+  const auto mc = test_complex(150, 300, 41);
+  // Small enough that the skin-padded grid has >= 3 cells per axis on the
+  // synthetic box (the forced cell path must actually engage).
+  const double cutoff = 5.0;
+  auto domains = opal::build_domains(static_cast<std::uint32_t>(mc.n()), 1,
+                                     opal::DistributionStrategy::RowCyclic, 1);
+  opal::ServerDomain dom(std::move(domains[0]));
+  EXPECT_EQ(dom.stats().updates, 0u);
+
+  dom.update(mc, cutoff, opal::PairUpdatePath::Brute);
+  EXPECT_EQ(dom.stats().updates, 1u);
+  EXPECT_EQ(dom.stats().cell_updates, 0u);
+
+  dom.update(mc, cutoff, opal::PairUpdatePath::CellList);
+  EXPECT_EQ(dom.stats().updates, 2u);
+  EXPECT_EQ(dom.stats().cell_updates, 1u);
+  EXPECT_GE(dom.stats().verlet_rebuilds, 1u);
+
+  // No cut-off: not a list update, not counted.
+  dom.update(mc, -1.0, opal::PairUpdatePath::Brute);
+  EXPECT_EQ(dom.stats().updates, 2u);
+
+  // restore() resets the counters (resumed runs cannot reproduce them).
+  dom.restore({}, {}, false);
+  EXPECT_EQ(dom.stats().updates, 0u);
+  EXPECT_EQ(dom.stats().cell_updates, 0u);
+  EXPECT_EQ(dom.stats().verlet_rebuilds, 0u);
 }
 
 TEST(CellListEquivalence, VirtualTimeAccountingUnchanged) {

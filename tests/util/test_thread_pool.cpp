@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -94,6 +95,88 @@ TEST(ParallelForIndexed, ZeroAndOneCount) {
     EXPECT_EQ(i, 0u);
   });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForIndexed, NestedDispatchRunsInline) {
+  // A fan-out from inside a dispatched index must degrade to an inline
+  // loop (re-dispatching would deadlock on the single active job slot).
+  util::ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  util::parallel_for_indexed(pool, 8, [&](std::size_t) {
+    EXPECT_TRUE(util::ThreadPool::in_dispatch());
+    util::parallel_for_indexed(pool, 5,
+                               [&](std::size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_FALSE(util::ThreadPool::in_dispatch());
+  EXPECT_EQ(inner_calls.load(), 8 * 5);
+}
+
+TEST(ParallelForIndexed, DispatchStatsCountChunksAndDispatches) {
+  util::ThreadPool pool(4);
+  const util::DispatchStats before = pool.dispatch_stats();
+  constexpr std::size_t kCount = 1000;
+  std::atomic<std::size_t> ran{0};
+  util::parallel_for_indexed(pool, kCount,
+                             [&](std::size_t) { ran.fetch_add(1); });
+  const util::DispatchStats after = pool.dispatch_stats();
+  EXPECT_EQ(ran.load(), kCount);
+  EXPECT_EQ(after.dispatches, before.dispatches + 1);
+  // 1000 indices over 5 blocks (4 workers + caller) at chunk size
+  // 1000/(5*8) = 25: every index is handed out in some chunk, so the chunk
+  // count is at least count/chunk and each chunk is nonempty.
+  EXPECT_GE(after.chunks, before.chunks + kCount / 25);
+  EXPECT_GE(after.steals, before.steals);  // steals are scheduling-dependent
+}
+
+TEST(ParallelForIndexed, StealingDrainsSkewedWork) {
+  // One index is vastly more expensive than the rest: the other
+  // participants must drain the remaining chunks (work stealing), so total
+  // wall time is bounded by the slow index, and every index still runs
+  // exactly once.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCount = 400;
+  std::vector<int> hits(kCount, 0);
+  util::parallel_for_indexed(pool, kCount, [&](std::size_t i) {
+    if (i == 0) {
+      // Busy work, not sleep: keep the participant genuinely occupied.
+      volatile double x = 1.0;
+      for (int k = 0; k < 2'000'000; ++k) x = x * 1.0000001 + 0.5;
+    }
+    ++hits[i];
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndexed, BackToBackDispatchesReuseThePool) {
+  // The job descriptor lives on the dispatcher's stack; consecutive
+  // dispatches must not see stale state from the previous one (seq latch).
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> ran{0};
+    const std::size_t count = 1 + static_cast<std::size_t>(round) * 7 % 97;
+    util::parallel_for_indexed(pool, count,
+                               [&](std::size_t) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), count) << "round " << round;
+  }
+}
+
+TEST(ParallelForIndexed, ConcurrentDispatchersSerialize) {
+  // Two threads sharing one pool: dispatch_indexed serializes them; both
+  // fan-outs complete with every index run exactly once.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCount = 300;
+  std::vector<int> a(kCount, 0), b(kCount, 0);
+  std::thread other([&] {
+    util::parallel_for_indexed(pool, kCount, [&](std::size_t i) { ++b[i]; });
+  });
+  util::parallel_for_indexed(pool, kCount, [&](std::size_t i) { ++a[i]; });
+  other.join();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(a[i], 1);
+    EXPECT_EQ(b[i], 1);
+  }
 }
 
 TEST(ParallelForIndexed, PropagatesFirstException) {
