@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ckpt/snapshot.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::ckpt {
 
@@ -38,14 +39,14 @@ struct WriteResult {
 
 /// Atomically replaces `path` with `image` per the protocol above.  Throws
 /// util::FatalError (subsystem "ckpt") on I/O failure.
-WriteResult write_image_atomic(const std::string& path,
+HOST_ONLY WriteResult write_image_atomic(const std::string& path,
                                const std::vector<std::uint8_t>& image);
 
 /// Loads and decodes `path`, falling back to `path` + ".prev" when the
 /// primary image is missing or invalid.  Throws util::FatalError when
 /// neither decodes.  On success *loaded_bytes (when non-null) receives the
 /// byte size of the image actually used.
-RunSnapshot load_snapshot(const std::string& path,
+HOST_ONLY RunSnapshot load_snapshot(const std::string& path,
                           std::uint64_t* loaded_bytes = nullptr);
 
 }  // namespace opalsim::ckpt

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/domains.hpp"
+
 namespace opalsim::hpm {
 
 /// Architecture-neutral floating-point operation mix.
@@ -58,7 +60,7 @@ struct IntrinsicCostTable {
   double vector_overhead = 1.0;
 
   /// Flops this platform's monitor reports for the mix.
-  double counted_flops(const OpCounts& ops) const noexcept;
+  VT_PURE double counted_flops(const OpCounts& ops) const noexcept;
 };
 
 /// The canonical work measure used to convert operation mixes to time: the
@@ -90,7 +92,7 @@ class HpmCounter {
   double cycles() const noexcept { return cycles_; }
 
   /// Counted MFlop as this platform's monitor would report them.
-  double counted_mflop(const IntrinsicCostTable& table) const noexcept {
+  VT_PURE double counted_mflop(const IntrinsicCostTable& table) const noexcept {
     return table.counted_flops(ops_) * 1e-6;
   }
   /// Computation rate in MFlop/s per the platform's own counting; 0 when no

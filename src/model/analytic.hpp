@@ -13,6 +13,7 @@
 #pragma once
 
 #include "model/params.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::model {
 
@@ -33,19 +34,19 @@ struct ModelBreakdown {
 };
 
 /// Number of pairs one update sweep generates (model's work measure).
-double update_pairs(const AppParams& app, UpdateVariant variant);
+VT_PURE double update_pairs(const AppParams& app, UpdateVariant variant);
 
 /// Number of pairs one energy evaluation processes.
-double nbint_pairs(const AppParams& app, UpdateVariant variant);
+VT_PURE double nbint_pairs(const AppParams& app, UpdateVariant variant);
 
 /// Component predictions (eqs. 3, 4, 5, 6', 10).
 double predict_update(const ModelParams& m, const AppParams& app,
                       UpdateVariant v = UpdateVariant::Consistent);
 double predict_nbint(const ModelParams& m, const AppParams& app,
                      UpdateVariant v = UpdateVariant::Consistent);
-double predict_seq(const ModelParams& m, const AppParams& app);
-double predict_comm(const ModelParams& m, const AppParams& app);
-double predict_sync(const ModelParams& m, const AppParams& app);
+VT_PURE double predict_seq(const ModelParams& m, const AppParams& app);
+VT_PURE double predict_comm(const ModelParams& m, const AppParams& app);
+VT_PURE double predict_sync(const ModelParams& m, const AppParams& app);
 
 ModelBreakdown predict(const ModelParams& m, const AppParams& app,
                        UpdateVariant v = UpdateVariant::Consistent);

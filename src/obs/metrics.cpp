@@ -42,25 +42,42 @@ void Histogram::observe(double value) {
 }
 
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  util::ScopedLock lk(mutex_);
   counters_[name] += delta;
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  util::ScopedLock lk(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
+  util::ScopedLock lk(mutex_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  util::ScopedLock lk(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void MetricsRegistry::observe(const std::string& name,
+                              std::vector<double> bounds, double value) {
+  util::ScopedLock lk(mutex_);
+  const auto it = histograms_.find(name);
+  Histogram& h =
+      it != histograms_.end()
+          ? it->second
+          : histograms_.emplace(name, Histogram(std::move(bounds)))
+                .first->second;
+  h.observe(value);
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  util::ScopedLock lk(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(name, Histogram(std::move(bounds)))
@@ -69,17 +86,25 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
+  util::ScopedLock lk(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+bool MetricsRegistry::empty() const {
+  util::ScopedLock lk(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
 void MetricsRegistry::clear() {
+  util::ScopedLock lk(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
+  util::ScopedLock lk(mutex_);
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;

@@ -7,6 +7,13 @@
 // Determinism: names live in std::map (ordered), values are integers or
 // doubles printed round-trippably, so two identical runs snapshot to
 // byte-identical JSON.
+//
+// Thread safety: add()/set()/observe()/counter()/gauge()/to_json() are
+// internally synchronized (one registry may absorb counters from several
+// sweep workers); the lock discipline is annotated and proven under clang
+// -Wthread-safety.  The reference-returning histogram() accessor hands out
+// a pointer into guarded state — callers that mutate through it must have
+// exclusive use of the registry (tests do; concurrent code uses observe()).
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,15 @@
 #include <string>
 #include <vector>
 
+#include "util/sync.hpp"
+
 namespace opalsim::obs {
 
 /// Fixed-bound histogram with Prometheus-style upper-inclusive buckets:
 /// a value v lands in the first bucket whose bound satisfies v <= bound;
 /// values above the last bound land in the implicit +inf overflow bucket.
+/// Not internally synchronized — shared instances are guarded by the owning
+/// MetricsRegistry.
 class Histogram {
  public:
   /// `bounds` must be strictly increasing and non-empty.
@@ -47,32 +58,41 @@ class Histogram {
 class MetricsRegistry {
  public:
   /// Adds `delta` to counter `name` (created at zero on first touch).
-  void add(const std::string& name, std::uint64_t delta = 1);
-  std::uint64_t counter(const std::string& name) const;
+  void add(const std::string& name, std::uint64_t delta = 1)
+      EXCLUDES(mutex_);
+  std::uint64_t counter(const std::string& name) const EXCLUDES(mutex_);
 
   /// Sets gauge `name` to `value` (last write wins).
-  void set(const std::string& name, double value);
-  double gauge(const std::string& name) const;
+  void set(const std::string& name, double value) EXCLUDES(mutex_);
+  double gauge(const std::string& name) const EXCLUDES(mutex_);
+
+  /// Records `value` into histogram `name`, creating it with `bounds` on
+  /// first touch (later calls ignore `bounds`).  Safe under concurrent
+  /// callers — the whole lookup+observe happens under the registry lock.
+  void observe(const std::string& name, std::vector<double> bounds,
+               double value) EXCLUDES(mutex_);
 
   /// Returns the histogram `name`, creating it with `bounds` on first use.
-  /// Later calls ignore `bounds` (the first registration pins them).
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
-  const Histogram* find_histogram(const std::string& name) const;
+  /// Later calls ignore `bounds` (the first registration pins them).  The
+  /// reference escapes the lock: single-threaded use only (see header).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds)
+      EXCLUDES(mutex_);
+  const Histogram* find_histogram(const std::string& name) const
+      EXCLUDES(mutex_);
 
-  bool empty() const noexcept {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
-  }
-  void clear();
+  bool empty() const EXCLUDES(mutex_);
+  void clear() EXCLUDES(mutex_);
 
   /// Deterministic JSON snapshot:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
   ///  "counts":[...],"count":N,"sum":S}}}
-  std::string to_json() const;
+  std::string to_json() const EXCLUDES(mutex_);
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mutex_);
 };
 
 }  // namespace opalsim::obs

@@ -4,16 +4,24 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/sync.hpp"
 
 namespace opalsim::obs {
 
 namespace {
+
+// unique_output_path bookkeeping: sweeps fan traced runs over the thread
+// pool, so the per-base-path counters are cross-thread shared state.  The
+// map is heap-allocated on first use and deliberately leaked — worker
+// threads may still splice paths during process teardown after a static
+// map would already have been destroyed.
+util::Mutex g_path_mutex;
+std::map<std::string, int>* g_path_counts GUARDED_BY(g_path_mutex) = nullptr;
 
 /// Shortest round-trippable decimal for a double (JSON/CSV cells).
 std::string fmt(double v) {
@@ -123,11 +131,9 @@ std::string metrics_path_from_env() {
 }
 
 std::string unique_output_path(const std::string& path) {
-  static std::mutex mu;
-  static std::map<std::string, int>* counts = nullptr;
-  std::lock_guard<std::mutex> lock(mu);
-  if (counts == nullptr) counts = new std::map<std::string, int>();
-  const int n = ++(*counts)[path];
+  util::ScopedLock lock(g_path_mutex);
+  if (g_path_counts == nullptr) g_path_counts = new std::map<std::string, int>();
+  const int n = ++(*g_path_counts)[path];
   if (n == 1) return path;
   const std::size_t slash = path.find_last_of('/');
   const std::size_t dot = path.find_last_of('.');

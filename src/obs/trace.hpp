@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "util/domains.hpp"
+
 namespace opalsim::obs {
 
 /// Which layer emitted the event.  Doubles as the Perfetto track (tid)
@@ -82,7 +84,9 @@ class NullSink final : public TraceSink {
 };
 
 /// Collects events in memory for later export.  Assigns seq in arrival
-/// order.
+/// order.  Deliberately unsynchronized: one sink belongs to one DES run and
+/// is only driven from that run's host thread (the run-isolation audit
+/// enforces the ownership; concurrent sweep runs each get their own sink).
 class MemorySink final : public TraceSink {
  public:
   void record(const TraceEvent& e) override {
@@ -192,17 +196,17 @@ inline void span(Cat cat, const char* name, double t0, double t1, int node,
 const char* cat_name(Cat cat) noexcept;
 
 /// OPALSIM_TRACE environment knob (empty string when unset).
-std::string trace_path_from_env();
+HOST_ONLY std::string trace_path_from_env();
 /// OPALSIM_METRICS environment knob (empty string when unset).
-std::string metrics_path_from_env();
+HOST_ONLY std::string metrics_path_from_env();
 
 /// Disambiguates `path` across multiple traced runs in one process (e.g. a
 /// sweep fanned over the thread pool): the first request for a given base
 /// path returns it unchanged, the nth gets ".n" spliced in before the
 /// extension.  Thread-safe; numbering follows run-start order.
-std::string unique_output_path(const std::string& path);
+HOST_ONLY std::string unique_output_path(const std::string& path);
 
 /// Writes `content` to `path`; returns false on I/O failure.
-bool write_file(const std::string& path, const std::string& content);
+HOST_ONLY bool write_file(const std::string& path, const std::string& content);
 
 }  // namespace opalsim::obs

@@ -11,6 +11,7 @@
 #include "hpm/op_counts.hpp"
 #include "opal/complex.hpp"
 #include "opal/vec3.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::opal {
 
@@ -52,7 +53,7 @@ struct OpMixes {
 /// Evaluates the nonbonded pair term (van der Waals + Coulomb) between mass
 /// centers i and j, accumulating the energies and the gradient of V
 /// (dV/dr, NOT force) into `grad`.  LJ coefficients combine geometrically.
-inline void nonbonded_pair(const MolecularComplex& mc, std::uint32_t i,
+VT_PURE inline void nonbonded_pair(const MolecularComplex& mc, std::uint32_t i,
                            std::uint32_t j, double& evdw, double& ecoul,
                            std::span<Vec3> grad) {
   const MassCenter& a = mc.centers[i];

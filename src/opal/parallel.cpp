@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "ckpt/snapshot.hpp"
@@ -158,6 +159,9 @@ struct ResumeFence {
   void await_suspend(std::coroutine_handle<> h) const noexcept { *slot = h; }
   void await_resume() const noexcept {}
 };
+static_assert(std::is_trivially_destructible_v<ResumeFence>,
+              "awaiters must stay trivially destructible: GCC 12 can "
+              "double-destroy awaiter temporaries on suspension paths");
 
 }  // namespace
 

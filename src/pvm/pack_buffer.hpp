@@ -19,6 +19,15 @@
 //  - Mutation (pack_*, append, corrupt_byte) is copy-on-write: a holder with
 //    sole ownership writes in place, a sharer clones first.  Receivers that
 //    only unpack never trigger a copy.
+//
+// Thread ownership: a PackBuffer belongs to the DES run (sweep index) that
+// created it and is never touched from two host threads — each engine and
+// all its messages live on one thread, enforced by the run-isolation audit
+// (util/run_tag.hpp).  The shared heap block's refcount is std::shared_ptr's
+// (atomic), so the COW use_count()==1 check is sound under that contract:
+// within the owning thread the count cannot change concurrently.  Do not
+// hand a PackBuffer to another thread; the lock-free COW would become a
+// data race.
 #pragma once
 
 #include <array>

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/domains.hpp"
 #include "util/fatal.hpp"
 
 namespace opalsim::pvm {
@@ -13,11 +14,11 @@ sim::Engine& PvmTask::engine() { return system_->engine(); }
 
 mach::Cpu& PvmTask::cpu() { return system_->machine().cpu(node_); }
 
-sim::Task<void> PvmTask::send(int dst, int tag, PackBuffer body) {
+VT_PURE sim::Task<void> PvmTask::send(int dst, int tag, PackBuffer body) {
   return system_->do_send(tid_, dst, tag, std::move(body));
 }
 
-sim::Task<Message> PvmTask::recv(int src, int tag) {
+VT_PURE sim::Task<Message> PvmTask::recv(int src, int tag) {
   auto& mb = system_->mailbox(tid_);
   mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
                                      engine().now());
@@ -91,7 +92,10 @@ sim::Task<void> recv_timeout_timer(
   }
 }
 
-/// Races a mailbox getter against a timer process.
+/// Races a mailbox getter against a timer process.  Owns the race-state
+/// shared_ptr and the wrapped GetAwaiter; lives in the recv_timeout
+/// coroutine frame for the whole race, never as a compiler temporary.
+// lint:allow(awaiter-trivial-dtor): owning awaiter by design (see above)
 struct TimedRecvAwaiter {
   sim::Engine* engine;
   sim::Mailbox<Message>* mb;
@@ -331,7 +335,7 @@ void PvmSystem::audit_note_delivery(int src_tid, int dst_tid,
   if (seq > last) last = seq;
 }
 
-sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
+VT_PURE sim::Task<void> PvmSystem::do_send(int src_tid, int dst_tid, int tag,
                                    PackBuffer body) {
   const int src_node = tasks_.at(src_tid).task->node();
   const int dst_node = tasks_.at(dst_tid).task->node();

@@ -28,6 +28,7 @@
 #include "sim/event.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::pvm {
 
@@ -43,16 +44,16 @@ class PvmTask {
   mach::Cpu& cpu();
 
   /// Sends `body` to task `dst` with `tag`; completes when delivered.
-  sim::Task<void> send(int dst, int tag, PackBuffer body);
+  VT_PURE sim::Task<void> send(int dst, int tag, PackBuffer body);
 
   /// Receives the oldest message matching (src, tag); kAny is a wildcard.
-  sim::Task<Message> recv(int src = kAny, int tag = kAny);
+  VT_PURE sim::Task<Message> recv(int src = kAny, int tag = kAny);
 
   /// Receives the oldest message matching (src, tag), or returns nullopt
   /// once `timeout` seconds of virtual time pass without a match — the
   /// primitive the fault-tolerant RPC layer builds timeouts/retries on.
   /// A non-positive timeout degenerates to try_recv.
-  sim::Task<std::optional<Message>> recv_timeout(int src, int tag,
+  VT_PURE sim::Task<std::optional<Message>> recv_timeout(int src, int tag,
                                                  double timeout);
 
   /// Non-blocking probe-and-receive.
@@ -60,12 +61,12 @@ class PvmTask {
 
   /// Sends the same body to every task in `dsts`, one message each,
   /// serialized at this sender (PVM mcast semantics on real networks).
-  sim::Task<void> mcast(const std::vector<int>& dsts, int tag,
+  VT_PURE sim::Task<void> mcast(const std::vector<int>& dsts, int tag,
                         const PackBuffer& body);
 
   /// Joins the named barrier with `count` total parties; resumes b5 after
   /// the last arrival.
-  sim::Task<void> barrier(const std::string& group, int count);
+  VT_PURE sim::Task<void> barrier(const std::string& group, int count);
 
   // -- collectives ---------------------------------------------------------
   // Every task in `members` (a list of tids; this task's tid must appear)
@@ -87,7 +88,7 @@ class PvmTask {
 
   /// Binomial-tree broadcast of `data` from root; returns the received
   /// (or original, at root) buffer.
-  sim::Task<PackBuffer> bcast(const std::vector<int>& members, int root,
+  VT_PURE sim::Task<PackBuffer> bcast(const std::vector<int>& members, int root,
                               int tag, PackBuffer data);
 
  private:

@@ -36,6 +36,7 @@
 #include "pvm/pvm_system.hpp"
 #include "sciddle/trace.hpp"
 #include "sim/task.hpp"
+#include "util/domains.hpp"
 #include "util/rng.hpp"
 
 namespace opalsim::sciddle {
@@ -159,7 +160,7 @@ class Rpc {
   /// mode dead servers contribute no entry.  Check stats.failed_servers:
   /// when non-empty the round is incomplete and must be re-issued after
   /// failover.
-  sim::Task<CallAllStats> call_all(pvm::PvmTask& client,
+  VT_PURE sim::Task<CallAllStats> call_all(pvm::PvmTask& client,
                                    const std::string& proc,
                                    std::vector<pvm::PackBuffer> args,
                                    std::vector<pvm::PackBuffer>* replies);
@@ -216,7 +217,7 @@ class Rpc {
  private:
   sim::Task<void> server_loop(pvm::PvmTask& task, int server_index);
   sim::Task<void> server_loop_ft(pvm::PvmTask& task, int server_index);
-  sim::Task<CallAllStats> call_all_ft(pvm::PvmTask& client,
+  VT_PURE sim::Task<CallAllStats> call_all_ft(pvm::PvmTask& client,
                                       const std::string& proc,
                                       std::vector<pvm::PackBuffer> args,
                                       std::vector<pvm::PackBuffer>* replies);

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "util/env.hpp"
+#include "util/sync.hpp"
 
 namespace opalsim::sim::audit {
 
@@ -19,11 +19,12 @@ std::atomic<bool> g_latched{false};
 // Capture state (test hook).  A mutex rather than atomics: violations are
 // cold, and capture accessors need a consistent (count, invariant, report)
 // triple even when sweep workers report concurrently.
-std::mutex g_capture_mutex;
-bool g_capturing = false;
-int g_capture_count = 0;
-Invariant g_capture_last = Invariant::kTimeMonotonic;
-std::string g_capture_report;
+util::Mutex g_capture_mutex;
+bool g_capturing GUARDED_BY(g_capture_mutex) = false;
+int g_capture_count GUARDED_BY(g_capture_mutex) = 0;
+Invariant g_capture_last GUARDED_BY(g_capture_mutex) =
+    Invariant::kTimeMonotonic;
+std::string g_capture_report GUARDED_BY(g_capture_mutex);
 
 void latch_from_env() noexcept {
   bool expected = false;
@@ -73,7 +74,7 @@ void fail(Invariant inv, const std::string& detail, double vtime) {
     report += buf;
   }
   {
-    std::lock_guard<std::mutex> lk(g_capture_mutex);
+    util::ScopedLock lk(g_capture_mutex);
     if (g_capturing) {
       ++g_capture_count;
       g_capture_last = inv;
@@ -96,29 +97,29 @@ ScopedEnable::~ScopedEnable() {
 }
 
 ViolationCapture::ViolationCapture() : enable_(true) {
-  std::lock_guard<std::mutex> lk(g_capture_mutex);
+  util::ScopedLock lk(g_capture_mutex);
   g_capturing = true;
   g_capture_count = 0;
   g_capture_report.clear();
 }
 
 ViolationCapture::~ViolationCapture() {
-  std::lock_guard<std::mutex> lk(g_capture_mutex);
+  util::ScopedLock lk(g_capture_mutex);
   g_capturing = false;
 }
 
 int ViolationCapture::count() const {
-  std::lock_guard<std::mutex> lk(g_capture_mutex);
+  util::ScopedLock lk(g_capture_mutex);
   return g_capture_count;
 }
 
 Invariant ViolationCapture::last_invariant() const {
-  std::lock_guard<std::mutex> lk(g_capture_mutex);
+  util::ScopedLock lk(g_capture_mutex);
   return g_capture_last;
 }
 
 std::string ViolationCapture::last_report() const {
-  std::lock_guard<std::mutex> lk(g_capture_mutex);
+  util::ScopedLock lk(g_capture_mutex);
   return g_capture_report;
 }
 

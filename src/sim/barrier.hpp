@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <coroutine>
+#include <type_traits>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -41,6 +42,9 @@ class Barrier {
     }
     void await_resume() const noexcept {}
   };
+  static_assert(std::is_trivially_destructible_v<ArriveAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
 
   /// Awaitable arrive-and-wait.
   ArriveAwaiter arrive() noexcept { return ArriveAwaiter{this}; }

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::sim {
 
@@ -41,7 +42,7 @@ Engine::~Engine() {
   }
 }
 
-ProcessHandle Engine::spawn(Task<void> task) {
+VT_PURE ProcessHandle Engine::spawn(Task<void> task) {
   // allocate_shared over the thread pool: state + control block are one
   // pooled allocation, reused across spawns via the free list.
   auto state = std::allocate_shared<detail::ProcessState>(
@@ -56,7 +57,7 @@ ProcessHandle Engine::spawn(Task<void> task) {
   return ProcessHandle(this, std::move(state));
 }
 
-void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
+VT_PURE void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
   if (audit::enabled()) {
     audit::check_run(audit_run_tag_, now_);
     if (t < now_) {
@@ -86,7 +87,7 @@ void Engine::audit_pop(SimTime t) {
   }
 }
 
-void Engine::run() {
+VT_PURE void Engine::run() {
   while (!queue_->empty()) {
     ScheduledEvent ev = queue_->pop();
     if (audit::enabled()) audit_pop(ev.t);
@@ -101,7 +102,7 @@ void Engine::run() {
   rethrow_pending_failure();
 }
 
-void Engine::run_until(SimTime t_end) {
+VT_PURE void Engine::run_until(SimTime t_end) {
   while (!queue_->empty() && queue_->next_time() <= t_end) {
     ScheduledEvent ev = queue_->pop();
     if (audit::enabled()) audit_pop(ev.t);

@@ -19,6 +19,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "sim/audit.hpp"
@@ -26,6 +27,7 @@
 #include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::sim {
 
@@ -76,6 +78,9 @@ class ProcessHandle {
   bool valid() const noexcept { return static_cast<bool>(state_); }
   bool done() const noexcept { return state_ && state_->done; }
 
+  // Owns the ProcessState shared_ptr so a joined process outlives its
+  // handle; only awaited via co_await join(), never a temporary.
+  // lint:allow(awaiter-trivial-dtor): owning awaiter by design (see above)
   struct JoinAwaiter {
     Engine* engine;
     std::shared_ptr<detail::ProcessState> state;
@@ -125,11 +130,11 @@ class Engine {
   ~Engine();
 
   /// Current virtual time in seconds.
-  SimTime now() const noexcept { return now_; }
+  VT_PURE SimTime now() const noexcept { return now_; }
 
   /// Spawns a process from a coroutine; the process starts when run() (or the
   /// current resume cycle) reaches its start event, scheduled at now().
-  ProcessHandle spawn(Task<void> task);
+  VT_PURE ProcessHandle spawn(Task<void> task);
 
   /// Awaitable that resumes the caller `dt` seconds of virtual time later.
   struct DelayAwaiter {
@@ -141,6 +146,9 @@ class Engine {
     }
     void await_resume() const noexcept {}
   };
+  static_assert(std::is_trivially_destructible_v<DelayAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
   DelayAwaiter delay(SimTime dt) noexcept { return {this, now_ + dt}; }
   DelayAwaiter at(SimTime t) noexcept { return {this, t < now_ ? now_ : t}; }
   /// Yields: reschedules the caller at the current time, after already
@@ -150,11 +158,11 @@ class Engine {
   /// Runs until the event queue drains.  Rethrows the first exception that
   /// escaped any spawned process (after the queue drains or immediately if
   /// no joiner will observe it — policy: rethrow after drain).
-  void run();
+  VT_PURE void run();
 
   /// Runs until the queue drains or virtual time would exceed `t_end`.
   /// Events scheduled later than t_end remain pending.
-  void run_until(SimTime t_end);
+  VT_PURE void run_until(SimTime t_end);
 
   /// Number of events processed since construction (for tests/diagnostics).
   std::uint64_t events_processed() const noexcept { return processed_; }
@@ -170,17 +178,17 @@ class Engine {
   }
 
   /// Schedules a raw coroutine handle at time t (used by primitives).
-  void schedule(SimTime t, std::coroutine_handle<> h);
+  VT_PURE void schedule(SimTime t, std::coroutine_handle<> h);
   /// Schedules at the current time (after already-queued same-time events).
-  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+  VT_PURE void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
   /// Sequence number the next schedule() call will consume.  Primitives that
   /// may later cancel their own event (recv_timeout's armed timer) record
   /// this before scheduling.
-  std::uint64_t next_event_seq() const noexcept { return next_seq_; }
+  VT_PURE std::uint64_t next_event_seq() const noexcept { return next_seq_; }
   /// Cancels a pending scheduled event by its sequence number (must be
   /// pending and not yet cancelled — see EventQueue::cancel's contract).
-  void cancel_scheduled(std::uint64_t seq) { queue_->cancel(seq); }
+  VT_PURE void cancel_scheduled(std::uint64_t seq) { queue_->cancel(seq); }
   /// Live (pending, uncancelled) events — the checkpoint quiescence test:
   /// a run boundary is quiescent iff this is zero.
   std::size_t pending_events() const noexcept { return queue_->size(); }

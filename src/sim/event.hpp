@@ -3,6 +3,7 @@
 #pragma once
 
 #include <coroutine>
+#include <type_traits>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -36,6 +37,9 @@ class Event {
     }
     void await_resume() const noexcept {}
   };
+  static_assert(std::is_trivially_destructible_v<WaitAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
 
   WaitAwaiter wait() noexcept { return WaitAwaiter{this}; }
 

@@ -33,6 +33,7 @@
 #include <set>
 
 #include "sim/time.hpp"
+#include "util/domains.hpp"
 
 namespace opalsim::sim {
 
@@ -60,7 +61,7 @@ class EventQueue {
 
   virtual const char* name() const noexcept = 0;
 
-  void push(const ScheduledEvent& ev) {
+  VT_PURE void push(const ScheduledEvent& ev) {
     ++stats_.pushes;
     ++live_;
     if (live_ > stats_.peak_size) stats_.peak_size = live_;
@@ -68,7 +69,7 @@ class EventQueue {
   }
 
   /// Pops the live event with the smallest (t, seq).  Precondition: !empty().
-  ScheduledEvent pop() {
+  VT_PURE ScheduledEvent pop() {
     purge_cancelled();
     ++stats_.pops;
     --live_;
@@ -76,7 +77,7 @@ class EventQueue {
   }
 
   /// Time of the next live event.  Precondition: !empty().
-  SimTime next_time() {
+  VT_PURE SimTime next_time() {
     purge_cancelled();
     return do_peek().t;
   }
@@ -84,7 +85,7 @@ class EventQueue {
   /// Lazily removes the pending event with sequence number `seq`.  The
   /// caller must pass a seq that is actually pending and not yet cancelled
   /// (the tombstone is trusted, not verified).
-  void cancel(std::uint64_t seq) {
+  VT_PURE void cancel(std::uint64_t seq) {
     cancelled_.insert(seq);
     ++stats_.cancels;
     --live_;

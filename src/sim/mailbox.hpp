@@ -48,6 +48,9 @@ class Mailbox {
     items_.push_back(std::move(value));
   }
 
+  // Carries the predicate and the taken message in an optional<T> slot;
+  // the awaiter is the parked getter node itself (getters_ points at it).
+  // lint:allow(awaiter-trivial-dtor): owning awaiter by design (see above)
   struct GetAwaiter {
     Mailbox* mailbox;
     Predicate pred;

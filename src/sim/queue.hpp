@@ -35,6 +35,9 @@ class Queue {
     }
   }
 
+  // Owns the taken item in an optional<T> slot; the awaiter is the parked
+  // getter node itself (getters_ points at it).
+  // lint:allow(awaiter-trivial-dtor): owning awaiter by design (see above)
   struct GetAwaiter {
     Queue* queue;
     std::optional<T> slot;

@@ -12,6 +12,7 @@
 #include <coroutine>
 #include <deque>
 #include <string>
+#include <type_traits>
 
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
@@ -91,6 +92,9 @@ class Resource {
     }
     bool granted_via_queue = false;
   };
+  static_assert(std::is_trivially_destructible_v<AcquireAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
 
   /// Awaitable acquire of `amount` units (no RAII; pair with release()).
   AcquireAwaiter acquire(long amount = 1) {
@@ -108,6 +112,9 @@ class Resource {
       return ResourceLock(inner.resource, inner.amount);
     }
   };
+  static_assert(std::is_trivially_destructible_v<ScopedAcquireAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
   ScopedAcquireAwaiter scoped_acquire(long amount = 1) {
     return ScopedAcquireAwaiter{acquire(amount)};
   }

@@ -13,6 +13,7 @@
 #include <cassert>
 #include <coroutine>
 #include <exception>
+#include <type_traits>
 #include <utility>
 
 #include "sim/pool.hpp"
@@ -40,6 +41,9 @@ struct TaskPromiseBase : PooledFrame {
     }
     void await_resume() const noexcept {}
   };
+  static_assert(std::is_trivially_destructible_v<FinalAwaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
 
   std::suspend_always initial_suspend() const noexcept { return {}; }
   FinalAwaiter final_suspend() const noexcept { return {}; }
@@ -121,6 +125,9 @@ class [[nodiscard]] Task {
       if constexpr (!std::is_void_v<T>) return std::move(p.value());
     }
   };
+  static_assert(std::is_trivially_destructible_v<Awaiter>,
+                "awaiters must stay trivially destructible (GCC 12 "
+                "double-destruction of awaiter temporaries)");
 
   Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
   Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }

@@ -4,15 +4,17 @@
 // sufficient for the second-to-microsecond scales of this study.
 #pragma once
 
+#include "util/domains.hpp"
+
 namespace opalsim::sim {
 
 /// Virtual time in seconds.
 using SimTime = double;
 
-constexpr SimTime seconds(double s) noexcept { return s; }
-constexpr SimTime milliseconds(double ms) noexcept { return ms * 1e-3; }
-constexpr SimTime microseconds(double us) noexcept { return us * 1e-6; }
-constexpr SimTime nanoseconds(double ns) noexcept { return ns * 1e-9; }
+VT_PURE constexpr SimTime seconds(double s) noexcept { return s; }
+VT_PURE constexpr SimTime milliseconds(double ms) noexcept { return ms * 1e-3; }
+VT_PURE constexpr SimTime microseconds(double us) noexcept { return us * 1e-6; }
+VT_PURE constexpr SimTime nanoseconds(double ns) noexcept { return ns * 1e-9; }
 
 constexpr double to_milliseconds(SimTime t) noexcept { return t * 1e3; }
 constexpr double to_microseconds(SimTime t) noexcept { return t * 1e6; }

@@ -1,0 +1,38 @@
+// Determinism-domain tags — compile-time provenance for the bit-identical
+// virtual-time contract.
+//
+// Every committed oracle in this repo (golden traces, sweep CSVs, the
+// calibrated model coefficients) pins result bytes, so code that influences
+// virtual time or accounting must be a pure function of (config, seed,
+// event order).  These attributes make that domain split machine-checkable:
+//
+//   VT_PURE    virtual-time-affecting: the function participates in event
+//              ordering, accounting, model arithmetic, or message payload
+//              bytes.  It must not observe host state — no wall clocks, no
+//              raw RNG, no environment reads, no HOST_ONLY callees.
+//   HOST_ONLY  host-observing: reads wall clocks, environment variables,
+//              the filesystem, or drives host threads.  Safe anywhere
+//              except inside a VT_PURE function.
+//
+// Untagged functions are neutral: they may call either domain, and the
+// checker says nothing about them.  Tag the chokepoints (engine scheduling,
+// queue ordering, pack/unpack, model evaluation; env/clock/file primitives)
+// rather than every function — a VT_PURE function calling an untagged
+// helper that secretly reads a clock is still caught, because the clock
+// *primitives* are tagged (or built into the checker's host-primitive
+// list).
+//
+// Enforcement: tools/lint/check_domains.py rejects HOST_ONLY -> VT_PURE
+// call edges (a VT_PURE body calling a HOST_ONLY function or a known host
+// primitive).  Under clang the tags are real `annotate` attributes, so the
+// libclang backend sees them in the AST; under GCC they expand to nothing
+// and the textual backend reads the macro tokens from source instead.
+#pragma once
+
+#if defined(__clang__)
+#define VT_PURE __attribute__((annotate("opalsim::vt_pure")))
+#define HOST_ONLY __attribute__((annotate("opalsim::host_only")))
+#else
+#define VT_PURE    // no-op off-clang; tools read the token from source
+#define HOST_ONLY  // no-op off-clang; tools read the token from source
+#endif

@@ -4,20 +4,22 @@
 #include <optional>
 #include <string>
 
+#include "util/domains.hpp"
+
 namespace opalsim::util {
 
 /// Returns the value of `name`, or nullopt if unset/empty.
-std::optional<std::string> env_string(const std::string& name);
+HOST_ONLY std::optional<std::string> env_string(const std::string& name);
 
 /// Returns `name` parsed as long, or `fallback` when unset/unparsable.
-long env_long(const std::string& name, long fallback);
+HOST_ONLY long env_long(const std::string& name, long fallback);
 
 /// Returns true when `name` is set to a truthy value (1, true, yes, on).
-bool env_flag(const std::string& name);
+HOST_ONLY bool env_flag(const std::string& name);
 
 /// Directory where benches drop CSV output when OPALSIM_CSV is truthy.
 /// Creates the directory on first use.  Returns nullopt when CSV output is
 /// disabled.
-std::optional<std::string> csv_output_dir();
+HOST_ONLY std::optional<std::string> csv_output_dir();
 
 }  // namespace opalsim::util

@@ -4,18 +4,20 @@
 
 #include <chrono>
 
+#include "util/domains.hpp"
+
 namespace opalsim::util {
 
 class HostTimer {
   using Clock = std::chrono::steady_clock;
 
  public:
-  HostTimer() : start_(Clock::now()) {}
+  HOST_ONLY HostTimer() : start_(Clock::now()) {}
 
-  void reset() { start_ = Clock::now(); }
+  HOST_ONLY void reset() { start_ = Clock::now(); }
 
   /// Seconds elapsed since construction or the last reset().
-  double seconds() const {
+  HOST_ONLY double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 

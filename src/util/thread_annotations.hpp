@@ -1,0 +1,72 @@
+// Clang thread-safety annotation macros — the compile-time half of the
+// concurrency contract (the runtime half is TSan + the audit layer).
+//
+// Under clang, `-Wthread-safety -Werror=thread-safety` (wired on
+// automatically in CMakeLists.txt) turns these into a static proof that
+// every GUARDED_BY member is only touched with its capability held and that
+// every REQUIRES/ACQUIRE/RELEASE contract is honored on every path.  The
+// runtime tools only see interleavings that happen; this sees all of them.
+// Under GCC (the default local toolchain) every macro expands to nothing,
+// so the annotated tree builds identically everywhere.
+//
+// Use the util::Mutex / util::CondVar / util::ScopedLock wrappers from
+// util/sync.hpp rather than annotating raw std primitives — the analysis
+// only understands capabilities it can see, and std::mutex carries none.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define OPALSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OPALSIM_THREAD_ANNOTATION(x)  // no-op off-clang
+#endif
+
+/// Marks a class as a capability (lockable).  The string names the
+/// capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) OPALSIM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY OPALSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) OPALSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) OPALSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) \
+  OPALSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  OPALSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function-level contracts: the caller must hold / must not hold the
+/// capability; the function acquires / releases it.
+#define REQUIRES(...) \
+  OPALSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  OPALSIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  OPALSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  OPALSIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  OPALSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  OPALSIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  OPALSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) OPALSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held (for code paths
+/// the static analysis cannot follow, e.g. condition-variable predicates).
+#define ASSERT_CAPABILITY(x) OPALSIM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define RETURN_CAPABILITY(x) OPALSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function.  Every use must
+/// carry a justification comment (the AST rule pack checks for one).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OPALSIM_THREAD_ANNOTATION(no_thread_safety_analysis)

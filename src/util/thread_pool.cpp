@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    ScopedLock lk(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    ScopedLock lk(mutex_);
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -46,7 +46,7 @@ void ThreadPool::dispatch_indexed(std::size_t count,
   if (count == 0 || fn == nullptr) return;
   // One dispatch owns the block cursors at a time; concurrent dispatchers
   // (pools shared across threads) line up here, not on the hot path.
-  std::lock_guard<std::mutex> dispatch_lk(dispatch_mutex_);
+  ScopedLock dispatch_lk(dispatch_mutex_);
   IndexedJob job;
   job.fn = fn;
   job.ctx = ctx;
@@ -57,7 +57,7 @@ void ThreadPool::dispatch_indexed(std::size_t count,
   job.chunk = std::max<std::size_t>(
       1, count / (static_cast<std::size_t>(nb) * 8));
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    ScopedLock lk(mutex_);
     job.seq = ++dispatch_seq_;
     // Contiguous even split of [0, count) over workers + caller.  The
     // writes (including the non-atomic `end`) are published to workers by
@@ -73,8 +73,9 @@ void ThreadPool::dispatch_indexed(std::size_t count,
   // their own index), so a dispatch on a busy pool still makes progress.
   run_blocks(job, nb - 1);
   {
-    std::unique_lock<std::mutex> lk(mutex_);
-    done_cv_.wait(lk, [&] {
+    ScopedLock lk(mutex_);
+    done_cv_.wait(mutex_, [&] {
+      mutex_.assert_held();
       return job.completed.load(std::memory_order_acquire) == count &&
              job.participants == 0;
     });
@@ -108,7 +109,7 @@ void ThreadPool::run_blocks(IndexedJob& job, unsigned my_block) {
         // Lock before notifying: the dispatcher checks the predicate under
         // mutex_, so an unlocked notify could land between its check and
         // its sleep and be lost.
-        std::lock_guard<std::mutex> lk(mutex_);
+        ScopedLock lk(mutex_);
         done_cv_.notify_all();
       }
     }
@@ -124,8 +125,9 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     std::function<void()> job;
     IndexedJob* ij = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_.wait(lk, [&] {
+      ScopedLock lk(mutex_);
+      cv_.wait(mutex_, [&] {
+        mutex_.assert_held();
         return stop_ || !queue_.empty() ||
                (active_ != nullptr && active_->seq != last_seen);
       });
@@ -144,7 +146,7 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     }
     if (ij != nullptr) {
       run_blocks(*ij, worker_index);
-      std::lock_guard<std::mutex> lk(mutex_);
+      ScopedLock lk(mutex_);
       if (--ij->participants == 0 &&
           ij->completed.load(std::memory_order_acquire) == ij->count) {
         done_cv_.notify_all();

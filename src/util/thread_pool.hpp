@@ -14,20 +14,30 @@
 // allocates nothing — the shared job descriptor lives on the dispatcher's
 // stack and the per-participant state is a cursor latch cached in the
 // worker loop.  See DESIGN.md, "Host execution engine".
+//
+// Lock discipline (statically proven under clang -Wthread-safety):
+//   mutex_          guards the job queue, the stop flag, the active
+//                   dispatch pointer and its participant count.
+//   dispatch_mutex_ serializes dispatch_indexed callers; always acquired
+//                   before mutex_ (never the other way around).
+//   blocks_         is intentionally unguarded: the per-block cursor is an
+//                   atomic, and the non-atomic `end` is published to
+//                   workers by the mutex_ acquire they perform before
+//                   reading `active_`.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/domains.hpp"
 #include "util/run_tag.hpp"
+#include "util/sync.hpp"
 
 namespace opalsim::util {
 
@@ -57,15 +67,16 @@ class ThreadPool {
 
   /// Enqueues a job.  Jobs must not throw out of the pool; wrap with your
   /// own capture (parallel_for_indexed does).
-  void submit(std::function<void()> job);
+  HOST_ONLY void submit(std::function<void()> job) EXCLUDES(mutex_);
 
   /// Runs fn(ctx, i) for every i in [0, count) across all workers plus the
   /// calling thread, returning when every index has run.  `fn` must not
   /// throw (parallel_for_indexed wraps exceptions before getting here).
   /// Blocks concurrent dispatchers; do not call from inside a dispatch
   /// (parallel_for_indexed detects that and runs inline instead).
-  void dispatch_indexed(std::size_t count, void (*fn)(void*, std::size_t),
-                        void* ctx);
+  HOST_ONLY void dispatch_indexed(std::size_t count,
+                                  void (*fn)(void*, std::size_t), void* ctx)
+      EXCLUDES(dispatch_mutex_, mutex_);
 
   /// Counters across the pool's lifetime (totals over all dispatches).
   DispatchStats dispatch_stats() const noexcept;
@@ -76,7 +87,7 @@ class ThreadPool {
 
   /// Number of worker threads a pool gets by default: OPALSIM_THREADS when
   /// set (clamped to >= 1), else the hardware concurrency.
-  static unsigned default_threads();
+  HOST_ONLY static unsigned default_threads();
 
  private:
   /// One dispatch in flight; lives on the dispatcher's stack.
@@ -87,7 +98,7 @@ class ThreadPool {
     std::size_t chunk = 1;
     std::uint64_t seq = 0;                  ///< latch against re-entry
     std::atomic<std::size_t> completed{0};  ///< indices fully run
-    int participants = 0;                   ///< workers inside (mutex_)
+    int participants = 0;  ///< workers inside; guarded by the pool's mutex_
   };
   /// Per-participant index block; `next` is the only contended word on the
   /// hot path, so each block gets its own cache line.
@@ -96,18 +107,19 @@ class ThreadPool {
     std::size_t end = 0;
   };
 
-  void worker_loop(unsigned worker_index);
-  void run_blocks(IndexedJob& job, unsigned my_block);
+  void worker_loop(unsigned worker_index) EXCLUDES(mutex_);
+  void run_blocks(IndexedJob& job, unsigned my_block) EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;       ///< wakes workers (queue or dispatch)
-  std::condition_variable done_cv_;  ///< wakes the waiting dispatcher
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  IndexedJob* active_ = nullptr;  ///< current dispatch (mutex_)
-  std::uint64_t dispatch_seq_ = 0;
+  Mutex mutex_;
+  CondVar cv_;       ///< wakes workers (queue or dispatch)
+  CondVar done_cv_;  ///< wakes the waiting dispatcher
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  IndexedJob* active_ GUARDED_BY(mutex_) = nullptr;  ///< current dispatch
+  std::uint64_t dispatch_seq_ GUARDED_BY(mutex_) = 0;
   std::vector<Block> blocks_;  ///< workers + 1 caller block; fixed size
-  std::mutex dispatch_mutex_;  ///< serializes dispatch_indexed callers
+  /// Serializes dispatch_indexed callers; acquired before mutex_.
+  Mutex dispatch_mutex_ ACQUIRED_BEFORE(mutex_);
   std::atomic<std::uint64_t> stat_dispatches_{0};
   std::atomic<std::uint64_t> stat_chunks_{0};
   std::atomic<std::uint64_t> stat_steals_{0};
@@ -121,7 +133,8 @@ class ThreadPool {
 /// order, zero overhead).  The first exception thrown by any fn is
 /// rethrown here after all iterations finish.
 template <typename Fn>
-void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
+HOST_ONLY void parallel_for_indexed(ThreadPool& pool, std::size_t count,
+                                    Fn&& fn) {
   if (count == 0) return;
   // Each index runs in its own RunTagScope (inline path included, so the
   // audit layer's run-isolation invariant holds identically whether a sweep
@@ -140,8 +153,8 @@ void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
   // nothing (no per-index closures, no queue traffic).
   struct Ctx {
     Fn& fn;
-    std::mutex m;
-    std::exception_ptr first_error;
+    Mutex m;
+    std::exception_ptr first_error GUARDED_BY(m);
   };
   Ctx ctx{fn, {}, nullptr};
   pool.dispatch_indexed(
@@ -152,11 +165,14 @@ void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
           RunTagScope run_scope;
           cx.fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lk(cx.m);
+          ScopedLock lk(cx.m);
           if (!cx.first_error) cx.first_error = std::current_exception();
         }
       },
       &ctx);
+  // All workers are done and deregistered: first_error is quiescent, but
+  // the analysis still wants the capability for the GUARDED_BY read.
+  ScopedLock lk(ctx.m);
   if (ctx.first_error) std::rethrow_exception(ctx.first_error);
 }
 

@@ -1,0 +1,12 @@
+// Deliberate violation: an awaiter with no triviality static_assert.
+// GCC 12's double-destruction of awaiter temporaries makes a non-trivial
+// destructor here a real miscompile hazard.
+#include <coroutine>
+#include <functional>
+
+struct SloppyAwaiter {
+  std::function<void()> on_resume;  // non-trivial member, nothing pins it
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept {}
+  void await_resume() noexcept {}
+};

@@ -1,0 +1,26 @@
+// Clean: one awaiter pinned by static_assert, one justified allow, and an
+// outer class that merely *contains* an awaiter (must not be reported).
+#include <coroutine>
+#include <type_traits>
+
+class Engine {
+ public:
+  struct DelayAwaiter {
+    double t = 0.0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() noexcept {}
+  };
+};
+static_assert(std::is_trivially_destructible_v<Engine::DelayAwaiter>,
+              "awaiters must stay trivially destructible (GCC 12)");
+
+// Owning awaiter by design; sim::Task keeps it alive across suspension.
+// lint:allow(awaiter-trivial-dtor): owns state on purpose, never a temporary
+struct JustifiedAwaiter {
+  int* state = nullptr;
+  ~JustifiedAwaiter() { delete state; }
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) noexcept {}
+  void await_resume() noexcept {}
+};

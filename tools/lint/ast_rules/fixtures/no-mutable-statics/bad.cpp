@@ -1,0 +1,13 @@
+// Deliberate violations: shared mutable state invisible to both the
+// thread-safety analysis and the run-isolation audit.
+#include <string>
+
+namespace {
+int g_run_counter = 0;          // namespace-scope mutable global
+std::string g_last_error;       // ditto, non-scalar
+}  // namespace
+
+int next_run() {
+  static int counter = 0;       // function-local mutable static
+  return ++counter + g_run_counter + static_cast<int>(g_last_error.size());
+}

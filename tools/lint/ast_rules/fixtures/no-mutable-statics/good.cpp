@@ -1,0 +1,30 @@
+// Clean: every static falls in an allowed category — const, atomic,
+// GUARDED_BY an annotated mutex, or thread_local.
+#include <atomic>
+#include <string>
+
+#define GUARDED_BY(x)
+
+namespace {
+constexpr int kMaxRuns = 64;
+std::atomic<int> g_run_counter{0};
+struct Mutex {};
+Mutex g_report_mutex;
+std::string g_report GUARDED_BY(g_report_mutex);
+}  // namespace
+
+int next_run() {
+  static const int base = kMaxRuns;
+  static thread_local int local_count = 0;
+  static std::atomic<int> shared_count{0};
+  return base + ++local_count +
+         shared_count.fetch_add(1, std::memory_order_relaxed) +
+         g_run_counter.load(std::memory_order_relaxed);
+}
+
+int helper();  // a static-free declaration, never flagged
+
+class Pool {
+  static Pool& local();          // static member function: fine
+  static void deallocate(void*) noexcept;
+};

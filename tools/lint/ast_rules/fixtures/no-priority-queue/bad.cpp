@@ -1,0 +1,9 @@
+// Deliberate violation: a second heap beside the EventQueue interface.
+// Ties at equal t order by std::priority_queue's whim, not by (t, seq).
+#include <queue>
+#include <vector>
+
+struct Pending {
+  double t = 0.0;
+};
+std::priority_queue<Pending, std::vector<Pending>> backlog;

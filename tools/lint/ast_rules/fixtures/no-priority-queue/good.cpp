@@ -1,0 +1,12 @@
+// Clean: event ordering goes through the EventQueue interface (the only
+// place allowed to own a heap), and prose mentions of the banned type in
+// comments never fire: std::priority_queue.
+#include <memory>
+
+namespace sim {
+class EventQueue;
+}
+
+struct Scheduler {
+  std::unique_ptr<sim::EventQueue> queue;
+};

@@ -1,0 +1,7 @@
+// Deliberate violation: event-plumbing aggregate with uninitialized
+// scalars — stack garbage feeding virtual-time ordering.
+struct ScheduledEvent {
+  double t;           // uninitialized: read-before-assign is garbage
+  unsigned long seq;  // uninitialized tie-breaker breaks replay
+  bool cancelled = false;
+};

@@ -1,0 +1,13 @@
+// Clean: every scalar member initialized (or the type is a class, whose
+// constructors own initialization and are out of a line-scanner's reach).
+struct ScheduledEvent {
+  double t = 0.0;
+  unsigned long seq = 0;
+  bool cancelled = false;
+};
+
+class EngineImpl {
+  double now_;  // class, not aggregate: the constructor initializes it
+ public:
+  EngineImpl() : now_(0.0) {}
+};

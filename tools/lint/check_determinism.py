@@ -38,11 +38,21 @@ ways host-level nondeterminism leaks into virtual time or model code:
                     beside it can silently break tie ordering — and with it
                     bit-identical replay.
 
+Scope: src/, tests/ and bench/ are scanned (rules with directory filters,
+like float-narrowing, stay confined to their listed src/ subtrees).
+
 Escape hatch: a finding is suppressed when the offending line, or the line
-directly above it, carries  // lint:allow(<rule>)  with the rule name.
+directly above it, carries  // lint:allow(<rule>): <justification>.  The
+justification is mandatory — a bare lint:allow is itself a finding
+(allow-justification), so every suppression records *why* in the diff.  A
+file whose whole purpose trips a rule (bench timing harnesses and host
+clocks, say) can carry  // lint:allow-file(<rule>): <justification>  in its
+first 30 lines to suppress the rule file-wide.
 
 Exit status: 0 when clean, 1 when any finding remains, 2 on usage errors.
-Diagnostics are file:line: rule: message, one per line.
+Diagnostics are file:line: rule: message, one per line.  The last stdout
+line is always  LINT-SUMMARY determinism files=<n> findings=<n>  so
+tools/lint/run_all.sh can tabulate results without parsing diagnostics.
 
 Run locally:   python3 tools/lint/check_determinism.py
 Self-check:    python3 tools/lint/check_determinism.py --self-test
@@ -113,10 +123,16 @@ SCALAR_MEMBER_PATTERN = re.compile(
     r"(?P<name>\w+)\s*;\s*$"
 )
 
-ALLOW_PATTERN = re.compile(r"//\s*lint:allow\(([\w,\s-]+)\)")
+ALLOW_PATTERN = re.compile(
+    r"//\s*lint:allow\(([\w,\s-]+)\)(:\s*\S.*)?")
+FILE_ALLOW_PATTERN = re.compile(
+    r"//\s*lint:allow-file\(([\w,\s-]+)\)(:\s*\S.*)?")
+# lint:allow-file must sit near the top of the file, with the header
+# comment that explains what the file is.
+FILE_ALLOW_SCAN_LINES = 30
 
 RULES = ("rng", "wall-clock", "unordered-container", "uninit-member",
-         "float-narrowing", "priority-queue")
+         "float-narrowing", "priority-queue", "allow-justification")
 
 
 class Finding:
@@ -180,7 +196,11 @@ def strip_code(lines: list[str]) -> list[str]:
 
 
 def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
-    """Suppressions applying to line idx (same line or the line above)."""
+    """Suppressions applying to line idx (same line or the line above).
+
+    An allow without a justification still suppresses (the justification
+    gap is reported separately as its own finding, which keeps the two
+    diagnostics from stacking on one line)."""
     rules: set[str] = set()
     for j in (idx, idx - 1):
         if 0 <= j < len(raw_lines):
@@ -188,6 +208,36 @@ def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
             if m:
                 rules.update(r.strip() for r in m.group(1).split(","))
     return rules
+
+
+def file_allowed_rules(raw_lines: list[str]) -> set[str]:
+    """Rules suppressed file-wide by a lint:allow-file header."""
+    rules: set[str] = set()
+    for line in raw_lines[:FILE_ALLOW_SCAN_LINES]:
+        m = FILE_ALLOW_PATTERN.search(line)
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def check_allow_justifications(raw_lines: list[str], rel: str,
+                               findings: list[Finding]) -> None:
+    """Every lint:allow / lint:allow-file must say why.
+
+    The suppression syntax is  // lint:allow(rule): <reason>  — an allow
+    with no reason is an unreviewable mystery in six months, so the lint
+    flags it rather than trusting commit archaeology."""
+    for idx, line in enumerate(raw_lines):
+        for pattern, kind in ((FILE_ALLOW_PATTERN, "lint:allow-file"),
+                              (ALLOW_PATTERN, "lint:allow")):
+            m = pattern.search(line)
+            if m:
+                if not m.group(2):
+                    findings.append(Finding(
+                        rel, idx + 1, "allow-justification",
+                        f"{kind}({m.group(1)}) has no justification; write "
+                        f"'// {kind}({m.group(1)}): <why this is safe>'"))
+                break  # allow-file also matches ALLOW; report once
 
 
 # ---------------------------------------------------------------------------
@@ -243,6 +293,8 @@ def check_file(path: pathlib.Path, root: pathlib.Path,
         findings.append(Finding(rel, 0, "io", f"unreadable: {exc}"))
         return
     code_lines = strip_code(raw_lines)
+    check_allow_justifications(raw_lines, rel, findings)
+    file_allowed = file_allowed_rules(raw_lines)
 
     for idx, line in enumerate(code_lines):
         lineno = idx + 1
@@ -250,6 +302,8 @@ def check_file(path: pathlib.Path, root: pathlib.Path,
 
         def allow(rule: str) -> bool:
             nonlocal allowed
+            if rule in file_allowed:
+                return True
             if allowed is None:
                 allowed = allowed_rules(raw_lines, idx)
             return rule in allowed
@@ -299,20 +353,28 @@ def check_file(path: pathlib.Path, root: pathlib.Path,
                     "event ordering must go through sim/event_queue.hpp so "
                     "the (t, seq) total order stays in one place"))
 
-    if rel in UNINIT_CHECKED_FILES:
+    if rel in UNINIT_CHECKED_FILES and "uninit-member" not in file_allowed:
         check_uninit_members(code_lines, raw_lines, rel, findings)
 
 
-def run(root: pathlib.Path) -> list[Finding]:
+SCAN_DIRS = ("src", "tests", "bench")
+
+
+def run(root: pathlib.Path) -> tuple[list[Finding], int]:
     findings: list[Finding] = []
-    src = root / "src"
-    if not src.is_dir():
+    nfiles = 0
+    if not (root / "src").is_dir():
         print(f"error: no src/ under {root}", file=sys.stderr)
         sys.exit(2)
-    for path in sorted(src.rglob("*")):
-        if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
-            check_file(path, root, findings)
-    return findings
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
+                nfiles += 1
+                check_file(path, root, findings)
+    return findings, nfiles
 
 
 # ---------------------------------------------------------------------------
@@ -326,7 +388,7 @@ SELF_TEST_CASES = [
     ("rng", True, "std::mt19937 gen(42);"),
     ("rng", False, "util::Xoshiro256 gen(42);"),
     ("rng", False, "// old code used rand() here"),
-    ("rng", False, "int x = rand();  // lint:allow(rng)"),
+    ("rng", False, "int x = rand();  // lint:allow(rng): seeds a decoy"),
     ("rng", False, "int strand(int);"),
     ("wall-clock", True, "auto t = std::chrono::system_clock::now();"),
     ("wall-clock", True, "auto t = std::chrono::steady_clock::now();"),
@@ -336,7 +398,8 @@ SELF_TEST_CASES = [
     ("unordered-container", True, "std::unordered_map<int, double> acc;"),
     ("unordered-container", False, "std::map<int, double> acc;"),
     ("unordered-container", False,
-     "std::unordered_set<int> s;  // lint:allow(unordered-container)"),
+     "std::unordered_set<int> s;  "
+     "// lint:allow(unordered-container): never iterated"),
     ("float-narrowing", True, "float energy = 0;"),
     ("float-narrowing", False, "double energy = 0;"),
     ("float-narrowing", False, "int floaty = 0;"),
@@ -382,7 +445,8 @@ def self_test() -> int:
         (False, "src/pvm/pvm_system.cpp",
          "std::priority_queue<Ev> q;"),
         (False, "src/sim/engine.hpp",
-         "std::priority_queue<Ev> q;  // lint:allow(priority-queue)"),
+         "std::priority_queue<Ev> q;  "
+         "// lint:allow(priority-queue): measured against EventQueue"),
         (False, "src/sim/engine.hpp", "queue_->push(ev);"),
     ]
     for should_fire, rel, snippet in pq_cases:
@@ -405,7 +469,8 @@ def self_test() -> int:
         (False, ["struct Ev {", "  double t = 0.0;", "};"]),
         (False, ["class Ev {", "  double t_;", "};"]),
         (False, ["struct Ev {",
-                 "  double t;  // lint:allow(uninit-member)", "};"]),
+                 "  double t;  // lint:allow(uninit-member): set by ctor",
+                 "};"]),
     ]
     for should_fire, lines in uninit_cases:
         findings = []
@@ -416,10 +481,33 @@ def self_test() -> int:
                   file=sys.stderr)
             failures += 1
 
+    # allow-justification: a bare allow is flagged, a justified one is not;
+    # lint:allow-file with a reason suppresses file-wide, and a bare
+    # allow-file is flagged too.
+    just_cases = [
+        (True, "int x = rand();  // lint:allow(rng)"),
+        (False, "int x = rand();  // lint:allow(rng): decoy stream"),
+        (True, "// lint:allow-file(wall-clock)"),
+        (False, "// lint:allow-file(wall-clock): bench timing harness"),
+    ]
+    for should_fire, snippet in just_cases:
+        f2: list[Finding] = []
+        check_allow_justifications([snippet], "src/x.cpp", f2)
+        if bool(f2) != should_fire:
+            print(f"self-test FAIL: allow-justification on {snippet!r}",
+                  file=sys.stderr)
+            failures += 1
+    fa = file_allowed_rules(
+        ["// lint:allow-file(wall-clock): bench timing harness"])
+    if fa != {"wall-clock"}:
+        print("self-test FAIL: file_allowed_rules did not pick up "
+              "lint:allow-file", file=sys.stderr)
+        failures += 1
+
     if failures:
         return 1
     print(f"self-test OK: "
-          f"{len(SELF_TEST_CASES) + len(pq_cases) + len(uninit_cases)} cases")
+          f"{len(SELF_TEST_CASES) + len(pq_cases) + len(uninit_cases) + len(just_cases) + 1} cases")
     return 0
 
 
@@ -437,16 +525,18 @@ def main() -> int:
 
     root = pathlib.Path(args.root) if args.root else \
         pathlib.Path(__file__).resolve().parents[2]
-    findings = run(root)
+    findings, nfiles = run(root)
     for f in findings:
         print(f)
     if findings:
         print(f"\ncheck_determinism: {len(findings)} finding(s). "
               "Fix, or suppress a justified case with "
-              "// lint:allow(<rule>).", file=sys.stderr)
-        return 1
-    print("check_determinism: clean")
-    return 0
+              "// lint:allow(<rule>): <reason>.", file=sys.stderr)
+    else:
+        print("check_determinism: clean")
+    print(f"LINT-SUMMARY determinism files={nfiles} "
+          f"findings={len(findings)}")
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,453 @@
+#!/usr/bin/env python3
+"""Determinism-domain checker: no HOST_ONLY reach into VT_PURE code.
+
+src/util/domains.hpp tags the tree's chokepoint functions:
+
+  VT_PURE    participates in virtual-time ordering, accounting, model
+             arithmetic or message payload bytes.  Must be a pure function
+             of (config, seed, event order).
+  HOST_ONLY  observes host state — wall clocks, environment variables, the
+             filesystem, host threads.
+
+This checker rejects every *direct* call edge from a VT_PURE function body
+to (a) a HOST_ONLY-tagged function or (b) a built-in host primitive the
+tags cannot cover (raw chrono clocks, rand(), getenv(), HostTimer
+construction).  Untagged functions are neutral and never reported; the
+tags live on the chokepoints, and the primitive list catches VT_PURE code
+bypassing the chokepoints entirely.
+
+Two backends:
+
+  clang   parses compile_commands.json through clang.cindex and reads the
+          `annotate("opalsim::vt_pure"/"opalsim::host_only")` attributes
+          from the AST.  Precise (qualified names, overloads), but needs
+          the libclang python bindings — the clang CI leg has them.
+  text    comment/string-stripping + brace tracking over the sources,
+          matching the VT_PURE/HOST_ONLY macro tokens (which expand to
+          nothing under GCC precisely so this backend can read them).
+          Runs everywhere; this is the backend ctest exercises.
+
+`--backend auto` (default) picks clang when the bindings import, else
+text.  Known precision gap of the text backend: HOST_ONLY *method* names
+generic enough to collide with std:: vocabulary (`reset`) are excluded
+from name matching — see NAME_MATCH_EXCLUDED; the construction of their
+owning type (HostTimer) is a primitive, so VT_PURE code cannot reach them
+without tripping that pattern first.
+
+Escape hatch: same syntax as check_determinism.py —
+// lint:allow(domain): <justification> on the line or the line above.
+
+Exit status: 0 clean, 1 findings, 2 usage error.  Last stdout line:
+LINT-SUMMARY domains files=<n> findings=<n>
+
+Run locally:   python3 tools/lint/check_domains.py
+Self-check:    python3 tools/lint/check_domains.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from check_determinism import allowed_rules, strip_code  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# Shared definitions
+
+TAG_PATTERN = re.compile(r"\b(VT_PURE|HOST_ONLY)\b")
+
+# Host primitives VT_PURE bodies must never touch, tagged or not.  These
+# are the raw observation points; everything else host-flavoured in the
+# tree funnels through a HOST_ONLY-tagged wrapper.
+HOST_PRIMITIVES = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)|"
+    r"(?<![\w:])(?:std::)?(?:rand|srand)\s*\(|"
+    r"std::random_device|"
+    r"(?<![\w:])(?:std::)?getenv\s*\(|"
+    r"(?<![\w:])(?:gettimeofday|clock_gettime)\s*\(|"
+    r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)|"
+    r"\bHostTimer\b"
+)
+
+# HOST_ONLY simple names too generic for textual call matching (they
+# collide with std:: vocabulary all over VT_PURE code).  Reaching them
+# requires an instance of their owning host type, whose construction the
+# primitive list catches, so nothing escapes.
+NAME_MATCH_EXCLUDED = {"reset"}
+
+VT_PURE_ANNOTATION = "opalsim::vt_pure"
+HOST_ONLY_ANNOTATION = "opalsim::host_only"
+
+SCAN_DIRS = ("src",)
+SUFFIXES = (".hpp", ".cpp", ".h", ".cc")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, message: str):
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: domain: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Text backend
+
+def _last_identifier(text: str) -> str | None:
+    ids = re.findall(r"[A-Za-z_]\w*", text)
+    return ids[-1] if ids else None
+
+
+def _collect_tags(stripped: str) -> list[tuple[str, int, str, int]]:
+    """All (domain, tag_offset, func_name, open_paren_offset) in a file.
+
+    A tag applies to the function whose parameter list opens at the first
+    '(' after it; a ';', '{' or '=' first means the tag sits on something
+    we cannot name (alias, variable) — skipped."""
+    out = []
+    for m in TAG_PATTERN.finditer(stripped):
+        stop = len(stripped)
+        paren = -1
+        for i in range(m.end(), min(stop, m.end() + 400)):
+            ch = stripped[i]
+            if ch == "(":
+                paren = i
+                break
+            if ch in ";{=":
+                break
+        if paren < 0:
+            continue
+        name = _last_identifier(stripped[m.end():paren])
+        if name:
+            out.append((m.group(1), m.start(), name, paren))
+    return out
+
+
+def _body_span(stripped: str, open_paren: int) -> tuple[int, int] | None:
+    """(start, end) offsets of the {...} body of the function whose
+    parameter list opens at open_paren, or None for a pure declaration."""
+    depth = 0
+    i = open_paren
+    n = len(stripped)
+    while i < n:  # skip the parameter list
+        if stripped[i] == "(":
+            depth += 1
+        elif stripped[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    i += 1
+    while i < n:  # trailing const/noexcept/attributes until ; or {
+        ch = stripped[i]
+        if ch == ";":
+            return None
+        if ch == "{":
+            break
+        if ch == "(":  # noexcept(...) and friends
+            d = 1
+            i += 1
+            while i < n and d:
+                if stripped[i] == "(":
+                    d += 1
+                elif stripped[i] == ")":
+                    d -= 1
+                i += 1
+            continue
+        i += 1
+    if i >= n:
+        return None
+    start = i
+    depth = 0
+    while i < n:
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return (start, i + 1)
+        i += 1
+    return None
+
+
+def _offset_to_line(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def run_text_backend(root: pathlib.Path,
+                     files: list[pathlib.Path]) -> list[Finding]:
+    stripped_by_file: dict[pathlib.Path, str] = {}
+    raw_by_file: dict[pathlib.Path, list[str]] = {}
+    host_only_names: set[str] = set()
+    vt_pure_names: set[str] = set()
+
+    for path in files:
+        try:
+            raw = path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            continue
+        raw_by_file[path] = raw
+        stripped = "\n".join(strip_code(raw))
+        stripped_by_file[path] = stripped
+        for domain, _, name, _ in _collect_tags(stripped):
+            (host_only_names if domain == "HOST_ONLY"
+             else vt_pure_names).add(name)
+
+    # A simple name tagged in both domains (sim::seconds vs
+    # HostTimer::seconds) is ambiguous at call sites; the clang backend
+    # disambiguates, the text backend must not guess.
+    callable_host_names = (host_only_names - vt_pure_names
+                           - NAME_MATCH_EXCLUDED)
+    host_call = (re.compile(
+        r"(?<![\w:.>])(?:" + "|".join(
+            sorted(re.escape(n) for n in callable_host_names)) +
+        r")\s*\(") if callable_host_names else None)
+
+    findings: list[Finding] = []
+    for path in files:
+        stripped = stripped_by_file.get(path)
+        if stripped is None:
+            continue
+        raw = raw_by_file[path]
+        rel = path.relative_to(root).as_posix()
+        for domain, tag_off, fname, paren in _collect_tags(stripped):
+            if domain != "VT_PURE":
+                continue
+            span = _body_span(stripped, paren)
+            if span is None:
+                continue
+            body = stripped[span[0]:span[1]]
+            for pattern, what in ((HOST_PRIMITIVES, "host primitive"),
+                                  (host_call, "HOST_ONLY function")):
+                if pattern is None:
+                    continue
+                for m in pattern.finditer(body):
+                    lineno = _offset_to_line(stripped, span[0] + m.start())
+                    if "domain" in allowed_rules(raw, lineno - 1):
+                        continue
+                    callee = m.group(0).rstrip("(").strip()
+                    findings.append(Finding(
+                        rel, lineno,
+                        f"VT_PURE function '{fname}' calls {what} "
+                        f"'{callee}'; virtual-time code must not observe "
+                        "host state (route through an untagged seam or "
+                        "drop the VT_PURE tag)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Clang backend (CI leg with libclang python bindings)
+
+def run_clang_backend(root: pathlib.Path,
+                      compile_commands: pathlib.Path) -> list[Finding]:
+    from clang import cindex  # noqa: PLC0415
+
+    index = cindex.Index.create()
+    cdb = cindex.CompilationDatabase.fromDirectory(str(compile_commands))
+    domains: dict[str, str] = {}  # USR -> domain
+    bodies: list[tuple] = []  # (cursor, file, line)
+
+    def annotation(cursor) -> str | None:
+        for child in cursor.get_children():
+            if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
+                if child.spelling == VT_PURE_ANNOTATION:
+                    return "vt_pure"
+                if child.spelling == HOST_ONLY_ANNOTATION:
+                    return "host_only"
+        return None
+
+    func_kinds = (cindex.CursorKind.FUNCTION_DECL,
+                  cindex.CursorKind.CXX_METHOD,
+                  cindex.CursorKind.FUNCTION_TEMPLATE,
+                  cindex.CursorKind.CONSTRUCTOR)
+    seen_tus = set()
+    for cmd in cdb.getAllCompileCommands():
+        src = pathlib.Path(cmd.directory) / cmd.filename
+        if src in seen_tus or "src" not in src.parts:
+            continue
+        seen_tus.add(src)
+        args = [a for a in list(cmd.arguments)[1:-1]
+                if a not in ("-c", "-o")]
+        tu = index.parse(str(src), args=args)
+
+        def walk(cursor):
+            if cursor.kind in func_kinds:
+                dom = annotation(cursor)
+                if dom:
+                    domains[cursor.get_usr()] = dom
+                    if dom == "vt_pure" and cursor.is_definition():
+                        bodies.append(cursor)
+            for child in cursor.get_children():
+                walk(child)
+
+        walk(tu.cursor)
+
+    findings: list[Finding] = []
+    raw_cache: dict[str, list[str]] = {}
+    for cursor in bodies:
+        def visit_calls(node, fname):
+            if node.kind == cindex.CursorKind.CALL_EXPR:
+                ref = node.referenced
+                loc = node.location
+                filename = loc.file.name if loc.file else ""
+                text = node.spelling or ""
+                is_host = (ref is not None and
+                           domains.get(ref.get_usr()) == "host_only")
+                if not is_host and ref is not None:
+                    is_host = bool(HOST_PRIMITIVES.search(
+                        ref.displayname or text))
+                if is_host and filename:
+                    raw = raw_cache.setdefault(
+                        filename,
+                        pathlib.Path(filename).read_text(
+                            encoding="utf-8").splitlines())
+                    if "domain" not in allowed_rules(raw, loc.line - 1):
+                        rel = pathlib.Path(filename)
+                        try:
+                            rel = rel.relative_to(root)
+                        except ValueError:
+                            pass
+                        findings.append(Finding(
+                            rel.as_posix(), loc.line,
+                            f"VT_PURE function '{fname}' calls HOST_ONLY "
+                            f"'{text}'"))
+            for child in node.get_children():
+                visit_calls(child, fname)
+
+        visit_calls(cursor, cursor.spelling)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+
+def gather_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for top in SCAN_DIRS:
+        base = root / top
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in SUFFIXES)
+    return files
+
+
+# ---------------------------------------------------------------------------
+# Self test: the checker must flag a VT_PURE body that reads host state —
+# through a tagged HOST_ONLY callee and through a raw primitive — and stay
+# silent on pure and suppressed bodies.  Exercises the text backend (the
+# one every environment runs).
+
+VIOLATION_FIXTURE = """
+#include "util/domains.hpp"
+HOST_ONLY long read_env(const char* k);
+VT_PURE double advance(double t) {
+  long bias = read_env("OPALSIM_BIAS");
+  return t + bias;
+}
+VT_PURE double stamp(double t) {
+  return t + std::chrono::steady_clock::now().time_since_epoch().count();
+}
+"""
+
+CLEAN_FIXTURE = """
+#include "util/domains.hpp"
+HOST_ONLY long read_env(const char* k);
+VT_PURE double advance(double t, double dt) { return t + dt; }
+double untagged_glue() { return static_cast<double>(read_env("X")); }
+VT_PURE double replay(double t) {
+  // lint:allow(domain): replay harness, value never reaches accounting
+  long bias = read_env("OPALSIM_BIAS");
+  return t + bias;
+}
+"""
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        src = root / "src"
+        src.mkdir()
+        (src / "violation.cpp").write_text(VIOLATION_FIXTURE)
+        findings = run_text_backend(root, gather_files(root))
+        if len(findings) != 2:
+            print(f"self-test FAIL: expected 2 findings on the violation "
+                  f"fixture, got {len(findings)}:\n" +
+                  "\n".join(str(f) for f in findings), file=sys.stderr)
+            failures += 1
+        else:
+            msgs = "\n".join(f.message for f in findings)
+            if "read_env" not in msgs or "steady_clock" not in msgs:
+                print("self-test FAIL: wrong findings:\n" + msgs,
+                      file=sys.stderr)
+                failures += 1
+        (src / "violation.cpp").unlink()
+        (src / "clean.cpp").write_text(CLEAN_FIXTURE)
+        findings = run_text_backend(root, gather_files(root))
+        if findings:
+            print("self-test FAIL: clean fixture produced findings:\n" +
+                  "\n".join(str(f) for f in findings), file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print("self-test OK: violation fixture flagged (tagged callee + raw "
+          "primitive), clean/suppressed fixture silent")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--backend", choices=("auto", "clang", "text"),
+                        default="auto")
+    parser.add_argument("--compile-commands", default=None,
+                        help="directory holding compile_commands.json "
+                             "(clang backend; default: <root>/build)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+    backend = args.backend
+    if backend == "auto":
+        try:
+            import clang.cindex  # noqa: F401, PLC0415
+            cc_dir = pathlib.Path(args.compile_commands) \
+                if args.compile_commands else root / "build"
+            backend = "clang" if (cc_dir / "compile_commands.json").exists() \
+                else "text"
+        except ImportError:
+            backend = "text"
+
+    files = gather_files(root)
+    if backend == "clang":
+        cc_dir = pathlib.Path(args.compile_commands) \
+            if args.compile_commands else root / "build"
+        findings = run_clang_backend(root, cc_dir)
+    else:
+        findings = run_text_backend(root, files)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\ncheck_domains [{backend}]: {len(findings)} finding(s). "
+              "Untag the function, route host access through an untagged "
+              "seam, or suppress with // lint:allow(domain): <reason>.",
+              file=sys.stderr)
+    else:
+        print(f"check_domains [{backend}]: clean")
+    print(f"LINT-SUMMARY domains files={len(files)} "
+          f"findings={len(findings)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
