@@ -1,0 +1,305 @@
+// Parallel DES core scaling (host wall clock): the perf trajectory bench
+// for the LP-sharded conservative-lookahead engine (sim/parallel_engine.hpp)
+// against the serial engine on the same partitioned handler workload.
+//
+// Workload: PHOLD over `nodes` simulated nodes sharded across the engine's
+// logical processes by sim::OwnerPartition.  A steady population of handler
+// events hops between nodes; every hop burns a deterministic splitmix64
+// work chain (the per-event grain knob), mutates its node's state through
+// commutative operations only (+=, ^=, max, ++ — the tie-commutativity
+// contract of the deterministic merge), and posts the successor event to
+// the destination node's owner LP at now + lookahead * {1..4}.  Event
+// times live on a lookahead/2 grid, so same-time ties are constant — the
+// adversarial case for merge-order bugs.
+//
+// Every cell of the grid (engine x LP count x queue kind x scenario) must
+// reproduce the identical virtual-time fingerprint — events executed, an
+// order-independent XOR hash, per-node visit totals, the final node clock —
+// or the bench exits non-zero.  Speedup is reported as parallel 4-LP
+// (ladder) vs serial (ladder) on the large scenario; the CI gate
+// (tools/perf/check_bench_pdes.py) enforces >= 1.8x when the host has the
+// cores for it.
+//
+// Emits BENCH_pdes.json (path: OPALSIM_BENCH_JSON, or ./BENCH_pdes.json).
+//
+// Knobs:
+//   OPALSIM_PDES_WORK   splitmix64 iterations per event   (default 256)
+//   OPALSIM_PDES_REPS   timed repetitions, best-of        (default 2)
+//   OPALSIM_THREADS     worker pool width                 (default hw)
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/lp.hpp"
+#include "sim/parallel_engine.hpp"
+#include "util/env.hpp"
+#include "util/host_timer.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace opalsim;
+
+/// Interconnect minimum latency the conservative windows derive from.
+constexpr double kLookahead = 1e-3;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-node state; only ever touched by the node's owner LP.  Cache-line
+/// sized so adjacent nodes at a partition boundary never false-share.
+struct alignas(64) NodeState {
+  double sum = 0.0;     ///< += event time (ties add identical values)
+  double last_t = 0.0;  ///< max event time (commutative)
+  std::uint64_t hash = 0;   ///< ^= per-event work result (commutative)
+  std::uint64_t count = 0;  ///< events executed at this node
+};
+
+struct PholdCtx {
+  std::vector<NodeState> nodes;
+  sim::OwnerPartition part;
+  double la = kLookahead;
+  int work = 0;
+};
+
+/// payload layout: low 20 bits = node index, high 44 bits = RNG seed.
+void phold_handler(sim::LpRuntime& rt, void* ctx_p, std::uint64_t payload) {
+  auto& ctx = *static_cast<PholdCtx*>(ctx_p);
+  const auto node = static_cast<std::uint32_t>(payload & 0xFFFFF);
+  std::uint64_t r = payload >> 20;
+  for (int k = 0; k < ctx.work; ++k) r = splitmix64(r);
+  NodeState& st = ctx.nodes[node];
+  const double t = rt.now();
+  st.sum += t;
+  st.hash ^= r;
+  st.count += 1;
+  if (st.last_t < t) st.last_t = t;
+  const auto n = static_cast<std::uint32_t>(ctx.nodes.size());
+  const std::uint32_t dst =
+      (node + 1 + static_cast<std::uint32_t>(r % (n - 1))) % n;
+  // 1..4 whole lookahead windows: always >= lookahead (the cross-LP
+  // contract) and always on the tie grid.
+  const double delay =
+      ctx.la * (1.0 + static_cast<double>((r >> 32) & 3));
+  const std::uint64_t next = (splitmix64(r) << 20) | dst;
+  rt.post(ctx.part.owner(dst), t + delay, &phold_handler, ctx_p, next);
+}
+
+/// Order-independent virtual-time fingerprint — identical across engines,
+/// LP counts and queue kinds or the run is broken.
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t visits = 0;
+  double sum = 0.0;
+  double t_last = 0.0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct Scenario {
+  const char* name;
+  std::uint32_t nodes;
+  std::uint32_t pop;     ///< steady event population
+  double windows;        ///< run length in lookahead units
+};
+
+constexpr Scenario kScenarios[] = {
+    {"small", 64, 256, 200.0},
+    {"large", 256, 2048, 600.0},
+};
+
+struct Cell {
+  const char* engine;  ///< "serial" | "parallel"
+  std::uint32_t lps;   ///< 1 for serial
+};
+
+constexpr Cell kCells[] = {
+    {"serial", 1},
+    {"parallel", 1},
+    {"parallel", 2},
+    {"parallel", 4},
+};
+
+constexpr sim::EventQueueKind kQueues[] = {sim::EventQueueKind::kLadder,
+                                           sim::EventQueueKind::kHeap};
+const char* queue_name(sim::EventQueueKind k) {
+  return k == sim::EventQueueKind::kLadder ? "ladder" : "heap";
+}
+
+struct CellResult {
+  Fingerprint fp;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t link_msgs = 0;
+  std::uint64_t link_spills = 0;
+};
+
+CellResult run_cell(const Scenario& sc, const Cell& cell,
+                    sim::EventQueueKind qk, int work) {
+  CellResult res;
+  PholdCtx ctx;
+  ctx.nodes.assign(sc.nodes, NodeState{});
+  // The partition only routes; event times and payloads are partition-
+  // independent, which is what makes the serial cell the oracle.
+  const bool parallel = std::string(cell.engine) == "parallel";
+  ctx.part = sim::OwnerPartition(sc.nodes, parallel ? cell.lps : 1);
+  ctx.work = work;
+
+  std::unique_ptr<sim::Engine> eng;
+  sim::ParallelEngine* peng = nullptr;
+  if (parallel) {
+    auto p = std::make_unique<sim::ParallelEngine>(cell.lps, qk);
+    peng = p.get();
+    eng = std::move(p);
+  } else {
+    eng = std::make_unique<sim::Engine>(qk);
+  }
+  eng->set_lookahead_hint(kLookahead);
+
+  util::HostTimer t;
+  for (std::uint32_t i = 0; i < sc.pop; ++i) {
+    const std::uint32_t node = i % sc.nodes;
+    const double t0 = kLookahead * 0.5 * static_cast<double>(1 + i % 8);
+    const std::uint64_t payload =
+        (splitmix64(0xC0FFEEULL ^ i) << 20) | node;
+    eng->post_handler(ctx.part.owner(node), t0, &phold_handler, &ctx,
+                      payload);
+  }
+  eng->run_until(kLookahead * sc.windows);
+  res.wall_s = t.seconds();
+
+  res.fp.events = eng->total_events_processed();
+  for (const NodeState& st : ctx.nodes) {
+    res.fp.hash ^= st.hash;
+    res.fp.visits += st.count;
+    res.fp.sum += st.sum;
+    if (st.last_t > res.fp.t_last) res.fp.t_last = st.last_t;
+  }
+  res.events_per_sec = static_cast<double>(res.fp.events) /
+                       (res.wall_s > 0.0 ? res.wall_s : 1e-9);
+  if (peng != nullptr) {
+    res.rounds = peng->rounds();
+    res.link_msgs = peng->link_messages();
+    res.link_spills = peng->link_spills();
+  }
+  return res;
+}
+
+CellResult best_of(int reps, const Scenario& sc, const Cell& cell,
+                   sim::EventQueueKind qk, int work) {
+  CellResult best = run_cell(sc, cell, qk, work);
+  for (int r = 1; r < reps; ++r) {
+    CellResult next = run_cell(sc, cell, qk, work);
+    if (next.fp == best.fp && next.wall_s < best.wall_s) best = next;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Parallel DES core — LP sharding vs the serial engine",
+                "conservative-lookahead windows; fingerprints are "
+                "engine-invariant");
+
+  const int work =
+      static_cast<int>(util::env_long("OPALSIM_PDES_WORK", 256));
+  const int reps = static_cast<int>(util::env_long("OPALSIM_PDES_REPS", 2));
+  const unsigned host_threads = util::ThreadPool::default_threads();
+  std::cout << "per-event work: " << work << " splitmix rounds; reps = "
+            << reps << "; host threads = " << host_threads << "\n\n";
+
+  constexpr int kNc = static_cast<int>(std::size(kCells));
+  constexpr int kNq = static_cast<int>(std::size(kQueues));
+  constexpr int kNs = static_cast<int>(std::size(kScenarios));
+  CellResult results[kNs][kNq][kNc];
+  bool agree = true;
+
+  for (int s = 0; s < kNs; ++s) {
+    util::Table t({"engine", "lps", "queue", "events", "Mev/s", "rounds",
+                   "link msgs", "spills"});
+    for (int q = 0; q < kNq; ++q) {
+      for (int c = 0; c < kNc; ++c) {
+        results[s][q][c] =
+            best_of(reps, kScenarios[s], kCells[c], kQueues[q], work);
+        const CellResult& r = results[s][q][c];
+        agree = agree && r.fp == results[s][0][0].fp;
+        t.row()
+            .add(kCells[c].engine)
+            .add(static_cast<double>(kCells[c].lps), 0)
+            .add(queue_name(kQueues[q]))
+            .add(static_cast<double>(r.fp.events), 0)
+            .add(r.events_per_sec / 1e6, 3)
+            .add(static_cast<double>(r.rounds), 0)
+            .add(static_cast<double>(r.link_msgs), 0)
+            .add(static_cast<double>(r.link_spills), 0);
+      }
+    }
+    std::cout << kScenarios[s].name << " (" << kScenarios[s].nodes
+              << " nodes, population " << kScenarios[s].pop << "):\n";
+    bench::emit(t, std::string("pdes_") + kScenarios[s].name);
+  }
+
+  // Headline: parallel 4-LP vs serial, ladder queue, large scenario.
+  const CellResult& serial_large = results[kNs - 1][0][0];
+  const CellResult& p4_large = results[kNs - 1][0][kNc - 1];
+  const double speedup =
+      serial_large.events_per_sec > 0.0
+          ? p4_large.events_per_sec / serial_large.events_per_sec
+          : 0.0;
+  std::cout << "parallel 4-LP vs serial (large, ladder): x" << speedup
+            << (agree ? "" : "  [FINGERPRINT MISMATCH]") << "\n";
+
+  const std::string path =
+      util::env_string("OPALSIM_BENCH_JSON").value_or("BENCH_pdes.json");
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"host_threads\": " << host_threads << ",\n"
+     << "  \"work\": " << work << ",\n"
+     << "  \"scenarios\": {\n";
+  for (int s = 0; s < kNs; ++s) {
+    os << "    \"" << kScenarios[s].name << "\": {\n"
+       << "      \"nodes\": " << kScenarios[s].nodes
+       << ", \"population\": " << kScenarios[s].pop << ",\n"
+       << "      \"cells\": {\n";
+    for (int q = 0; q < kNq; ++q) {
+      for (int c = 0; c < kNc; ++c) {
+        const CellResult& r = results[s][q][c];
+        os << "        \"" << kCells[c].engine << "_lps"
+           << kCells[c].lps << "_" << queue_name(kQueues[q]) << "\": {"
+           << "\"events\": " << r.fp.events
+           << ", \"events_per_sec\": " << r.events_per_sec
+           << ", \"rounds\": " << r.rounds
+           << ", \"link_messages\": " << r.link_msgs
+           << ", \"link_spills\": " << r.link_spills << "}"
+           << (q + 1 < kNq || c + 1 < kNc ? "," : "") << "\n";
+      }
+    }
+    os << "      }\n"
+       << "    }" << (s + 1 < kNs ? "," : "") << "\n";
+  }
+  os << "  },\n"
+     << "  \"speedup_4lp_large\": " << speedup << ",\n"
+     << "  \"agree\": " << (agree ? "true" : "false") << "\n"
+     << "}\n";
+  std::cout << "[json] wrote " << path << "\n";
+
+  if (!agree) {
+    std::cerr << "FAIL: engines disagree on the virtual-time fingerprint\n";
+    return 1;
+  }
+  return 0;
+}

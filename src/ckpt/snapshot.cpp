@@ -132,6 +132,13 @@ std::vector<std::uint8_t> encode(const RunSnapshot& s) {
   w.put_u64(s.q_pops);
   w.put_u64(s.q_cancels);
   w.put_u64(s.q_peak);
+  w.put_u64(s.lp_clocks.size());
+  for (const LpClockSnap& c : s.lp_clocks) {
+    w.put_u32(c.lp);
+    w.put_f64(c.now);
+    w.put_u64(c.next_seq);
+    w.put_u64(c.processed);
+  }
 
   w.put_i32(s.step);
   w.put_f64(s.t_start);
@@ -271,6 +278,16 @@ RunSnapshot decode(const std::vector<std::uint8_t>& image) {
     s.q_pops = r.get_u64();
     s.q_cancels = r.get_u64();
     s.q_peak = r.get_u64();
+    const std::uint64_t n_lp_clocks = r.get_u64();
+    s.lp_clocks.reserve(n_lp_clocks);
+    for (std::uint64_t i = 0; i < n_lp_clocks; ++i) {
+      LpClockSnap c;
+      c.lp = r.get_u32();
+      c.now = r.get_f64();
+      c.next_seq = r.get_u64();
+      c.processed = r.get_u64();
+      s.lp_clocks.push_back(c);
+    }
 
     s.step = r.get_i32();
     s.t_start = r.get_f64();

@@ -34,7 +34,7 @@
 namespace opalsim::ckpt {
 
 inline constexpr char kMagic[8] = {'O', 'P', 'A', 'L', 'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
 
 /// One undelivered message parked in a task mailbox (stale duplicated
 /// replies can outlive a round in fault-tolerant mode).
@@ -75,6 +75,18 @@ struct NodeFaultSnap {
 
 using RngState = std::array<std::uint64_t, 4>;
 
+/// Clock/sequencing state of one extra logical process of the parallel
+/// engine (sim/parallel_engine.hpp).  Activity-gated at capture: an LP that
+/// never ran an event is omitted, so a parallel run of a coroutine-only
+/// program (all work on the base LP) snapshots byte-identically to the
+/// serial engine — the cross-engine resume matrix depends on it.
+struct LpClockSnap {
+  std::uint32_t lp = 0;
+  double now = 0.0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t processed = 0;
+};
+
 struct RunSnapshot {
   /// Identity of the run configuration this image belongs to; resuming
   /// under a different config is refused.
@@ -85,6 +97,8 @@ struct RunSnapshot {
   std::uint64_t next_event_seq = 0;
   std::uint64_t events_processed = 0;
   std::uint64_t q_pushes = 0, q_pops = 0, q_cancels = 0, q_peak = 0;
+  /// Extra-LP clocks (parallel engine; empty for serial or LP-idle runs).
+  std::vector<LpClockSnap> lp_clocks;
 
   // -- client progress ------------------------------------------------------
   std::int32_t step = 0;       ///< next step index to execute

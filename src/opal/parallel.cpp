@@ -230,7 +230,11 @@ ParallelRunResult ParallelOpal::run() {
     trace_scope.emplace(*trace_sink);
   }
 
-  sim::Engine engine;
+  // Process-default engine: OPALSIM_ENGINE=parallel swaps in the LP-sharded
+  // engine (OPALSIM_LPS logical processes) with byte-identical output — the
+  // coroutine stack is pinned to its base LP.
+  const std::unique_ptr<sim::Engine> engine_ptr = sim::make_engine();
+  sim::Engine& engine = *engine_ptr;
   mach::Machine machine(engine, platform_, num_servers_ + 1);
   pvm::PvmSystem pvm(machine);
   sciddle::Rpc rpc(pvm, num_servers_, middleware_);
@@ -347,6 +351,10 @@ ParallelRunResult ParallelOpal::run() {
     s.q_pops = ec.queue.pops;
     s.q_cancels = ec.queue.cancels;
     s.q_peak = ec.queue.peak_size;
+    for (const sim::LpClock& c : engine.lp_clock_snaps()) {
+      s.lp_clocks.push_back(
+          ckpt::LpClockSnap{c.lp, c.now, c.next_seq, c.processed});
+    }
     s.step = step;
     s.t_start = t_start;
     s.force_update = force_update;
@@ -702,6 +710,14 @@ ParallelRunResult ParallelOpal::run() {
     engine.restore_counters(
         s.next_event_seq, s.events_processed,
         sim::EventQueueStats{s.q_pushes, s.q_pops, s.q_cancels, s.q_peak});
+    if (!s.lp_clocks.empty()) {
+      std::vector<sim::LpClock> lp_clocks;
+      lp_clocks.reserve(s.lp_clocks.size());
+      for (const ckpt::LpClockSnap& c : s.lp_clocks) {
+        lp_clocks.push_back(sim::LpClock{c.lp, c.now, c.next_seq, c.processed});
+      }
+      engine.restore_lp_clocks(lp_clocks);
+    }
     for (int node = 0; node <= num_servers_; ++node) {
       const ckpt::CpuSnap& c = s.cpus.at(static_cast<std::size_t>(node));
       machine.cpu(node).counter().restore(

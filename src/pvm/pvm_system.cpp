@@ -22,6 +22,7 @@ VT_PURE sim::Task<Message> PvmTask::recv(int src, int tag) {
   auto& mb = system_->mailbox(tid_);
   mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
                                      engine().now());
+  mb.audit_discipline().note_consume_lp(sim::current_lp(), engine().now());
   Message m = co_await mb.get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
   if (obs::enabled()) {
@@ -132,6 +133,7 @@ sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
   auto& mb = system_->mailbox(tid_);
   mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
                                      engine().now());
+  mb.audit_discipline().note_consume_lp(sim::current_lp(), engine().now());
   sim::Mailbox<Message>::Predicate pred = [src, tag](const Message& x) {
     return x.matches(src, tag);
   };
@@ -156,6 +158,7 @@ std::optional<Message> PvmTask::try_recv(int src, int tag) {
   auto& mb = system_->mailbox(tid_);
   mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),
                                      engine().now());
+  mb.audit_discipline().note_consume_lp(sim::current_lp(), engine().now());
   return mb.try_get(
       [src, tag](const Message& x) { return x.matches(src, tag); });
 }
@@ -271,7 +274,10 @@ sim::Task<PackBuffer> PvmTask::bcast(const std::vector<int>& members,
   co_return payload;
 }
 
-PvmSystem::PvmSystem(mach::Machine& machine) : machine_(&machine) {}
+PvmSystem::PvmSystem(mach::Machine& machine)
+    : machine_(&machine),
+      node_partition_(static_cast<std::uint32_t>(machine.num_nodes()),
+                      machine.engine().lps()) {}
 
 PvmSystem::~PvmSystem() = default;
 
@@ -295,6 +301,11 @@ int PvmSystem::spawn(int node, TaskBody body) {
   entry.task.reset(new PvmTask(this, tid, node));
   entry.mailbox = std::make_unique<sim::Mailbox<Message>>(engine());
   entry.mailbox->audit_discipline().set_owner(static_cast<std::uint64_t>(tid));
+  // Execution LP, not data-partition LP: coroutine tasks are pinned to the
+  // base LP in this revision (see the LP partitioning note in the header),
+  // so a consume observed from any other LP is state leaking across an LP
+  // boundary outside an inter-LP link.
+  entry.mailbox->audit_discipline().set_owner_lp(0);
   tasks_.push_back(std::move(entry));
   // entry.task is a stable unique_ptr: the pointer survives vector growth.
   PvmTask* task_ptr = tasks_.back().task.get();

@@ -26,6 +26,7 @@
 #include "pvm/message.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
+#include "sim/lp.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
 #include "util/domains.hpp"
@@ -122,6 +123,26 @@ class PvmSystem {
   sim::Engine& engine() noexcept { return machine_->engine(); }
   int num_tasks() const noexcept { return static_cast<int>(tasks_.size()); }
 
+  // -- LP partitioning (sim/lp.hpp) ----------------------------------------
+  // Simulated nodes are partitioned into contiguous blocks over the
+  // engine's logical processes; a task belongs to its node's LP.  In this
+  // revision every PVM task is a coroutine and coroutines are pinned to the
+  // base LP (LP 0), so the partition describes data ownership — handler
+  // workloads (bench_pdes) shard by it — while task *execution* stays on
+  // LP 0; mailboxes are therefore tagged with their execution LP and the
+  // auditor flags any consume from a different LP.
+
+  /// The node -> LP owner map (identity when the engine is serial).
+  const sim::OwnerPartition& node_partition() const noexcept {
+    return node_partition_;
+  }
+  sim::LpId lp_of_node(int node) const noexcept {
+    return node_partition_.owner(static_cast<std::uint32_t>(node));
+  }
+  sim::LpId lp_of_task(int tid) const {
+    return lp_of_node(tasks_.at(tid).task->node());
+  }
+
   /// Total bytes moved / messages sent (delegates to the network model).
   std::uint64_t bytes_sent() const noexcept {
     return machine_->network().bytes_sent();
@@ -177,6 +198,7 @@ class PvmSystem {
   sim::Task<void> do_barrier(const std::string& group, int count);
 
   mach::Machine* machine_;
+  sim::OwnerPartition node_partition_;
   std::vector<TaskEntry> tasks_;
   std::map<std::string, BarrierState> barriers_;
   std::uint64_t next_send_seq_ = 1;

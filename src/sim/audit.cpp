@@ -54,6 +54,10 @@ const char* invariant_name(Invariant inv) noexcept {
       return "run-isolation";
     case Invariant::kResourceBalance:
       return "resource-balance";
+    case Invariant::kLpLookahead:
+      return "lp-lookahead";
+    case Invariant::kLpMergedOrder:
+      return "lp-merged-order";
   }
   return "unknown";
 }

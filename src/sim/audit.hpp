@@ -19,6 +19,14 @@
 //                      fresh run id via audit::RunScope)
 //   resource-balance   every Resource unit acquired is released and no
 //                      waiter is still parked when the resource dies
+//   lp-lookahead       a cross-LP post must arrive at least one lookahead
+//                      window after the sender's local clock — the
+//                      conservative synchronization contract of the
+//                      parallel engine (sim/parallel_engine.hpp)
+//   lp-merged-order    per-LP event/trace streams are time-monotone and
+//                      the (t, lp, local seq) keys of the merged stream
+//                      are strictly increasing — the determinism contract
+//                      of the observation-boundary merge
 //
 // Checks are observation-only: enabling the auditor never changes virtual
 // time, RNG consumption or any output byte.  A violation aborts the process
@@ -42,6 +50,8 @@ enum class Invariant {
   kMailboxConsumer,
   kRunIsolation,
   kResourceBalance,
+  kLpLookahead,
+  kLpMergedOrder,
 };
 
 /// Stable kebab-case name used in violation reports ("time-monotonic", ...).
@@ -120,8 +130,24 @@ void check_run(std::uint64_t owner_tag, double vtime);
 /// tids offset by +1 so that 0 means "unowned".
 struct MailboxDiscipline {
   std::uint64_t owner = 0;
+  /// LP the consuming task executes on, offset by +1 (0 = untagged).  Set
+  /// by the PVM layer from its owner partition (pvm::PvmSystem); consuming
+  /// a mailbox from a different LP means a task's state crossed an LP
+  /// boundary outside an inter-LP link.
+  std::uint64_t owner_lp = 0;
 
   void set_owner(std::uint64_t id) noexcept { owner = id + 1; }
+  void set_owner_lp(std::uint64_t lp) noexcept { owner_lp = lp + 1; }
+
+  void note_consume_lp(std::uint64_t lp, double vtime) {
+    if (!enabled() || owner_lp == 0) return;
+    if (owner_lp != lp + 1) {
+      fail(Invariant::kMailboxConsumer,
+           "mailbox partitioned to LP " + std::to_string(owner_lp - 1) +
+               " consumed from LP " + std::to_string(lp),
+           vtime);
+    }
+  }
 
   void note_consume(std::uint64_t id, double vtime) {
     if (!enabled()) return;

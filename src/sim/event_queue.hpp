@@ -37,11 +37,28 @@
 
 namespace opalsim::sim {
 
+/// Identifies one logical process of the parallel engine.  LP 0 is the
+/// base LP: the serial engine is a one-LP machine, and on the parallel
+/// engine LP 0 hosts every coroutine process (see sim/lp.hpp).
+using LpId = std::uint32_t;
+
+class LpRuntime;  // sim/lp.hpp — the surface a handler event may touch
+
+/// Handler-event callback.  Unlike coroutine events, handler events carry
+/// no frame and may execute on any LP of the parallel engine; they interact
+/// with virtual time only through the LpRuntime they are handed.
+using LpHandler = void (*)(LpRuntime&, void* ctx, std::uint64_t payload);
+
 /// One scheduled resumption.  Total order: (t, seq) lexicographic.
+/// Exactly one of `handle` (coroutine event) and `fn` (handler event) is
+/// set; the engine dispatches on `fn != nullptr`.
 struct ScheduledEvent {
   SimTime t = 0.0;
   std::uint64_t seq = 0;
   std::coroutine_handle<> handle;
+  LpHandler fn = nullptr;
+  void* ctx = nullptr;
+  std::uint64_t payload = 0;
 };
 
 /// Lifetime operation counters of one queue instance.

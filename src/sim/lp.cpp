@@ -1,0 +1,195 @@
+#include "sim/lp.hpp"
+
+#include <string>
+
+#include "util/fatal.hpp"
+
+namespace opalsim::sim {
+
+namespace {
+
+thread_local LpId t_current_lp = 0;
+
+/// RAII: marks the calling thread as running `id`'s advance loop.
+class CurrentLpScope {
+ public:
+  explicit CurrentLpScope(LpId id) noexcept : prev_(t_current_lp) {
+    t_current_lp = id;
+  }
+  ~CurrentLpScope() { t_current_lp = prev_; }
+  CurrentLpScope(const CurrentLpScope&) = delete;
+  CurrentLpScope& operator=(const CurrentLpScope&) = delete;
+
+ private:
+  const LpId prev_;
+};
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LpId current_lp() noexcept { return t_current_lp; }
+
+// ---------------------------------------------------------------------------
+// InterLpLink
+
+InterLpLink::InterLpLink(std::size_t capacity)
+    : cap_(round_up_pow2(capacity < 2 ? 2 : capacity)), ring_(cap_) {}
+
+void InterLpLink::push(LinkMsg m) {
+  m.src_seq = next_src_seq_++;
+  stat_pushed_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head < cap_) {
+    ring_[tail & (cap_ - 1)] = m;
+    tail_.store(tail + 1, std::memory_order_release);
+    return;
+  }
+  // Ring full: spill.  Within a round the ring stays full (drains happen
+  // only at barriers), so every subsequent message of the round spills too
+  // and ring-then-overflow concatenation preserves src_seq order.
+  util::ScopedLock lk(mutex_);
+  overflow_.push_back(m);
+  stat_spilled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t InterLpLink::drain(std::vector<LinkMsg>& out) {
+  const std::size_t before = out.size();
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  for (std::size_t i = head; i != tail; ++i) {
+    out.push_back(ring_[i & (cap_ - 1)]);
+  }
+  head_.store(tail, std::memory_order_release);
+  {
+    util::ScopedLock lk(mutex_);
+    for (const LinkMsg& m : overflow_) out.push_back(m);
+    overflow_.clear();
+  }
+  const std::size_t drained = out.size() - before;
+  if (audit::enabled() && drained > 0) {
+    // Per-channel FIFO: production seq must strictly increase across the
+    // whole drained batch and across drains.
+    std::uint64_t prev = last_drained_seq_;
+    bool first = !drained_any_;
+    for (std::size_t i = before; i < out.size(); ++i) {
+      const std::uint64_t s = out[i].src_seq;
+      if (!first && s <= prev) {
+        audit::fail(audit::Invariant::kChannelFifo,
+                    "inter-LP link seq went backwards: " +
+                        std::to_string(s) + " after " + std::to_string(prev),
+                    out[i].t);
+      }
+      prev = s;
+      first = false;
+    }
+    last_drained_seq_ = prev;
+    drained_any_ = true;
+  }
+  return drained;
+}
+
+// ---------------------------------------------------------------------------
+// Lp
+
+Lp::Lp(LpId id, std::uint32_t nlps, EventQueueKind queue_kind,
+       LpRouter* router)
+    : id_(id), nlps_(nlps), router_(router),
+      queue_(make_event_queue(queue_kind)) {}
+
+VT_PURE void Lp::schedule(SimTime t, LpHandler fn, void* ctx,
+                          std::uint64_t payload) {
+  if (audit::enabled() && t < now_) {
+    audit::fail(audit::Invariant::kTimeMonotonic,
+                "LP " + std::to_string(id_) + " event scheduled at t=" +
+                    std::to_string(t) + " in the virtual past of now=" +
+                    std::to_string(now_),
+                now_);
+  }
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "schedule", now_, -1, {"t", t},
+                 {"lp", static_cast<double>(id_)});
+  }
+  queue_->push(ScheduledEvent{t, next_seq_++, {}, fn, ctx, payload});
+}
+
+VT_PURE void Lp::post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+                      std::uint64_t payload) {
+  if (dst == id_) {
+    schedule(t, fn, ctx, payload);
+    return;
+  }
+  if (t < now_ + lookahead_) {
+    if (audit::enabled()) {
+      audit::fail(audit::Invariant::kLpLookahead,
+                  "cross-LP post " + std::to_string(id_) + "->" +
+                      std::to_string(dst) + " at t=" + std::to_string(t) +
+                      " violates lookahead " + std::to_string(lookahead_) +
+                      " from now=" + std::to_string(now_),
+                  now_);
+      return;  // only reached under ViolationCapture
+    }
+    util::fatal("sim", "cross-LP post violates the lookahead contract (t=" +
+                           std::to_string(t) + ", now=" +
+                           std::to_string(now_) + ", lookahead=" +
+                           std::to_string(lookahead_) + ")");
+  }
+  router_->route(id_, dst, t, fn, ctx, payload);
+}
+
+VT_PURE void Lp::ingest(SimTime t, LpHandler fn, void* ctx,
+                        std::uint64_t payload) {
+  if (audit::enabled() && t < now_) {
+    audit::fail(audit::Invariant::kTimeMonotonic,
+                "LP " + std::to_string(id_) + " ingested a message at t=" +
+                    std::to_string(t) + " behind its clock now=" +
+                    std::to_string(now_),
+                now_);
+  }
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "ingest", t, -1,
+                 {"lp", static_cast<double>(id_)},
+                 {"eseq", static_cast<double>(next_seq_)});
+  }
+  queue_->push(ScheduledEvent{t, next_seq_++, {}, fn, ctx, payload});
+}
+
+VT_PURE std::uint64_t Lp::advance_to(SimTime horizon,
+                                     const std::atomic<bool>* stop_if) {
+  CurrentLpScope scope(id_);
+  std::uint64_t ran = 0;
+  while (!queue_->empty() && queue_->next_time() <= horizon) {
+    ScheduledEvent ev = queue_->pop();
+    if (audit::enabled() && ev.t < now_) {
+      audit::fail(audit::Invariant::kTimeMonotonic,
+                  "LP " + std::to_string(id_) + " popped an event at t=" +
+                      std::to_string(ev.t) + " behind its clock now=" +
+                      std::to_string(now_),
+                  now_);
+    }
+    now_ = ev.t;
+    ++processed_;
+    ++ran;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)},
+                   {"lp", static_cast<double>(id_)});
+    }
+    if (ev.fn == nullptr) {
+      util::fatal("sim",
+                  "LP " + std::to_string(id_) +
+                      " popped a coroutine event; coroutines are pinned to "
+                      "the base LP");
+    }
+    ev.fn(*this, ev.ctx, ev.payload);
+    if (stop_if != nullptr && stop_if->load(std::memory_order_relaxed)) break;
+  }
+  return ran;
+}
+
+}  // namespace opalsim::sim

@@ -1,0 +1,302 @@
+// Logical processes: the sharding unit of the parallel DES engine.
+//
+// The parallel engine (sim/parallel_engine.hpp) splits one simulation into
+// N logical processes.  LP 0 is the base LP — it is the serial engine's
+// queue/clock/seq, hosts every coroutine process, and always executes on
+// the thread that called run(), so coroutine frame pooling, trace sinks and
+// audit tagging (all thread-local) behave exactly as in the serial engine.
+// LPs 1..N-1 host handler events only (LpHandler — plain function pointer +
+// context, no frame), each owning a private EventQueue, a private FramePool
+// arena, a local clock and a local event sequence counter.
+//
+// Synchronization is conservative: rounds advance every LP to a shared
+// horizon derived from the minimum network latency (the lookahead), and
+// cross-LP sends travel through bounded SPSC InterLpLinks that are drained
+// only at round barriers.  A cross-LP post must arrive at least one
+// lookahead after the sender's clock (audited: lp-lookahead), which is what
+// makes the windows safe without per-link null messages.
+//
+// Determinism contract: within an LP, events execute in (t, local seq)
+// order; link drains ingest messages in sorted (t, src LP, per-link seq)
+// order; observables are merged at the observation boundary by
+// (t, lp, local seq).  Same-virtual-time effects that cross LPs are applied
+// in that deterministic order, which matches the serial engine's (t, global
+// seq) order whenever same-time cross-LP effects commute — the contract
+// handler workloads must honor (and the serial/parallel equivalence tests
+// enforce on every observable byte).
+//
+// Concurrency discipline (enforced by the lp-shared-state lint rule):
+// classes marked OPALSIM_LP_CONFINED are owned by exactly one LP at a time
+// (round barriers hand them between threads); every other mutable member in
+// these files must be const, atomic, GUARDED_BY a mutex, or live inside the
+// reviewed OPALSIM_CROSS_LP_SAFE link type.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/pool.hpp"
+#include "sim/time.hpp"
+#include "util/domains.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace opalsim::sim {
+
+/// Marker: instances are owned by exactly one LP at a time; members need no
+/// cross-LP guards.  The lp-shared-state lint rule keys off this token.
+#define OPALSIM_LP_CONFINED                                               \
+  static_assert(true,                                                     \
+                "lp-confined: instances are owned by exactly one LP at a" \
+                " time (round barriers hand them between threads)")
+
+/// Marker: internally synchronized type reviewed for concurrent access —
+/// only the inter-LP link internals may carry it.
+#define OPALSIM_CROSS_LP_SAFE                                            \
+  static_assert(true,                                                    \
+                "cross-lp-safe: internally synchronized; reviewed for a" \
+                " single producer round + barrier-time consumer")
+
+/// The LP whose advance loop is executing on the calling thread (0 outside
+/// any LP round — which is also correct for the serial engine and for the
+/// base LP, both of which run on the caller thread).
+LpId current_lp() noexcept;
+
+/// What a handler event may touch: its LP's clock, local scheduling, and
+/// cross-LP posting.  Implemented by Lp (LPs >= 1), by the serial engine's
+/// adapter (whole simulation = one LP), and by the parallel engine's base-LP
+/// adapter.
+class LpRuntime {
+ public:
+  virtual ~LpRuntime() = default;
+
+  virtual SimTime now() const noexcept = 0;
+  virtual LpId lp() const noexcept = 0;
+  virtual std::uint32_t lps() const noexcept = 0;
+  /// Lookahead of the active engine (0 on the serial engine).
+  virtual SimTime lookahead() const noexcept = 0;
+
+  /// Schedules a handler event on the caller's own LP (no lookahead
+  /// restriction; t >= now() as everywhere).
+  virtual void schedule(SimTime t, LpHandler fn, void* ctx,
+                        std::uint64_t payload) = 0;
+
+  /// Posts a handler event to any LP.  Cross-LP posts must satisfy
+  /// t >= now() + lookahead() — the conservative-synchronization contract
+  /// (audited as lp-lookahead; fatal when the auditor is off).  On the
+  /// serial engine every destination collapses into the single queue,
+  /// which is exactly what makes it the equivalence oracle.
+  virtual void post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+                    std::uint64_t payload) = 0;
+};
+
+/// One cross-LP message in flight.  `src_seq` is the per-link monotone
+/// production counter — the per-channel seq the merge preserves.
+struct LinkMsg {
+  OPALSIM_LP_CONFINED;  // owned by the producer until pushed, by the
+                        // barrier-time consumer after drain
+  SimTime t = 0.0;
+  std::uint64_t src_seq = 0;
+  LpHandler fn = nullptr;
+  void* ctx = nullptr;
+  std::uint64_t payload = 0;
+  LpId src = 0;
+};
+
+/// Bounded SPSC inter-LP link: a fixed lock-free ring plus a mutex-guarded
+/// overflow spill for bursts beyond the bound.
+///
+/// Protocol (load-bearing for ordering): exactly one producer — the thread
+/// running the source LP's round — pushes during a round; the consumer
+/// drains only at round barriers, when all producers are quiescent (the
+/// pool's completion latch provides the happens-before edge).  Under that
+/// protocol a drain always observes ring entries older than spill entries,
+/// so concatenating ring-then-overflow preserves per-link seq order.
+class InterLpLink {
+ public:
+  OPALSIM_CROSS_LP_SAFE;
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit InterLpLink(std::size_t capacity = kDefaultCapacity);
+
+  /// Producer side (the source LP's round thread).  Assigns the per-link
+  /// src_seq; spills to the overflow vector when the ring is full.
+  void push(LinkMsg m);
+
+  /// Consumer side (the merge thread, at a round barrier).  Appends ring
+  /// entries then spilled entries to `out` and empties the link; verifies
+  /// the per-link seq strictly increases (audit: channel-fifo).  Returns
+  /// the number of messages drained.
+  std::size_t drain(std::vector<LinkMsg>& out);
+
+  std::uint64_t pushed() const noexcept {
+    return stat_pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilled() const noexcept {
+    return stat_spilled_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  const std::size_t cap_;       ///< ring slots (power of two)
+  std::vector<LinkMsg> ring_;   ///< fixed slots indexed by head_/tail_
+  std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  /// Producer-side counters: single producer per round, handed between
+  /// rounds through the pool's completion latch (a release/acquire chain),
+  /// so plain members are race-free.
+  std::uint64_t next_src_seq_ = 0;
+  std::uint64_t last_drained_seq_ = 0;  ///< consumer-side FIFO check state
+  bool drained_any_ = false;            ///< consumer-side FIFO check state
+  std::atomic<std::uint64_t> stat_pushed_{0};
+  std::atomic<std::uint64_t> stat_spilled_{0};
+  util::Mutex mutex_;
+  std::vector<LinkMsg> overflow_ GUARDED_BY(mutex_);
+};
+
+/// Routes cross-LP posts; implemented by the parallel engine.
+class LpRouter {
+ public:
+  virtual void route(LpId src, LpId dst, SimTime t, LpHandler fn, void* ctx,
+                     std::uint64_t payload) = 0;
+
+ protected:
+  ~LpRouter() = default;
+};
+
+/// One logical process of index >= 1: private queue, clock, seq counter,
+/// frame arena and trace buffer.  Exactly one thread runs an Lp at a time
+/// (the round dispatch hands it between pool workers); nothing in here is
+/// shared concurrently.
+class Lp final : public LpRuntime {
+ public:
+  OPALSIM_LP_CONFINED;
+
+  Lp(LpId id, std::uint32_t nlps, EventQueueKind queue_kind,
+     LpRouter* router);
+
+  // -- LpRuntime -------------------------------------------------------------
+  SimTime now() const noexcept override { return now_; }
+  LpId lp() const noexcept override { return id_; }
+  std::uint32_t lps() const noexcept override { return nlps_; }
+  SimTime lookahead() const noexcept override { return lookahead_; }
+  VT_PURE void schedule(SimTime t, LpHandler fn, void* ctx,
+                        std::uint64_t payload) override;
+  VT_PURE void post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+                    std::uint64_t payload) override;
+
+  // -- engine side -----------------------------------------------------------
+  bool has_events() const noexcept { return !queue_->empty(); }
+  /// Time of the next pending event.  Precondition: has_events().
+  SimTime next_time() { return queue_->next_time(); }
+
+  /// Published once per round by the dispatching thread, before the round
+  /// job is submitted (happens-before via the pool queue).
+  void set_lookahead(SimTime la) noexcept { lookahead_ = la; }
+
+  /// Inserts an externally produced event (a drained link message or a
+  /// pre-run seed), assigning the next local seq.  Caller guarantees
+  /// deterministic call order — that order IS the tie order at equal t.
+  VT_PURE void ingest(SimTime t, LpHandler fn, void* ctx,
+                      std::uint64_t payload);
+
+  /// Runs events with t <= horizon in (t, local seq) order; new events the
+  /// handlers schedule inside the horizon run in the same call.  Stops
+  /// early (and returns) as soon as `stop_if` becomes true, when given —
+  /// the solo fast path uses this to fall back to windowed rounds on the
+  /// first cross-LP post.  Returns the number of events executed.
+  VT_PURE std::uint64_t advance_to(SimTime horizon,
+                                   const std::atomic<bool>* stop_if = nullptr);
+
+  /// Per-LP trace buffer: the round job installs it as the thread's sink,
+  /// and the engine merges it into the caller's sink at the observation
+  /// boundary in (t, lp, local seq) order.
+  obs::MemorySink& trace_buffer() noexcept { return trace_buffer_; }
+
+  /// Private frame arena for LP-owned state.  Blocks free correctly from
+  /// any later round thread: FramePool::deallocate routes by header, and
+  /// the round barrier orders the accesses.
+  FramePool& arena() noexcept { return arena_; }
+
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  std::uint64_t next_local_seq() const noexcept { return next_seq_; }
+  const EventQueue& queue() const noexcept { return *queue_; }
+
+  // -- checkpoint hooks ------------------------------------------------------
+  void restore_clock(SimTime t) noexcept { now_ = t; }
+  void restore_counters(std::uint64_t next_seq,
+                        std::uint64_t processed) noexcept {
+    next_seq_ = next_seq;
+    processed_ = processed;
+  }
+  /// Clamps the clock forward to t (run_until semantics; never backwards).
+  void advance_clock_to(SimTime t) noexcept {
+    if (now_ < t) now_ = t;
+  }
+
+ private:
+  const LpId id_;
+  const std::uint32_t nlps_;
+  LpRouter* const router_;
+  SimTime lookahead_ = 0.0;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::unique_ptr<EventQueue> queue_;
+  FramePool arena_;
+  obs::MemorySink trace_buffer_;
+};
+
+/// Deterministic contiguous block partition of `items` simulated nodes (or
+/// any index space) over `lps` logical processes: LP k owns a block of
+/// items/lps rounded items, remainders going to the lowest LPs.  Pure
+/// arithmetic — the same (items, lps) always yields the same map, which is
+/// what lets a serial run replay a parallel partition byte-identically.
+class OwnerPartition {
+ public:
+  OwnerPartition() = default;
+  OwnerPartition(std::uint32_t items, std::uint32_t lps) noexcept
+      : items_(items), lps_(lps == 0 ? 1 : lps) {}
+
+  std::uint32_t items() const noexcept { return items_; }
+  std::uint32_t lps() const noexcept { return lps_; }
+
+  /// First item of LP k's block.
+  std::uint32_t first(LpId k) const noexcept {
+    const std::uint32_t base = items_ / lps_;
+    const std::uint32_t rem = items_ % lps_;
+    return k * base + (k < rem ? k : rem);
+  }
+  /// Number of items LP k owns.
+  std::uint32_t count(LpId k) const noexcept {
+    const std::uint32_t base = items_ / lps_;
+    const std::uint32_t rem = items_ % lps_;
+    return base + (k < rem ? 1 : 0);
+  }
+  /// Owning LP of an item (inverse of first/count).
+  LpId owner(std::uint32_t item) const noexcept {
+    const std::uint32_t base = items_ / lps_;
+    const std::uint32_t rem = items_ % lps_;
+    if (base == 0) return item;  // fewer items than LPs: item i -> LP i
+    const std::uint32_t big = base + 1;
+    if (item < rem * big) return item / big;
+    return rem + (item - rem * big) / base;
+  }
+
+ private:
+  // Written at construction / whole-object assignment only; concurrent
+  // access afterwards is read-only.
+  // lint:allow(lp-shared-state): set before any LP round can observe it
+  std::uint32_t items_ = 0;
+  // lint:allow(lp-shared-state): set before any LP round can observe it
+  std::uint32_t lps_ = 1;
+};
+
+}  // namespace opalsim::sim

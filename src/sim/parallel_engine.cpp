@@ -1,0 +1,470 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/fatal.hpp"
+#include "util/run_tag.hpp"
+#include "util/sync.hpp"
+
+namespace opalsim::sim {
+
+namespace {
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::infinity();
+
+// LpRuntime adapter of the parallel engine's base LP (LP 0): local
+// scheduling goes through the base queue, cross-LP posts go through the
+// links after the same lookahead check every other LP performs.
+class BaseLpRuntime final : public LpRuntime {
+ public:
+  explicit BaseLpRuntime(ParallelEngine* e) noexcept : e_(e) {}
+
+  SimTime now() const noexcept override { return e_->now(); }
+  LpId lp() const noexcept override { return 0; }
+  std::uint32_t lps() const noexcept override { return e_->lps(); }
+  SimTime lookahead() const noexcept override { return e_->lookahead(); }
+
+  void schedule(SimTime t, LpHandler fn, void* ctx,
+                std::uint64_t payload) override {
+    e_->schedule_handler(t, fn, ctx, payload);
+  }
+
+  void post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+            std::uint64_t payload) override {
+    if (dst == 0) {
+      e_->schedule_handler(t, fn, ctx, payload);
+      return;
+    }
+    const SimTime la = e_->lookahead();
+    if (t < e_->now() + la) {
+      if (audit::enabled()) {
+        audit::fail(audit::Invariant::kLpLookahead,
+                    "cross-LP post 0->" + std::to_string(dst) + " at t=" +
+                        std::to_string(t) + " violates lookahead " +
+                        std::to_string(la) + " from now=" +
+                        std::to_string(e_->now()),
+                    e_->now());
+        return;  // only reached under ViolationCapture
+      }
+      util::fatal("sim",
+                  "cross-LP post violates the lookahead contract (t=" +
+                      std::to_string(t) + ", now=" +
+                      std::to_string(e_->now()) + ", lookahead=" +
+                      std::to_string(la) + ")");
+    }
+    e_->route(0, dst, t, fn, ctx, payload);
+  }
+
+ private:
+  ParallelEngine* const e_;
+};
+
+/// Completion latch for one round's LP jobs; also carries the first
+/// exception a handler threw on a pool worker back to the caller.
+struct RoundLatch {
+  util::Mutex m;
+  util::CondVar cv;
+  int remaining GUARDED_BY(m) = 0;
+  std::exception_ptr first_error GUARDED_BY(m);
+
+  void arm(int n) {
+    util::ScopedLock lk(m);
+    remaining = n;
+  }
+  void count_down(std::exception_ptr err) {
+    util::ScopedLock lk(m);
+    if (err && !first_error) first_error = err;
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait_and_rethrow() {
+    std::exception_ptr err;
+    {
+      util::ScopedLock lk(m);
+      cv.wait(m, [this] {
+        m.assert_held();
+        return remaining == 0;
+      });
+      err = first_error;
+      first_error = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+};
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(std::uint32_t lps, EventQueueKind queue_kind)
+    : Engine(queue_kind),
+      nlps_(std::max<std::uint32_t>(1, std::min(lps, kMaxLps))) {
+  lps_.reserve(nlps_ > 0 ? nlps_ - 1 : 0);
+  for (LpId k = 1; k < nlps_; ++k) {
+    lps_.push_back(std::make_unique<Lp>(k, nlps_, queue_kind, this));
+  }
+  if (nlps_ > 1) {
+    links_.resize(static_cast<std::size_t>(nlps_) * nlps_);
+    for (LpId src = 0; src < nlps_; ++src) {
+      for (LpId dst = 0; dst < nlps_; ++dst) {
+        if (src == dst) continue;
+        links_[static_cast<std::size_t>(src) * nlps_ + dst] =
+            std::make_unique<InterLpLink>();
+      }
+    }
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::set_lookahead_hint(SimTime lookahead) noexcept {
+  if (lookahead < 0.0) lookahead = 0.0;
+  lookahead_.store(lookahead, std::memory_order_relaxed);
+}
+
+Lp& ParallelEngine::lp_ref(LpId k) {
+  if (k == 0 || k >= nlps_) {
+    util::fatal("sim", "lp_ref: LP " + std::to_string(k) +
+                           " out of range [1, " + std::to_string(nlps_) + ")");
+  }
+  return *lps_[k - 1];
+}
+
+std::uint64_t ParallelEngine::link_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) {
+    if (l) n += l->pushed();
+  }
+  return n;
+}
+
+std::uint64_t ParallelEngine::link_spills() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) {
+    if (l) n += l->spilled();
+  }
+  return n;
+}
+
+void ParallelEngine::route(LpId src, LpId dst, SimTime t, LpHandler fn,
+                           void* ctx, std::uint64_t payload) {
+  if (src >= nlps_ || dst >= nlps_ || src == dst) {
+    util::fatal("sim", "route: bad LP pair " + std::to_string(src) + "->" +
+                           std::to_string(dst));
+  }
+  links_[static_cast<std::size_t>(src) * nlps_ + dst]->push(
+      LinkMsg{t, 0, fn, ctx, payload, src});
+  remote_posted_.store(true, std::memory_order_relaxed);
+}
+
+VT_PURE void ParallelEngine::post_handler(LpId lp, SimTime t, LpHandler fn,
+                                          void* ctx, std::uint64_t payload) {
+  if (lp == 0) {
+    schedule_handler(t, fn, ctx, payload);
+    return;
+  }
+  if (lp >= nlps_) {
+    util::fatal("sim", "post_handler: LP " + std::to_string(lp) +
+                           " out of range [0, " + std::to_string(nlps_) + ")");
+  }
+  lps_[lp - 1]->ingest(t, fn, ctx, payload);
+}
+
+std::uint64_t ParallelEngine::total_events_processed() const noexcept {
+  std::uint64_t n = events_processed();
+  for (const auto& lp : lps_) n += lp->events_processed();
+  return n;
+}
+
+std::vector<LpClock> ParallelEngine::lp_clock_snaps() const {
+  std::vector<LpClock> snaps;
+  for (const auto& lp : lps_) {
+    // Activity-gated: idle LPs contribute nothing, so a parallel run of a
+    // pure-coroutine program snapshots byte-identically to the serial one.
+    if (lp->events_processed() == 0 && lp->next_local_seq() == 0 &&
+        lp->now() == 0.0) {
+      continue;
+    }
+    snaps.push_back(LpClock{lp->lp(), lp->now(), lp->next_local_seq(),
+                            lp->events_processed()});
+  }
+  return snaps;
+}
+
+void ParallelEngine::restore_lp_clocks(const std::vector<LpClock>& clocks) {
+  for (const LpClock& c : clocks) {
+    if (c.lp == 0 || c.lp >= nlps_) {
+      util::fatal("sim", "restore_lp_clocks: snapshot LP " +
+                             std::to_string(c.lp) + " not in this engine (" +
+                             std::to_string(nlps_) + " LPs)");
+    }
+    Lp& lp = *lps_[c.lp - 1];
+    lp.restore_clock(c.now);
+    lp.restore_counters(c.next_seq, c.processed);
+  }
+}
+
+void ParallelEngine::ensure_pool() {
+  if (pool_) return;
+  const unsigned hw = util::ThreadPool::default_threads();
+  const unsigned width = std::max(
+      1u, std::min(nlps_ - 1, hw > 1 ? hw - 1 : 1u));
+  pool_ = std::make_unique<util::ThreadPool>(width);
+}
+
+VT_PURE std::uint64_t ParallelEngine::drain_lp0(SimTime cap,
+                                                bool stop_on_remote_post) {
+  BaseLpRuntime rt(this);
+  std::uint64_t ran = 0;
+  while (!queue_->empty() && queue_->next_time() <= cap) {
+    ScheduledEvent ev = queue_->pop();
+    if (audit::enabled()) audit_pop(ev.t);
+    now_ = ev.t;
+    ++processed_;
+    ++ran;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)});
+    }
+    if (ev.fn != nullptr) {
+      ev.fn(rt, ev.ctx, ev.payload);
+    } else {
+      ev.handle.resume();
+    }
+    if (stop_on_remote_post &&
+        remote_posted_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return ran;
+}
+
+std::size_t ParallelEngine::drain_all_links() {
+  if (nlps_ <= 1) return 0;
+  std::size_t total = 0;
+  for (LpId dst = 0; dst < nlps_; ++dst) {
+    drain_scratch_.clear();
+    for (LpId src = 0; src < nlps_; ++src) {
+      if (src == dst) continue;
+      links_[static_cast<std::size_t>(src) * nlps_ + dst]->drain(
+          drain_scratch_);
+    }
+    if (drain_scratch_.empty()) continue;
+    // Deterministic ingest order — this IS the tie order at equal t.
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+              [](const LinkMsg& a, const LinkMsg& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.src != b.src) return a.src < b.src;
+                return a.src_seq < b.src_seq;
+              });
+    if (audit::enabled()) {
+      // Global merged-order: the (t, src, src_seq) keys must be strictly
+      // increasing — a duplicate key would make the merge ambiguous.
+      for (std::size_t i = 1; i < drain_scratch_.size(); ++i) {
+        const LinkMsg& a = drain_scratch_[i - 1];
+        const LinkMsg& b = drain_scratch_[i];
+        if (a.t == b.t && a.src == b.src && a.src_seq == b.src_seq) {
+          audit::fail(audit::Invariant::kLpMergedOrder,
+                      "duplicate (t, lp, seq) key in link merge: t=" +
+                          std::to_string(b.t) + " src=" +
+                          std::to_string(b.src),
+                      b.t);
+        }
+      }
+    }
+    for (const LinkMsg& m : drain_scratch_) {
+      if (dst == 0) {
+        schedule_handler(m.t, m.fn, m.ctx, m.payload);
+      } else {
+        lps_[dst - 1]->ingest(m.t, m.fn, m.ctx, m.payload);
+      }
+    }
+    total += drain_scratch_.size();
+  }
+  return total;
+}
+
+void ParallelEngine::merge_lp_traces(obs::TraceSink* caller_sink) {
+  if (caller_sink == nullptr) return;
+  for (auto& lp : lps_) {
+    obs::MemorySink& buf = lp->trace_buffer();
+    if (buf.events().empty()) continue;
+    if (audit::enabled()) {
+      // Per-LP streams must be time-monotone or the (t, lp, local seq)
+      // merge key is not a faithful execution order.
+      SimTime prev = -kNoEvent;
+      for (const obs::TraceEvent& e : buf.events()) {
+        if (e.t < prev) {
+          audit::fail(audit::Invariant::kLpMergedOrder,
+                      "LP " + std::to_string(lp->lp()) +
+                          " trace stream went backwards at t=" +
+                          std::to_string(e.t),
+                      e.t);
+        }
+        prev = e.t;
+      }
+    }
+    for (const obs::TraceEvent& e : buf.events()) caller_sink->record(e);
+    buf.clear();
+  }
+}
+
+void ParallelEngine::run_rounds(bool bounded, SimTime t_end) {
+  obs::TraceSink* caller_sink = obs::current();
+  const bool traced = caller_sink != nullptr;
+  const std::uint64_t owner_tag = audit_run_tag_;
+  for (;;) {
+    drain_all_links();
+
+    SimTime t_min = kNoEvent;
+    std::uint32_t active = 0;
+    const bool lp0_active = !queue_->empty();
+    if (lp0_active) {
+      t_min = queue_->next_time();
+      ++active;
+    }
+    LpId solo_lp = 0;
+    for (LpId k = 1; k < nlps_; ++k) {
+      Lp& lp = *lps_[k - 1];
+      if (!lp.has_events()) continue;
+      ++active;
+      solo_lp = k;
+      const SimTime t = lp.next_time();
+      if (t < t_min) t_min = t;
+    }
+    if (active == 0) break;
+    if (bounded && t_min > t_end) break;
+    ++rounds_;
+
+    if (active == 1) {
+      // Solo fast path: one LP owns every pending event and the links are
+      // empty, so it may run unbounded — no other LP can be affected until
+      // it posts cross-LP, at which point it stops and the loop falls back
+      // to windowed rounds.
+      remote_posted_.store(false, std::memory_order_relaxed);
+      const SimTime cap = bounded ? t_end : kNoEvent;
+      if (lp0_active) {
+        drain_lp0(cap, /*stop_on_remote_post=*/true);
+      } else {
+        Lp& lp = *lps_[solo_lp - 1];
+        lp.set_lookahead(lookahead());
+        std::optional<obs::ScopedSink> sink;
+        if (traced) sink.emplace(lp.trace_buffer());
+        lp.advance_to(cap, &remote_posted_);
+      }
+      continue;
+    }
+
+    SimTime horizon = t_min + lookahead();
+    if (bounded && horizon > t_end) horizon = t_end;
+
+    ensure_pool();
+    RoundLatch latch;
+    int jobs = 0;
+    for (LpId k = 1; k < nlps_; ++k) {
+      if (lps_[k - 1]->has_events()) ++jobs;
+    }
+    latch.arm(jobs);
+    for (LpId k = 1; k < nlps_; ++k) {
+      Lp* lp = lps_[k - 1].get();
+      if (!lp->has_events()) continue;
+      lp->set_lookahead(lookahead());
+      pool_->submit([lp, horizon, traced, owner_tag, &latch] {
+        std::exception_ptr err;
+        try {
+          util::RunTagAdopt adopt(owner_tag);
+          std::optional<obs::ScopedSink> sink;
+          if (traced) sink.emplace(lp->trace_buffer());
+          lp->advance_to(horizon);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        latch.count_down(err);
+      });
+    }
+    if (lp0_active) drain_lp0(horizon, /*stop_on_remote_post=*/false);
+    latch.wait_and_rethrow();
+  }
+  merge_lp_traces(caller_sink);
+}
+
+VT_PURE void ParallelEngine::run() {
+  run_rounds(/*bounded=*/false, 0.0);
+  rethrow_pending_failure();
+}
+
+VT_PURE void ParallelEngine::run_until(SimTime t_end) {
+  run_rounds(/*bounded=*/true, t_end);
+  if (now_ < t_end) now_ = t_end;
+  for (auto& lp : lps_) lp->advance_clock_to(t_end);
+  rethrow_pending_failure();
+}
+
+// ---------------------------------------------------------------------------
+// Engine factory (OPALSIM_ENGINE / OPALSIM_LPS)
+
+namespace {
+
+enum : int { kEngineUnset = -1 };
+
+std::atomic<int> g_default_engine{kEngineUnset};
+std::atomic<std::uint32_t> g_default_lps{0};  // 0 = not yet latched
+
+HOST_ONLY EngineKind latch_engine_kind() {
+  int cur = g_default_engine.load(std::memory_order_relaxed);
+  if (cur != kEngineUnset) return static_cast<EngineKind>(cur);
+  EngineKind kind = EngineKind::kSerial;
+  const auto v = util::env_string("OPALSIM_ENGINE");
+  if (v && *v == "parallel") {
+    kind = EngineKind::kParallel;
+  } else if (v && !v->empty() && *v != "serial") {
+    util::fatal("sim", "OPALSIM_ENGINE must be serial or parallel, got '" +
+                           *v + "'");
+  }
+  g_default_engine.store(static_cast<int>(kind), std::memory_order_relaxed);
+  return kind;
+}
+
+HOST_ONLY std::uint32_t latch_lps() {
+  std::uint32_t cur = g_default_lps.load(std::memory_order_relaxed);
+  if (cur != 0) return cur;
+  long v = util::env_long("OPALSIM_LPS", 1);
+  if (v < 1) v = 1;
+  if (v > static_cast<long>(ParallelEngine::kMaxLps)) {
+    v = ParallelEngine::kMaxLps;
+  }
+  const auto lps = static_cast<std::uint32_t>(v);
+  g_default_lps.store(lps, std::memory_order_relaxed);
+  return lps;
+}
+
+}  // namespace
+
+EngineKind default_engine() noexcept { return latch_engine_kind(); }
+
+void set_default_engine(EngineKind kind) noexcept {
+  g_default_engine.store(static_cast<int>(kind), std::memory_order_relaxed);
+}
+
+std::uint32_t default_lps() noexcept { return latch_lps(); }
+
+void set_default_lps(std::uint32_t lps) noexcept {
+  if (lps < 1) lps = 1;
+  if (lps > ParallelEngine::kMaxLps) lps = ParallelEngine::kMaxLps;
+  g_default_lps.store(lps, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, std::uint32_t lps) {
+  if (kind == EngineKind::kParallel) {
+    return std::make_unique<ParallelEngine>(lps);
+  }
+  return std::make_unique<Engine>();
+}
+
+std::unique_ptr<Engine> make_engine() {
+  return make_engine(default_engine(), default_lps());
+}
+
+}  // namespace opalsim::sim

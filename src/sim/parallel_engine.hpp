@@ -1,0 +1,132 @@
+// LP-sharded conservative-lookahead parallel DES engine.
+//
+// ParallelEngine is API-compatible with Engine (selected at runtime via
+// OPALSIM_ENGINE=serial|parallel and OPALSIM_LPS=N — see make_engine in
+// sim/engine.hpp) and derives from it: the base Engine members ARE logical
+// process 0.  Every coroutine process spawns onto LP 0 and executes on the
+// thread that called run(), so coroutine programs — the whole ParallelOpal /
+// PVM / sciddle stack — produce byte-identical sweep CSVs, traces, metrics
+// and checkpoint images on either engine at any LP count.  LPs 1..N-1 host
+// handler events (sim/lp.hpp) and are where partitioned workloads (see
+// bench_pdes) actually scale.
+//
+// Execution model — synchronous conservative windows:
+//   round:  drain every inter-LP link into its destination queue, in
+//           sorted (t, src LP, per-link seq) order;
+//           t_min   = min over LPs of next event time;
+//           horizon = t_min + lookahead (the active network model's
+//                     minimum latency, via set_lookahead_hint);
+//           every LP with pending events advances to the horizon — LP 0
+//           inline on the caller thread, LPs >= 1 as jobs on a work-
+//           stealing ThreadPool — then all rounds barrier.
+//   solo fast path: when exactly one LP holds events and no message is in
+//           flight, that LP runs unbounded until it posts cross-LP (the
+//           serial engine's loop, literally, for pure-coroutine programs).
+//
+// Cross-LP posts must arrive >= lookahead after the sender's clock
+// (audited: lp-lookahead), so a receiver that advanced to the horizon can
+// never be handed an event in its past: windows are safe without per-link
+// null messages.  With lookahead 0 the horizon degenerates to t_min and
+// only ties at t_min run per round — still correct, just slow.
+//
+// Determinism: per-LP streams execute in (t, local seq) order, link drains
+// are sorted, and per-LP trace buffers merge into the caller's sink at the
+// observation boundary in (t, lp, local seq) order (audited:
+// lp-merged-order).  No wall clock, thread id or scheduling artifact ever
+// reaches an observable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/lp.hpp"
+#include "util/domains.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opalsim::sim {
+
+class ParallelEngine final : public Engine, public LpRouter {
+ public:
+  /// `lps` is clamped to [1, kMaxLps].  With lps == 1 the engine IS the
+  /// serial engine (base run loop, no pool, no links).
+  explicit ParallelEngine(std::uint32_t lps)
+      : ParallelEngine(lps, default_event_queue()) {}
+  ParallelEngine(std::uint32_t lps, EventQueueKind queue_kind);
+  ~ParallelEngine() override;
+
+  static constexpr std::uint32_t kMaxLps = 64;
+
+  std::uint32_t lps() const noexcept override { return nlps_; }
+  void set_lookahead_hint(SimTime lookahead) noexcept override;
+  SimTime lookahead() const noexcept {
+    return lookahead_.load(std::memory_order_relaxed);
+  }
+
+  VT_PURE void run() override;
+  VT_PURE void run_until(SimTime t_end) override;
+
+  VT_PURE void post_handler(LpId lp, SimTime t, LpHandler fn, void* ctx,
+                            std::uint64_t payload) override;
+
+  std::uint64_t total_events_processed() const noexcept override;
+  std::vector<LpClock> lp_clock_snaps() const override;
+  void restore_lp_clocks(const std::vector<LpClock>& clocks) override;
+
+  // -- introspection (bench/tests) -------------------------------------------
+  /// Conservative windows executed (0 for a run that never left the solo
+  /// fast path after its first window).
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Messages that crossed an inter-LP link.
+  std::uint64_t link_messages() const noexcept;
+  /// Messages that overflowed a link's ring into the spill vector.
+  std::uint64_t link_spills() const noexcept;
+  /// Direct access to LP k (k in [1, lps())) for tests.
+  Lp& lp_ref(LpId k);
+
+  // -- LpRouter ----------------------------------------------------------------
+  /// Pushes a message onto the (src, dst) link.  Lookahead is checked by
+  /// the posting runtime (Lp::post / the base-LP adapter) before routing.
+  void route(LpId src, LpId dst, SimTime t, LpHandler fn, void* ctx,
+             std::uint64_t payload) override;
+
+ private:
+  friend class BaseLpRuntime;
+
+  /// Round loop.  Deliberately untagged: it is the seam where virtual-time
+  /// work (drain_lp0, the LPs' advance loops — all VT_PURE) meets the
+  /// HOST_ONLY thread-pool dispatch that carries it.
+  void run_rounds(bool bounded, SimTime t_end);
+  /// Runs base-queue (LP 0) events with t <= cap on the caller thread.
+  VT_PURE std::uint64_t drain_lp0(SimTime cap, bool stop_on_remote_post);
+  /// Drains every link into its destination queue in sorted
+  /// (t, src, src_seq) order; returns messages ingested.
+  std::size_t drain_all_links();
+  /// Appends each LP's trace buffer to the caller's sink in LP order
+  /// (export sorts by (t, seq), so the result reads (t, lp, local seq)).
+  void merge_lp_traces(obs::TraceSink* caller_sink);
+  void ensure_pool();
+
+  const std::uint32_t nlps_;
+  /// LPs 1..nlps_-1 (index k-1); LP 0 is the base Engine.  The vector is
+  /// built at construction and never resized; each Lp is LP-confined.
+  std::vector<std::unique_ptr<Lp>> lps_;
+  /// links_[src * nlps_ + dst], src != dst; cross-LP-safe by design.
+  std::vector<std::unique_ptr<InterLpLink>> links_;
+  /// Created on the first multi-LP round (pure-coroutine runs never spawn
+  /// a thread); internally synchronized.
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Window width; written by the platform layer before run(), read by
+  /// round dispatch.  Atomic so a late hint is still race-free.
+  std::atomic<SimTime> lookahead_{0.0};
+  /// Set by route() from any LP's round thread; the solo fast path polls
+  /// it to fall back to windowed rounds.
+  std::atomic<bool> remote_posted_{false};
+  // Caller-thread-only round bookkeeping (never touched by LP jobs).
+  std::uint64_t rounds_ = 0;               // lint:allow(lp-shared-state): caller-thread only
+  std::vector<LinkMsg> drain_scratch_;     // lint:allow(lp-shared-state): caller-thread only
+};
+
+}  // namespace opalsim::sim

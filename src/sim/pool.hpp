@@ -57,6 +57,12 @@ class FramePool {
   /// Allocates `n` bytes from the calling thread's pool (16-byte aligned).
   static void* allocate_raw(std::size_t n) { return local().allocate(n); }
 
+  /// Allocates from THIS pool instance (16-byte aligned).  Used by per-LP
+  /// arenas (sim/lp.hpp): an Lp owns a private pool that is touched by one
+  /// thread at a time, with round barriers ordering the handoffs.  Free
+  /// with the static deallocate() — the header routes back here.
+  void* allocate(std::size_t n);
+
   /// Frees a block from allocate_raw, routing via the block header.  Must
   /// run on the allocating thread for pooled blocks (debug-asserted).
   static void deallocate(void* p) noexcept;
@@ -81,8 +87,6 @@ class FramePool {
   static constexpr std::size_t kGranule = 64;
   static constexpr std::size_t kClasses = 64;      // pooled up to 4 KiB
   static constexpr std::size_t kSlabBytes = std::size_t{64} * 1024;
-
-  void* allocate(std::size_t n);
 
   std::vector<void*> free_lists_[kClasses];
   std::vector<std::unique_ptr<unsigned char[]>> slabs_;

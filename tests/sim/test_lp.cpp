@@ -1,0 +1,365 @@
+// Unit tests for the LP sharding primitives (sim/lp.hpp): the deterministic
+// owner partition, the bounded SPSC inter-LP link (ring + overflow spill,
+// per-link seq FIFO audit), and the Lp advance loop with its lookahead and
+// time-monotonicity contracts.
+#include "sim/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
+#include "util/fatal.hpp"
+
+namespace {
+
+using opalsim::sim::EventQueueKind;
+using opalsim::sim::InterLpLink;
+using opalsim::sim::LinkMsg;
+using opalsim::sim::Lp;
+using opalsim::sim::LpId;
+using opalsim::sim::LpRouter;
+using opalsim::sim::LpRuntime;
+using opalsim::sim::OwnerPartition;
+using opalsim::sim::SimTime;
+namespace audit = opalsim::sim::audit;
+
+// ---------------------------------------------------------------------------
+// OwnerPartition
+
+TEST(OwnerPartition, BlocksAreContiguousAndCoverEveryItem) {
+  for (std::uint32_t items : {1u, 7u, 64u, 100u, 257u}) {
+    for (std::uint32_t lps : {1u, 2u, 3u, 4u, 7u}) {
+      OwnerPartition p(items, lps);
+      // Counts sum to items; blocks are contiguous and in LP order.
+      std::uint32_t covered = 0;
+      for (LpId k = 0; k < lps; ++k) {
+        EXPECT_EQ(p.first(k), covered) << items << "/" << lps << " lp " << k;
+        covered += p.count(k);
+      }
+      EXPECT_EQ(covered, items) << items << "/" << lps;
+      // owner() is the exact inverse of first()/count().
+      for (std::uint32_t i = 0; i < items; ++i) {
+        const LpId k = p.owner(i);
+        ASSERT_LT(k, lps);
+        EXPECT_GE(i, p.first(k));
+        EXPECT_LT(i, p.first(k) + p.count(k));
+      }
+    }
+  }
+}
+
+TEST(OwnerPartition, RemainderGoesToLowestLps) {
+  OwnerPartition p(10, 4);  // 3,3,2,2
+  EXPECT_EQ(p.count(0), 3u);
+  EXPECT_EQ(p.count(1), 3u);
+  EXPECT_EQ(p.count(2), 2u);
+  EXPECT_EQ(p.count(3), 2u);
+  EXPECT_EQ(p.owner(0), 0u);
+  EXPECT_EQ(p.owner(2), 0u);
+  EXPECT_EQ(p.owner(3), 1u);
+  EXPECT_EQ(p.owner(6), 2u);
+  EXPECT_EQ(p.owner(9), 3u);
+}
+
+TEST(OwnerPartition, FewerItemsThanLpsPinsItemIToLpI) {
+  OwnerPartition p(3, 8);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.owner(i), i);
+    EXPECT_EQ(p.count(i), 1u);
+  }
+  for (LpId k = 3; k < 8; ++k) EXPECT_EQ(p.count(k), 0u);
+}
+
+TEST(OwnerPartition, ZeroLpsClampsToOne) {
+  OwnerPartition p(5, 0);
+  EXPECT_EQ(p.lps(), 1u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(p.owner(i), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// InterLpLink
+
+TEST(InterLpLink, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(InterLpLink(0).capacity(), 2u);
+  EXPECT_EQ(InterLpLink(3).capacity(), 4u);
+  EXPECT_EQ(InterLpLink(4).capacity(), 4u);
+  EXPECT_EQ(InterLpLink(5).capacity(), 8u);
+}
+
+TEST(InterLpLink, DrainPreservesPushOrderAndAssignsSeq) {
+  InterLpLink link(16);
+  for (int i = 0; i < 10; ++i) {
+    LinkMsg m;
+    m.t = 1.0 + i;
+    m.payload = static_cast<std::uint64_t>(i);
+    link.push(m);
+  }
+  std::vector<LinkMsg> out;
+  EXPECT_EQ(link.drain(out), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].src_seq, i);
+    EXPECT_EQ(out[i].payload, i);
+  }
+  EXPECT_EQ(link.pushed(), 10u);
+  EXPECT_EQ(link.spilled(), 0u);
+  // The link is empty after a drain.
+  out.clear();
+  EXPECT_EQ(link.drain(out), 0u);
+}
+
+TEST(InterLpLink, OverflowSpillsAndDrainKeepsSeqOrder) {
+  audit::ScopedEnable audit_on;  // exercise the FIFO check over the spill
+  InterLpLink link(4);
+  ASSERT_EQ(link.capacity(), 4u);
+  for (int i = 0; i < 11; ++i) {
+    LinkMsg m;
+    m.t = static_cast<SimTime>(i);
+    link.push(m);
+  }
+  EXPECT_EQ(link.pushed(), 11u);
+  EXPECT_EQ(link.spilled(), 7u);  // 4 ring slots, 7 past the bound
+  std::vector<LinkMsg> out;
+  EXPECT_EQ(link.drain(out), 11u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].src_seq, i);
+}
+
+TEST(InterLpLink, SeqStaysMonotoneAcrossDrainCycles) {
+  audit::ScopedEnable audit_on;  // the cross-drain FIFO check must pass
+  InterLpLink link(8);
+  std::vector<LinkMsg> out;
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 5; ++i) link.push(LinkMsg{});
+    out.clear();
+    EXPECT_EQ(link.drain(out), 5u);
+    for (const LinkMsg& m : out) EXPECT_EQ(m.src_seq, expect++);
+  }
+}
+
+// The round protocol: one producer thread pushes a batch, the barrier (here a
+// join) hands the link to the consumer, which drains.  Repeated cycles give
+// TSan a real inter-thread schedule over the ring's acquire/release pair.
+TEST(InterLpLink, ProducerRoundsThenBarrierDrainIsRaceFree) {
+  InterLpLink link(8);  // small ring so spills happen under TSan too
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::thread producer([&link, round] {
+      for (int i = 0; i < 12; ++i) {
+        LinkMsg m;
+        m.t = round + i * 0.01;
+        link.push(m);
+      }
+    });
+    producer.join();  // the round barrier's happens-before edge
+    std::vector<LinkMsg> out;
+    EXPECT_EQ(link.drain(out), 12u);
+    for (const LinkMsg& m : out) EXPECT_EQ(m.src_seq, expect++);
+  }
+  EXPECT_EQ(link.pushed(), 96u);
+  EXPECT_GT(link.spilled(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lp
+
+/// Router stub recording every cross-LP post it is handed.
+struct RecordingRouter final : LpRouter {
+  struct Call {
+    LpId src, dst;
+    SimTime t;
+    std::uint64_t payload;
+  };
+  std::vector<Call> calls;
+  void route(LpId src, LpId dst, SimTime t, opalsim::sim::LpHandler fn,
+             void* ctx, std::uint64_t payload) override {
+    (void)fn;
+    (void)ctx;
+    calls.push_back({src, dst, t, payload});
+  }
+};
+
+struct TraceCtx {
+  std::vector<std::pair<SimTime, std::uint64_t>> ran;
+  std::vector<LpId> lp_seen;
+};
+
+void record_handler(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  auto* tc = static_cast<TraceCtx*>(ctx);
+  tc->ran.emplace_back(rt.now(), payload);
+  tc->lp_seen.push_back(opalsim::sim::current_lp());
+}
+
+TEST(Lp, AdvanceRunsEventsInTimeOrderUpToHorizon) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  TraceCtx tc;
+  lp.schedule(3.0, &record_handler, &tc, 30);
+  lp.schedule(1.0, &record_handler, &tc, 10);
+  lp.schedule(2.0, &record_handler, &tc, 20);
+  lp.schedule(5.0, &record_handler, &tc, 50);
+  EXPECT_EQ(lp.advance_to(3.0), 3u);
+  ASSERT_EQ(tc.ran.size(), 3u);
+  EXPECT_EQ(tc.ran[0].second, 10u);
+  EXPECT_EQ(tc.ran[1].second, 20u);
+  EXPECT_EQ(tc.ran[2].second, 30u);
+  EXPECT_DOUBLE_EQ(lp.now(), 3.0);
+  EXPECT_EQ(lp.events_processed(), 3u);
+  EXPECT_TRUE(lp.has_events());  // t=5 still pending
+  EXPECT_DOUBLE_EQ(lp.next_time(), 5.0);
+  // Handlers observed their own LP id via the thread-local scope.
+  for (LpId seen : tc.lp_seen) EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(opalsim::sim::current_lp(), 0u);  // restored outside the loop
+}
+
+void chain_handler(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  auto* tc = static_cast<TraceCtx*>(ctx);
+  tc->ran.emplace_back(rt.now(), payload);
+  if (payload < 3) rt.schedule(rt.now() + 0.5, &chain_handler, ctx, payload + 1);
+}
+
+TEST(Lp, EventsScheduledInsideHorizonRunInSameAdvance) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kHeap, &router);
+  TraceCtx tc;
+  lp.schedule(1.0, &chain_handler, &tc, 0);
+  // 1.0, 1.5, 2.0 fall inside the horizon; the payload-3 event at 2.5 stays.
+  EXPECT_EQ(lp.advance_to(2.0), 3u);
+  EXPECT_TRUE(lp.has_events());
+  EXPECT_EQ(lp.advance_to(10.0), 1u);
+  EXPECT_FALSE(lp.has_events());
+}
+
+TEST(Lp, PostToSelfIsScheduleAndIgnoresLookahead) {
+  RecordingRouter router;
+  Lp lp(2, 4, EventQueueKind::kLadder, &router);
+  lp.set_lookahead(1.0);
+  TraceCtx tc;
+  lp.post(2, 0.25, &record_handler, &tc, 7);  // below lookahead: legal on self
+  EXPECT_EQ(lp.advance_to(1.0), 1u);
+  EXPECT_TRUE(router.calls.empty());
+  ASSERT_EQ(tc.ran.size(), 1u);
+  EXPECT_EQ(tc.ran[0].second, 7u);
+}
+
+TEST(Lp, CrossLpPostRoutesWhenLookaheadHolds) {
+  RecordingRouter router;
+  Lp lp(1, 4, EventQueueKind::kLadder, &router);
+  lp.set_lookahead(0.5);
+  lp.post(3, 0.5, nullptr, nullptr, 42);  // t == now + lookahead: legal
+  ASSERT_EQ(router.calls.size(), 1u);
+  EXPECT_EQ(router.calls[0].src, 1u);
+  EXPECT_EQ(router.calls[0].dst, 3u);
+  EXPECT_DOUBLE_EQ(router.calls[0].t, 0.5);
+  EXPECT_EQ(router.calls[0].payload, 42u);
+}
+
+TEST(Lp, CrossLpPostBelowLookaheadIsAudited) {
+  RecordingRouter router;
+  Lp lp(1, 4, EventQueueKind::kLadder, &router);
+  lp.set_lookahead(1.0);
+  audit::ViolationCapture capture;
+  lp.post(2, 0.5, nullptr, nullptr, 0);
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kLpLookahead);
+  EXPECT_TRUE(router.calls.empty());  // the violating post is dropped
+}
+
+TEST(Lp, ScheduleInThePastIsAudited) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  TraceCtx tc;
+  lp.schedule(2.0, &record_handler, &tc, 0);
+  lp.advance_to(2.0);
+  audit::ViolationCapture capture;
+  lp.schedule(1.0, &record_handler, &tc, 1);
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kTimeMonotonic);
+}
+
+TEST(Lp, IngestBehindClockIsAudited) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  TraceCtx tc;
+  lp.schedule(3.0, &record_handler, &tc, 0);
+  lp.advance_to(3.0);
+  audit::ViolationCapture capture;
+  lp.ingest(1.0, &record_handler, &tc, 1);
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kTimeMonotonic);
+}
+
+TEST(Lp, IngestAssignsLocalSeqInCallOrder) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kHeap, &router);
+  TraceCtx tc;
+  // Same t: tie order is the deterministic ingest call order.
+  lp.ingest(1.0, &record_handler, &tc, 100);
+  lp.ingest(1.0, &record_handler, &tc, 200);
+  lp.ingest(1.0, &record_handler, &tc, 300);
+  EXPECT_EQ(lp.next_local_seq(), 3u);
+  lp.advance_to(1.0);
+  ASSERT_EQ(tc.ran.size(), 3u);
+  EXPECT_EQ(tc.ran[0].second, 100u);
+  EXPECT_EQ(tc.ran[1].second, 200u);
+  EXPECT_EQ(tc.ran[2].second, 300u);
+}
+
+void stop_handler(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  (void)rt;
+  (void)payload;
+  static_cast<std::atomic<bool>*>(ctx)->store(true,
+                                              std::memory_order_relaxed);
+}
+
+TEST(Lp, AdvanceStopsEarlyWhenStopFlagFires) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  std::atomic<bool> stop{false};
+  lp.schedule(1.0, &stop_handler, &stop, 0);
+  lp.schedule(2.0, &stop_handler, &stop, 0);
+  lp.schedule(3.0, &stop_handler, &stop, 0);
+  EXPECT_EQ(lp.advance_to(10.0, &stop), 1u);  // first event trips the flag
+  EXPECT_TRUE(lp.has_events());
+  stop.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(lp.advance_to(10.0, &stop), 1u);
+}
+
+TEST(Lp, CoroutineEventOnAnLpIsFatal) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  lp.schedule(1.0, nullptr, nullptr, 0);  // fn == nullptr marks a coroutine
+  EXPECT_THROW(lp.advance_to(1.0), opalsim::util::FatalError);
+}
+
+TEST(Lp, CheckpointHooksRestoreClockAndCounters) {
+  RecordingRouter router;
+  Lp lp(1, 2, EventQueueKind::kLadder, &router);
+  lp.restore_clock(7.5);
+  lp.restore_counters(/*next_seq=*/11, /*processed=*/9);
+  EXPECT_DOUBLE_EQ(lp.now(), 7.5);
+  EXPECT_EQ(lp.next_local_seq(), 11u);
+  EXPECT_EQ(lp.events_processed(), 9u);
+  lp.advance_clock_to(5.0);  // never backwards
+  EXPECT_DOUBLE_EQ(lp.now(), 7.5);
+  lp.advance_clock_to(9.0);
+  EXPECT_DOUBLE_EQ(lp.now(), 9.0);
+}
+
+TEST(Lp, RuntimeSurfaceReportsIdentity) {
+  RecordingRouter router;
+  Lp lp(3, 8, EventQueueKind::kLadder, &router);
+  lp.set_lookahead(0.25);
+  const LpRuntime& rt = lp;
+  EXPECT_EQ(rt.lp(), 3u);
+  EXPECT_EQ(rt.lps(), 8u);
+  EXPECT_DOUBLE_EQ(rt.lookahead(), 0.25);
+  EXPECT_DOUBLE_EQ(rt.now(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// lp-shared-state violation: a class in the LP sharding layer with a plain
+// mutable member and no ownership marker — a pool worker and the merge
+// thread could both touch counter_ with nothing ordering the accesses.
+#include <cstdint>
+
+class RoundBookkeeping {
+ public:
+  void bump() { counter_ += 1; }
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  std::uint64_t counter_ = 0;
+};

@@ -1,0 +1,45 @@
+// lp-shared-state clean fixture: every shape the rule must accept — a
+// marked LP-confined class, a marked cross-LP-safe class, and an unmarked
+// class whose members are all const/atomic/guarded/owned-confined or carry
+// a justified lint:allow.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#define OPALSIM_LP_CONFINED static_assert(true, "lp-confined")
+#define OPALSIM_CROSS_LP_SAFE static_assert(true, "cross-lp-safe")
+#define GUARDED_BY(m)
+
+namespace util {
+class Mutex {};
+class ThreadPool {};
+}  // namespace util
+class Lp {};
+
+class ConfinedState {
+ public:
+  OPALSIM_LP_CONFINED;
+  void bump() { counter_ += 1; }
+
+ private:
+  std::uint64_t counter_ = 0;  // covered by the class-level marker
+};
+
+class ReviewedLink {
+ public:
+  OPALSIM_CROSS_LP_SAFE;
+
+ private:
+  std::uint64_t next_seq_ = 0;
+};
+
+class Dispatcher {
+ private:
+  const std::uint32_t width_ = 4;
+  std::atomic<std::uint64_t> posted_{0};
+  util::Mutex mutex_;
+  std::uint64_t pending_ GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<Lp> lp_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::uint64_t rounds_ = 0;  // lint:allow(lp-shared-state): caller-thread only
+};

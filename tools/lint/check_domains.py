@@ -70,7 +70,8 @@ HOST_PRIMITIVES = re.compile(
     r"(?<![\w:])(?:std::)?getenv\s*\(|"
     r"(?<![\w:])(?:gettimeofday|clock_gettime)\s*\(|"
     r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)|"
-    r"\bHostTimer\b"
+    r"\bHostTimer\b|"
+    r"\bstd::(?:jthread|thread)\b"
 )
 
 # HOST_ONLY simple names too generic for textual call matching (they
@@ -352,6 +353,10 @@ VT_PURE double advance(double t) {
 VT_PURE double stamp(double t) {
   return t + std::chrono::steady_clock::now().time_since_epoch().count();
 }
+VT_PURE void fan_out(double* out) {
+  std::thread worker([out] { *out += 1.0; });
+  worker.join();
+}
 """
 
 CLEAN_FIXTURE = """
@@ -375,14 +380,15 @@ def self_test() -> int:
         src.mkdir()
         (src / "violation.cpp").write_text(VIOLATION_FIXTURE)
         findings = run_text_backend(root, gather_files(root))
-        if len(findings) != 2:
-            print(f"self-test FAIL: expected 2 findings on the violation "
+        if len(findings) != 3:
+            print(f"self-test FAIL: expected 3 findings on the violation "
                   f"fixture, got {len(findings)}:\n" +
                   "\n".join(str(f) for f in findings), file=sys.stderr)
             failures += 1
         else:
             msgs = "\n".join(f.message for f in findings)
-            if "read_env" not in msgs or "steady_clock" not in msgs:
+            if "read_env" not in msgs or "steady_clock" not in msgs or \
+                    "std::thread" not in msgs:
                 print("self-test FAIL: wrong findings:\n" + msgs,
                       file=sys.stderr)
                 failures += 1

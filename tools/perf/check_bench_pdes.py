@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Regression gate for bench_pdes (BENCH_pdes.json).
+
+The parallel-engine scaling bench runs a PHOLD handler workload over a grid
+of engine x LP count x queue kind x scenario cells; every cell must replay
+the identical virtual-time fingerprint, and the 4-LP ladder cell must beat
+the serial one on the large scenario when the host actually has cores.
+
+Gates:
+
+  * "agree": false — the deterministic merge broke somewhere in the grid;
+    always fatal, on any host.
+  * speedup_4lp_large below --min-speedup (default 1.8) — enforced only
+    when the *current* run's host_threads >= --min-threads (default 4):
+    LP rounds cannot beat the serial loop without hardware parallelism, so
+    a 1-core container runs the equivalence grid but skips the speedup bar.
+  * a relative drop of more than --tolerance below the committed baseline's
+    speedup — compared only when the baseline itself was recorded with
+    enough threads (a 1-thread baseline records overhead, not scaling).
+
+Usage:
+  check_bench_pdes.py CURRENT_JSON [--baseline PATH] [--min-speedup 1.8]
+                      [--min-threads 4] [--tolerance 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = (REPO_ROOT / "bench" / "baselines" /
+                    "BENCH_pdes_baseline.json")
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {path}: {exc}")
+    raise AssertionError  # unreachable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=pathlib.Path,
+                        help="BENCH_pdes.json from the run under test")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="absolute 4-LP-vs-serial floor (large scenario)")
+    parser.add_argument("--min-threads", type=int, default=4,
+                        help="host threads required to enforce the speedup")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative speedup drop vs baseline")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    # Determinism is unconditional: every cell of the grid replayed the
+    # same fingerprint, or the engine is wrong regardless of speed.
+    if not current.get("agree", False):
+        fail("serial and parallel engines disagree on the virtual-time "
+             "fingerprint")
+    print("fingerprints: all engine/LP/queue cells agree")
+
+    threads = int(current.get("host_threads", 0))
+    speedup = float(current.get("speedup_4lp_large", 0.0))
+    if threads < args.min_threads:
+        print(f"speedup gate skipped: host_threads={threads} < "
+              f"{args.min_threads} (no hardware parallelism to measure)")
+        print("bench_pdes within baseline envelope")
+        return
+
+    ok = True
+    if speedup < args.min_speedup:
+        ok = False
+        print(f"speedup_4lp_large {speedup:.3f} below absolute floor "
+              f"{args.min_speedup:.2f} — REGRESSION")
+    else:
+        print(f"speedup_4lp_large: {speedup:.3f} "
+              f"(floor {args.min_speedup:.2f}) — ok")
+
+    base_threads = int(baseline.get("host_threads", 0))
+    if base_threads >= args.min_threads:
+        base = float(baseline.get("speedup_4lp_large", 0.0))
+        floor = base * (1.0 - args.tolerance)
+        status = "ok" if speedup >= floor else "REGRESSION"
+        if speedup < floor:
+            ok = False
+        print(f"vs baseline: current {speedup:.3f} vs baseline "
+              f"{base:.3f} (floor {floor:.3f}) — {status}")
+    else:
+        print(f"baseline comparison skipped: baseline recorded with "
+              f"host_threads={base_threads} < {args.min_threads}")
+
+    if not ok:
+        fail("bench_pdes regressed against the committed baseline")
+    print("bench_pdes within baseline envelope")
+
+
+if __name__ == "__main__":
+    main()
+
+
