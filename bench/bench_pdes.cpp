@@ -20,6 +20,12 @@
 // (tools/perf/check_bench_pdes.py) enforces >= 1.8x when the host has the
 // cores for it.
 //
+// A second leg pits the optimistic (Time Warp) engine against the
+// conservative one under a deliberately pessimistic lookahead hint
+// (kLookahead/8): conservative throughput collapses with the window size,
+// optimistic throughput does not — the gate enforces >= 1.5x there, again
+// only on hosts with >= 4 threads.
+//
 // Emits BENCH_pdes.json (path: OPALSIM_BENCH_JSON, or ./BENCH_pdes.json).
 //
 // Knobs:
@@ -37,7 +43,9 @@
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/lp.hpp"
+#include "sim/optimistic_engine.hpp"
 #include "sim/parallel_engine.hpp"
+#include "sim/state_save.hpp"
 #include "util/env.hpp"
 #include "util/host_timer.hpp"
 #include "util/table.hpp"
@@ -148,7 +156,8 @@ struct CellResult {
 };
 
 CellResult run_cell(const Scenario& sc, const Cell& cell,
-                    sim::EventQueueKind qk, int work) {
+                    sim::EventQueueKind qk, int work,
+                    double la_hint = kLookahead) {
   CellResult res;
   PholdCtx ctx;
   ctx.nodes.assign(sc.nodes, NodeState{});
@@ -167,7 +176,7 @@ CellResult run_cell(const Scenario& sc, const Cell& cell,
   } else {
     eng = std::make_unique<sim::Engine>(qk);
   }
-  eng->set_lookahead_hint(kLookahead);
+  eng->set_lookahead_hint(la_hint);
 
   util::HostTimer t;
   for (std::uint32_t i = 0; i < sc.pop; ++i) {
@@ -199,11 +208,90 @@ CellResult run_cell(const Scenario& sc, const Cell& cell,
 }
 
 CellResult best_of(int reps, const Scenario& sc, const Cell& cell,
-                   sim::EventQueueKind qk, int work) {
-  CellResult best = run_cell(sc, cell, qk, work);
+                   sim::EventQueueKind qk, int work,
+                   double la_hint = kLookahead) {
+  CellResult best = run_cell(sc, cell, qk, work, la_hint);
   for (int r = 1; r < reps; ++r) {
-    CellResult next = run_cell(sc, cell, qk, work);
+    CellResult next = run_cell(sc, cell, qk, work, la_hint);
     if (next.fp == best.fp && next.wall_s < best.wall_s) best = next;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic (Time Warp) leg.  The conservative engine's throughput is
+// hostage to the lookahead hint — a pessimistic hint (smaller than the true
+// minimum delay is always legal, just slow) forces tiny windows and round
+// churn.  The optimistic engine has no lookahead contract: each LP
+// speculates ahead and rolls back on stragglers, so its throughput is
+// hint-independent.  This leg runs the large scenario with the conservative
+// engine handicapped to a kLookahead/8 hint and the optimistic engine at
+// the same LP count with a RegionSaver over each LP's node slice, and
+// reports the optimistic-vs-conservative speedup plus the rollback/anti/
+// GVT counters (the cost side of speculation).
+
+struct OptCellResult {
+  CellResult base;
+  sim::OptimisticStats st;
+};
+
+OptCellResult run_optimistic_cell(const Scenario& sc, std::uint32_t lps,
+                                  int work) {
+  OptCellResult res;
+  PholdCtx ctx;
+  ctx.nodes.assign(sc.nodes, NodeState{});
+  ctx.part = sim::OwnerPartition(sc.nodes, lps);
+  ctx.work = work;
+
+  sim::OptimisticEngine eng(lps, sim::EventQueueKind::kLadder);
+  // One POD-region saver per speculating LP (LP 0 runs at the commit
+  // horizon and needs none).  Handlers touch only their node's NodeState,
+  // so the partition slice is the complete mutable image.
+  std::vector<std::unique_ptr<sim::RegionSaver>> savers;
+  for (std::uint32_t k = 1; k < eng.lps(); ++k) {
+    if (ctx.part.count(k) == 0) continue;
+    auto saver = std::make_unique<sim::RegionSaver>();
+    saver->add_region(&ctx.nodes[ctx.part.first(k)],
+                      ctx.part.count(k) * sizeof(NodeState));
+    eng.set_state_saver(static_cast<sim::LpId>(k), saver.get());
+    savers.push_back(std::move(saver));
+  }
+
+  util::HostTimer t;
+  for (std::uint32_t i = 0; i < sc.pop; ++i) {
+    const std::uint32_t node = i % sc.nodes;
+    const double t0 = kLookahead * 0.5 * static_cast<double>(1 + i % 8);
+    const std::uint64_t payload =
+        (splitmix64(0xC0FFEEULL ^ i) << 20) | node;
+    eng.post_handler(ctx.part.owner(node), t0, &phold_handler, &ctx,
+                     payload);
+  }
+  eng.run_until(kLookahead * sc.windows);
+  res.base.wall_s = t.seconds();
+
+  res.base.fp.events = eng.total_events_processed();
+  for (const NodeState& st : ctx.nodes) {
+    res.base.fp.hash ^= st.hash;
+    res.base.fp.visits += st.count;
+    res.base.fp.sum += st.sum;
+    if (st.last_t > res.base.fp.t_last) res.base.fp.t_last = st.last_t;
+  }
+  res.base.events_per_sec =
+      static_cast<double>(res.base.fp.events) /
+      (res.base.wall_s > 0.0 ? res.base.wall_s : 1e-9);
+  res.base.rounds = eng.rounds();
+  res.base.link_msgs = eng.link_messages();
+  res.st = eng.stats();
+  return res;
+}
+
+OptCellResult best_of_optimistic(int reps, const Scenario& sc,
+                                 std::uint32_t lps, int work) {
+  OptCellResult best = run_optimistic_cell(sc, lps, work);
+  for (int r = 1; r < reps; ++r) {
+    OptCellResult next = run_optimistic_cell(sc, lps, work);
+    if (next.base.fp == best.base.fp && next.base.wall_s < best.base.wall_s)
+      best = next;
   }
   return best;
 }
@@ -263,6 +351,53 @@ int main() {
   std::cout << "parallel 4-LP vs serial (large, ladder): x" << speedup
             << (agree ? "" : "  [FINGERPRINT MISMATCH]") << "\n";
 
+  // Optimistic leg: large scenario, 4 LPs, ladder queue.  Conservative
+  // handicapped to a kLookahead/8 hint (tiny windows); optimistic is
+  // hint-free and pays in rollbacks instead.
+  const Scenario& large = kScenarios[kNs - 1];
+  const double tight_hint = kLookahead / 8.0;
+  const CellResult cons_low = best_of(reps, large, Cell{"parallel", 4},
+                                      sim::EventQueueKind::kLadder, work,
+                                      tight_hint);
+  const OptCellResult opt = best_of_optimistic(reps, large, 4, work);
+  const bool opt_agree =
+      cons_low.fp == serial_large.fp && opt.base.fp == serial_large.fp;
+  agree = agree && opt_agree;
+  const double opt_speedup =
+      cons_low.events_per_sec > 0.0
+          ? opt.base.events_per_sec / cons_low.events_per_sec
+          : 0.0;
+  {
+    util::Table t({"engine", "lps", "events", "Mev/s", "rounds",
+                   "rollbacks", "antis", "gvt rounds", "saves"});
+    t.row()
+        .add("cons-low-la")
+        .add(4.0, 0)
+        .add(static_cast<double>(cons_low.fp.events), 0)
+        .add(cons_low.events_per_sec / 1e6, 3)
+        .add(static_cast<double>(cons_low.rounds), 0)
+        .add(0.0, 0)
+        .add(0.0, 0)
+        .add(0.0, 0)
+        .add(0.0, 0);
+    t.row()
+        .add("optimistic")
+        .add(4.0, 0)
+        .add(static_cast<double>(opt.base.fp.events), 0)
+        .add(opt.base.events_per_sec / 1e6, 3)
+        .add(static_cast<double>(opt.base.rounds), 0)
+        .add(static_cast<double>(opt.st.rollbacks), 0)
+        .add(static_cast<double>(opt.st.antis_sent), 0)
+        .add(static_cast<double>(opt.st.gvt_rounds), 0)
+        .add(static_cast<double>(opt.st.state_saves), 0);
+    std::cout << "low-lookahead leg (large, ladder, conservative hint = "
+              << "la/8):\n";
+    bench::emit(t, "pdes_low_la");
+  }
+  std::cout << "optimistic 4-LP vs conservative-low-la (large, ladder): x"
+            << opt_speedup
+            << (opt_agree ? "" : "  [FINGERPRINT MISMATCH]") << "\n";
+
   const std::string path =
       util::env_string("OPALSIM_BENCH_JSON").value_or("BENCH_pdes.json");
   std::ofstream os(path);
@@ -292,7 +427,26 @@ int main() {
        << "    }" << (s + 1 < kNs ? "," : "") << "\n";
   }
   os << "  },\n"
+     << "  \"low_la\": {\n"
+     << "    \"lookahead_hint\": " << tight_hint << ",\n"
+     << "    \"conservative_lps4\": {"
+     << "\"events\": " << cons_low.fp.events
+     << ", \"events_per_sec\": " << cons_low.events_per_sec
+     << ", \"rounds\": " << cons_low.rounds << "},\n"
+     << "    \"optimistic_lps4\": {"
+     << "\"events\": " << opt.base.fp.events
+     << ", \"events_per_sec\": " << opt.base.events_per_sec
+     << ", \"rounds\": " << opt.base.rounds
+     << ", \"gvt_rounds\": " << opt.st.gvt_rounds
+     << ", \"rollbacks\": " << opt.st.rollbacks
+     << ", \"rolled_back\": " << opt.st.rolled_back
+     << ", \"antis_sent\": " << opt.st.antis_sent
+     << ", \"annihilations\": " << opt.st.annihilations
+     << ", \"state_saves\": " << opt.st.state_saves
+     << ", \"fossils\": " << opt.st.fossils << "}\n"
+     << "  },\n"
      << "  \"speedup_4lp_large\": " << speedup << ",\n"
+     << "  \"speedup_optimistic_low_la\": " << opt_speedup << ",\n"
      << "  \"agree\": " << (agree ? "true" : "false") << "\n"
      << "}\n";
   std::cout << "[json] wrote " << path << "\n";

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/engine.hpp"
 #include "util/binio.hpp"
 #include "util/crc32.hpp"
 #include "util/fatal.hpp"
@@ -405,6 +406,14 @@ RunSnapshot decode(const std::vector<std::uint8_t>& image) {
   } catch (const util::DecodeError& e) {
     return bad(e.what());
   }
+}
+
+void require_fully_committed(const sim::Engine& engine) {
+  if (engine.fully_committed()) return;
+  util::fatal("ckpt",
+              "snapshot requested across an uncommitted horizon: the engine "
+              "still holds speculative (rollback-eligible) state; snapshot "
+              "boundaries must follow a completed run()/run_until()");
 }
 
 }  // namespace opalsim::ckpt

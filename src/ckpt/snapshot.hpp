@@ -31,6 +31,10 @@
 
 #include "opal/metrics.hpp"
 
+namespace opalsim::sim {
+class Engine;
+}  // namespace opalsim::sim
+
 namespace opalsim::ckpt {
 
 inline constexpr char kMagic[8] = {'O', 'P', 'A', 'L', 'C', 'K', 'P', 'T'};
@@ -171,5 +175,13 @@ std::vector<std::uint8_t> encode(const RunSnapshot& s);
 /// Decodes and verifies an image; throws util::FatalError (subsystem
 /// "ckpt") on bad magic, version mismatch, CRC failure, or truncation.
 RunSnapshot decode(const std::vector<std::uint8_t>& image);
+
+/// Commit-horizon gate: refuses (util::FatalError, subsystem "ckpt") to
+/// capture state from an engine that still holds uncommitted speculative
+/// work — a snapshot taken mid-speculation could encode state a later
+/// rollback revokes.  Always passes on the serial and conservative engines
+/// (fully_committed() is constitutively true there); the optimistic engine
+/// is fully committed exactly at run()/run_until() boundaries.
+void require_fully_committed(const sim::Engine& engine);
 
 }  // namespace opalsim::ckpt

@@ -18,6 +18,7 @@
 #include "opal/serial.hpp"
 #include "pvm/pvm_system.hpp"
 #include "sim/engine.hpp"
+#include "sim/optimistic_engine.hpp"
 #include "util/binio.hpp"
 #include "util/crc32.hpp"
 #include "util/env.hpp"
@@ -341,6 +342,10 @@ ParallelRunResult ParallelOpal::run() {
                            const std::vector<double>& update_coords,
                            const SteepestDescent& minimizer, double t_start,
                            bool force_update) {
+    // Commit-horizon gate: on the optimistic engine a boundary is only
+    // snapshot-safe once every speculative event has committed (always true
+    // here — boundaries follow run_until — but enforced, not assumed).
+    ckpt::require_fully_committed(engine);
     ckpt::RunSnapshot s;
     s.config_fingerprint = fingerprint;
     s.now = engine.now();
@@ -860,6 +865,26 @@ ParallelRunResult ParallelOpal::run() {
     reg.add("rpc.timeouts", rt.timeouts);
     reg.add("rpc.heartbeats", rt.heartbeats);
     reg.add("rpc.servers_failed", rt.servers_failed);
+    if (const auto* oe =
+            dynamic_cast<const sim::OptimisticEngine*>(&engine)) {
+      // Emitted only when speculation actually happened: pure-coroutine
+      // programs ride the solo base-LP path with all-zero stats, and
+      // omitting the keys keeps their metrics JSON byte-identical to a
+      // serial run of the same configuration.
+      const sim::OptimisticStats os = oe->stats();
+      if (os.speculated != 0 || os.gvt_rounds != 0) {
+        reg.add("optimistic.gvt_rounds", os.gvt_rounds);
+        reg.add("optimistic.speculated", os.speculated);
+        reg.add("optimistic.committed", os.committed);
+        reg.add("optimistic.stragglers", os.stragglers);
+        reg.add("optimistic.rollbacks", os.rollbacks);
+        reg.add("optimistic.rolled_back", os.rolled_back);
+        reg.add("optimistic.antis_sent", os.antis_sent);
+        reg.add("optimistic.annihilations", os.annihilations);
+        reg.add("optimistic.state_saves", os.state_saves);
+        reg.set("optimistic.gvt", os.gvt);
+      }
+    }
     if (ckpt_active) {
       reg.add("ckpt.images_written", ckpt_images);
       reg.add("ckpt.bytes_written", ckpt_bytes);

@@ -154,6 +154,16 @@ sim::Task<std::optional<Message>> PvmTask::recv_timeout(int src, int tag,
   co_return m;
 }
 
+void PvmTask::unreceive(Message m) {
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kPvm, "unrecv", engine().now(), node_,
+                 {"src", static_cast<double>(m.src)},
+                 {"tag", static_cast<double>(m.tag)});
+  }
+  system_->mailbox(tid_).unconsume(std::move(m),
+                                   static_cast<std::uint64_t>(tid_));
+}
+
 std::optional<Message> PvmTask::try_recv(int src, int tag) {
   auto& mb = system_->mailbox(tid_);
   mb.audit_discipline().note_consume(static_cast<std::uint64_t>(tid_),

@@ -60,6 +60,16 @@ class PvmTask {
   /// Non-blocking probe-and-receive.
   std::optional<Message> try_recv(int src = kAny, int tag = kAny);
 
+  /// Rollback-side inverse of a receive: returns `m` to the HEAD of this
+  /// task's mailbox, so a re-executed receive matches the identical message
+  /// again.  Audited as mailbox-unconsume (never more unreceives than
+  /// receives, and only by the owning task).  Staged API for optimistic
+  /// PDES: PVM tasks are coroutines pinned to the base LP today, which the
+  /// optimistic engine commits in place of speculating — so the engine
+  /// never calls this yet; state-saver-based handler workloads and the
+  /// rollback property tests drive it directly.
+  void unreceive(Message m);
+
   /// Sends the same body to every task in `dsts`, one message each,
   /// serialized at this sender (PVM mcast semantics on real networks).
   VT_PURE sim::Task<void> mcast(const std::vector<int>& dsts, int tag,

@@ -58,6 +58,12 @@ const char* invariant_name(Invariant inv) noexcept {
       return "lp-lookahead";
     case Invariant::kLpMergedOrder:
       return "lp-merged-order";
+    case Invariant::kCommittedTime:
+      return "committed-time";
+    case Invariant::kAntiPairing:
+      return "anti-pairing";
+    case Invariant::kMailboxUnconsume:
+      return "mailbox-unconsume";
   }
   return "unknown";
 }

@@ -203,6 +203,13 @@ class Engine {
     return processed_;
   }
 
+  /// True when every executed event is committed — always, on the serial
+  /// and conservative engines.  The optimistic engine returns false while
+  /// speculative history or staged cross-LP messages are pending; the
+  /// checkpoint layer refuses to snapshot across an uncommitted horizon
+  /// (ckpt::require_fully_committed).
+  virtual bool fully_committed() const noexcept { return true; }
+
   /// Per-LP clocks for the checkpoint layer; empty unless a parallel
   /// engine's extra LPs actually ran events (see LpClock).
   virtual std::vector<LpClock> lp_clock_snaps() const { return {}; }
@@ -283,10 +290,11 @@ class Engine {
 
 // -- engine factory ----------------------------------------------------------
 
-enum class EngineKind { kSerial, kParallel };
+enum class EngineKind { kSerial, kParallel, kOptimistic };
 
 /// Process-wide default engine kind, initialized once from OPALSIM_ENGINE
-/// (serial | parallel; unset = serial); overridable for tests/benches.
+/// (serial | parallel | optimistic; unset = serial); overridable for
+/// tests/benches.
 EngineKind default_engine() noexcept;
 void set_default_engine(EngineKind kind) noexcept;
 

@@ -22,8 +22,13 @@
 // set_default_event_queue().
 //
 // Cancellation is lazy: cancel(seq) records a tombstone and pops skip it.
-// The engine itself never cancels; the primitive exists for queue users and
-// for the randomized property tests that drive schedule/cancel mixes.
+// Lazy tombstones are only reclaimed when they reach the top of the order,
+// which is fine for the rare timer cancellation but pathological under the
+// optimistic engine's rollback churn (every annihilated anti-message pair
+// leaves one).  cancel() therefore compacts when tombstones come to
+// outnumber live events: the backing store is drained in (t, seq) order,
+// tombstoned entries dropped, survivors re-pushed — identical pop order,
+// bounded memory.
 #pragma once
 
 #include <coroutine>
@@ -31,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "util/domains.hpp"
@@ -101,15 +107,21 @@ class EventQueue {
 
   /// Lazily removes the pending event with sequence number `seq`.  The
   /// caller must pass a seq that is actually pending and not yet cancelled
-  /// (the tombstone is trusted, not verified).
+  /// (the tombstone is trusted, not verified).  Compacts the backing store
+  /// when tombstones outnumber live events (see header comment).
   VT_PURE void cancel(std::uint64_t seq) {
     cancelled_.insert(seq);
     ++stats_.cancels;
     --live_;
+    maybe_compact();
   }
 
   bool empty() const noexcept { return live_ == 0; }
   std::size_t size() const noexcept { return live_; }
+  /// Cancelled entries still physically stored (0 right after a compaction).
+  std::size_t tombstones() const noexcept { return cancelled_.size(); }
+  /// Tombstone compaction passes performed (diagnostics; not checkpointed).
+  std::uint64_t compactions() const noexcept { return compactions_; }
   const EventQueueStats& stats() const noexcept { return stats_; }
 
   /// Overwrites lifetime counters with snapshot values (checkpoint resume).
@@ -134,8 +146,30 @@ class EventQueue {
     }
   }
 
+  /// Physical entries = live_ + tombstones: the cancel contract (pending,
+  /// not yet cancelled) makes every tombstone account for exactly one
+  /// stored event, so a full drain-filter-rebuild is exact.
+  void maybe_compact() {
+    static constexpr std::size_t kCompactMinTombstones = 64;
+    if (cancelled_.size() < kCompactMinTombstones) return;
+    if (cancelled_.size() <= live_) return;
+    const std::size_t phys = live_ + cancelled_.size();
+    compact_scratch_.clear();
+    compact_scratch_.reserve(live_);
+    for (std::size_t i = 0; i < phys; ++i) {
+      ScheduledEvent ev = do_pop();
+      if (cancelled_.erase(ev.seq) == 0) compact_scratch_.push_back(ev);
+    }
+    cancelled_.clear();
+    for (const ScheduledEvent& ev : compact_scratch_) do_push(ev);
+    compact_scratch_.clear();
+    ++compactions_;
+  }
+
   std::size_t live_ = 0;
   std::set<std::uint64_t> cancelled_;
+  std::vector<ScheduledEvent> compact_scratch_;
+  std::uint64_t compactions_ = 0;
   EventQueueStats stats_;
 };
 

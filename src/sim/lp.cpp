@@ -10,20 +10,6 @@ namespace {
 
 thread_local LpId t_current_lp = 0;
 
-/// RAII: marks the calling thread as running `id`'s advance loop.
-class CurrentLpScope {
- public:
-  explicit CurrentLpScope(LpId id) noexcept : prev_(t_current_lp) {
-    t_current_lp = id;
-  }
-  ~CurrentLpScope() { t_current_lp = prev_; }
-  CurrentLpScope(const CurrentLpScope&) = delete;
-  CurrentLpScope& operator=(const CurrentLpScope&) = delete;
-
- private:
-  const LpId prev_;
-};
-
 std::size_t round_up_pow2(std::size_t n) noexcept {
   std::size_t p = 1;
   while (p < n) p <<= 1;
@@ -33,6 +19,12 @@ std::size_t round_up_pow2(std::size_t n) noexcept {
 }  // namespace
 
 LpId current_lp() noexcept { return t_current_lp; }
+
+CurrentLpScope::CurrentLpScope(LpId id) noexcept : prev_(t_current_lp) {
+  t_current_lp = id;
+}
+
+CurrentLpScope::~CurrentLpScope() { t_current_lp = prev_; }
 
 // ---------------------------------------------------------------------------
 // InterLpLink

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -68,6 +69,54 @@ namespace opalsim::sim {
 /// base LP, both of which run on the caller thread).
 LpId current_lp() noexcept;
 
+/// RAII: marks the calling thread as running `id`'s advance loop.  Engine
+/// internals only — LP round jobs, and the optimistic engine's rollback
+/// replay, which re-executes handlers outside any advance loop.
+class CurrentLpScope {
+ public:
+  explicit CurrentLpScope(LpId id) noexcept;
+  ~CurrentLpScope();
+  CurrentLpScope(const CurrentLpScope&) = delete;
+  CurrentLpScope& operator=(const CurrentLpScope&) = delete;
+
+ private:
+  const LpId prev_;
+};
+
+/// Completion latch for one round's LP jobs; also carries the first
+/// exception a handler threw on a pool worker back to the caller.  Shared
+/// by the conservative round barrier (sim/parallel_engine.cpp) and the
+/// optimistic engine's GVT ring (sim/optimistic_engine.cpp).
+struct RoundLatch {
+  util::Mutex m;
+  util::CondVar cv;
+  int remaining GUARDED_BY(m) = 0;
+  std::exception_ptr first_error GUARDED_BY(m);
+
+  void arm(int n) {
+    util::ScopedLock lk(m);
+    remaining = n;
+  }
+  void count_down(std::exception_ptr err) {
+    util::ScopedLock lk(m);
+    if (err && !first_error) first_error = err;
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait_and_rethrow() {
+    std::exception_ptr err;
+    {
+      util::ScopedLock lk(m);
+      cv.wait(m, [this] {
+        m.assert_held();
+        return remaining == 0;
+      });
+      err = first_error;
+      first_error = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+};
+
 /// What a handler event may touch: its LP's clock, local scheduling, and
 /// cross-LP posting.  Implemented by Lp (LPs >= 1), by the serial engine's
 /// adapter (whole simulation = one LP), and by the parallel engine's base-LP
@@ -98,6 +147,11 @@ class LpRuntime {
 
 /// One cross-LP message in flight.  `src_seq` is the per-link monotone
 /// production counter — the per-channel seq the merge preserves.
+///
+/// `uid`/`anti` exist for the optimistic engine: every speculative send
+/// carries a sender-unique uid, and a rollback re-sends the same uid with
+/// `anti` set — the receiver annihilates the pair (audit: anti-pairing).
+/// Conservative paths leave both at their defaults.
 struct LinkMsg {
   OPALSIM_LP_CONFINED;  // owned by the producer until pushed, by the
                         // barrier-time consumer after drain
@@ -107,6 +161,8 @@ struct LinkMsg {
   void* ctx = nullptr;
   std::uint64_t payload = 0;
   LpId src = 0;
+  std::uint64_t uid = 0;  ///< sender-unique message id (0 = conservative)
+  bool anti = false;      ///< anti-message: annihilates the matching uid
 };
 
 /// Bounded SPSC inter-LP link: a fixed lock-free ring plus a mutex-guarded

@@ -1,0 +1,883 @@
+#include "sim/optimistic_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/fatal.hpp"
+#include "util/run_tag.hpp"
+#include "util/sync.hpp"
+
+namespace opalsim::sim {
+
+namespace {
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::infinity();
+
+// LpRuntime adapter of the optimistic engine's base LP (LP 0).  LP 0 only
+// ever executes committed work (it advances inclusively to GVT on the
+// caller thread), so its sends need no rollback bookkeeping — they carry a
+// fresh uid purely so receiver-side anti-pairing state stays uniform.
+// There is no lookahead contract: optimistic posts may target any t >= now.
+class BaseOptRuntime final : public LpRuntime {
+ public:
+  explicit BaseOptRuntime(OptimisticEngine* e) noexcept : e_(e) {}
+
+  SimTime now() const noexcept override { return e_->now(); }
+  LpId lp() const noexcept override { return 0; }
+  std::uint32_t lps() const noexcept override { return e_->lps(); }
+  SimTime lookahead() const noexcept override { return 0.0; }
+
+  void schedule(SimTime t, LpHandler fn, void* ctx,
+                std::uint64_t payload) override {
+    e_->schedule_handler(t, fn, ctx, payload);
+  }
+
+  void post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+            std::uint64_t payload) override {
+    if (dst == 0) {
+      e_->schedule_handler(t, fn, ctx, payload);
+      return;
+    }
+    if (t < e_->now()) {
+      if (audit::enabled()) {
+        audit::fail(audit::Invariant::kTimeMonotonic,
+                    "cross-LP post 0->" + std::to_string(dst) + " at t=" +
+                        std::to_string(t) + " in the virtual past of now=" +
+                        std::to_string(e_->now()),
+                    e_->now());
+        return;  // only reached under ViolationCapture
+      }
+      util::fatal("sim", "cross-LP post targets the virtual past (t=" +
+                             std::to_string(t) + ", now=" +
+                             std::to_string(e_->now()) + ")");
+    }
+    LinkMsg m;
+    m.t = t;
+    m.fn = fn;
+    m.ctx = ctx;
+    m.payload = payload;
+    m.src = 0;
+    m.uid = e_->next_lp0_uid();
+    e_->spec_route(0, dst, m);
+  }
+
+ private:
+  OptimisticEngine* const e_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OptLp
+
+OptLp::OptLp(LpId id, std::uint32_t nlps, EventQueueKind queue_kind,
+             OptimisticEngine* engine)
+    : id_(id), nlps_(nlps), engine_(engine),
+      queue_(make_event_queue(queue_kind)), snap_pool_(arena_) {}
+
+OptLp::~OptLp() {
+  for (SpecRecord& rec : history_) snap_pool_.recycle(rec.before);
+}
+
+void OptLp::fail_or_fatal(audit::Invariant inv, const std::string& detail,
+                          SimTime t) {
+  if (audit::enabled()) {
+    audit::fail(inv, detail, t);
+    return;  // only reached under ViolationCapture
+  }
+  util::fatal("sim", std::string(audit::invariant_name(inv)) + ": " + detail);
+}
+
+VT_PURE void OptLp::schedule(SimTime t, LpHandler fn, void* ctx,
+                             std::uint64_t payload) {
+  // Coast-forward replay re-executes handlers whose effects already exist:
+  // the events they scheduled are still in the queue (or were rolled back
+  // and re-queued with their original seqs), so re-scheduling is suppressed.
+  if (replaying_) return;
+  if (audit::enabled() && t < now_) {
+    audit::fail(audit::Invariant::kTimeMonotonic,
+                "LP " + std::to_string(id_) + " event scheduled at t=" +
+                    std::to_string(t) + " in the virtual past of now=" +
+                    std::to_string(now_),
+                now_);
+  }
+  if (obs::enabled()) {
+    obs::instant(obs::Cat::kEngine, "schedule", now_, -1, {"t", t},
+                 {"lp", static_cast<double>(id_)});
+  }
+  const std::uint64_t seq = next_seq_++;
+  if (cur_ != nullptr) cur_->scheduled.push_back(seq);
+  queue_->push(ScheduledEvent{t, seq, {}, fn, ctx, payload});
+}
+
+VT_PURE void OptLp::post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+                         std::uint64_t payload) {
+  if (replaying_) return;  // sends already in flight; see schedule()
+  if (dst == id_) {
+    schedule(t, fn, ctx, payload);
+    return;
+  }
+  if (t < now_) {
+    fail_or_fatal(audit::Invariant::kTimeMonotonic,
+                  "cross-LP post " + std::to_string(id_) + "->" +
+                      std::to_string(dst) + " at t=" + std::to_string(t) +
+                      " in the virtual past of now=" + std::to_string(now_),
+                  now_);
+    return;
+  }
+  const std::uint64_t uid = next_uid();
+  if (cur_ != nullptr) cur_->sends.push_back(SentMsg{dst, t, uid});
+  LinkMsg m;
+  m.t = t;
+  m.fn = fn;
+  m.ctx = ctx;
+  m.payload = payload;
+  m.src = id_;
+  m.uid = uid;
+  engine_->spec_route(id_, dst, m);
+}
+
+VT_PURE void OptLp::ingest(SimTime t, LpHandler fn, void* ctx,
+                           std::uint64_t payload) {
+  if (audit::enabled() && t < now_) {
+    audit::fail(audit::Invariant::kTimeMonotonic,
+                "LP " + std::to_string(id_) + " ingested a message at t=" +
+                    std::to_string(t) + " behind its clock now=" +
+                    std::to_string(now_),
+                now_);
+  }
+  queue_->push(ScheduledEvent{t, next_seq_++, {}, fn, ctx, payload});
+}
+
+bool OptLp::need_snapshot() const {
+  if (history_.empty()) return true;  // first record must carry the floor
+  const std::size_t look = std::min<std::size_t>(save_interval_,
+                                                 history_.size());
+  for (std::size_t i = 0; i < look; ++i) {
+    if (history_[history_.size() - 1 - i].before.valid()) return false;
+  }
+  return true;
+}
+
+VT_PURE std::uint64_t OptLp::speculate(SimTime horizon,
+                                       std::uint32_t max_events,
+                                       bool traced) {
+  CurrentLpScope scope(id_);
+  std::optional<obs::ScopedSink> sink;
+  if (traced) sink.emplace(spec_trace_);
+  // An LP without a state saver cannot roll back, so it only runs events
+  // the commit horizon has already made safe (inclusive — the horizon is
+  // the global minimum, so the LP holding it always progresses).
+  const SimTime cap = saver_ != nullptr ? horizon : committed_through_;
+  std::uint64_t ran = 0;
+  while (ran < max_events && !queue_->empty() && queue_->next_time() <= cap) {
+    ScheduledEvent ev = queue_->pop();
+    if (audit::enabled() && ev.t < now_) {
+      audit::fail(audit::Invariant::kTimeMonotonic,
+                  "LP " + std::to_string(id_) + " popped an event at t=" +
+                      std::to_string(ev.t) + " behind its clock now=" +
+                      std::to_string(now_),
+                  now_);
+    }
+    if (ev.fn == nullptr) {
+      util::fatal("sim",
+                  "LP " + std::to_string(id_) +
+                      " popped a coroutine event; coroutines are pinned to "
+                      "the base LP");
+    }
+    SpecRecord rec;
+    rec.ev = ev;
+    rec.prev_now = now_;
+    rec.trace_begin = spec_trace_.size();
+    if (const auto it = pending_by_seq_.find(ev.seq);
+        it != pending_by_seq_.end()) {
+      rec.uid = it->second.uid;
+      rec.src = it->second.src;
+      pending_by_uid_.erase(it->second.uid);
+      pending_by_seq_.erase(it);
+    }
+    if (saver_ != nullptr && need_snapshot()) {
+      save_scratch_.clear();
+      saver_->save(save_scratch_);
+      rec.before = snap_pool_.make(save_scratch_);
+      ++stats_.state_saves;
+      stats_.state_bytes += save_scratch_.size();
+    }
+    now_ = ev.t;
+    ++ran;
+    ++stats_.speculated;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)},
+                   {"lp", static_cast<double>(id_)});
+    }
+    history_.push_back(std::move(rec));
+    cur_ = &history_.back();
+    ev.fn(*this, ev.ctx, ev.payload);
+    cur_ = nullptr;
+  }
+  return ran;
+}
+
+void OptLp::annihilate_pending(std::uint64_t uid) {
+  const auto it = pending_by_uid_.find(uid);
+  const std::uint64_t seq = it->second;
+  queue_->cancel(seq);
+  pending_by_uid_.erase(it);
+  pending_by_seq_.erase(seq);
+  ++stats_.annihilations;
+}
+
+void OptLp::rollback_from(std::size_t idx, const char* why) {
+  if (saver_ == nullptr) {
+    // Unreachable by construction — a saver-less LP never runs past the
+    // commit horizon, and nothing below the horizon can be invalidated.
+    util::fatal("sim", "LP " + std::to_string(id_) +
+                           " rollback (" + why +
+                           ") without a state saver: speculation cap broken");
+  }
+  ++stats_.rollbacks;
+  stats_.rolled_back += history_.size() - idx;
+
+  // Restore the newest snapshot at or before the rollback target, then
+  // coast-forward replay the kept suffix — sends, schedules and traces
+  // suppressed, since their effects are already in flight / in the queue.
+  std::size_t floor = idx;
+  while (!history_[floor].before.valid()) {
+    // history_[0].before is always valid for a saver-ful LP (first record
+    // snapshots, fossil collection keeps the floor), so this terminates.
+    --floor;
+  }
+  saver_->restore(history_[floor].before.data, history_[floor].before.size);
+  if (floor < idx) {
+    replaying_ = true;
+    obs::ScopedSink mute(replay_sink_);
+    CurrentLpScope scope(id_);
+    for (std::size_t i = floor; i < idx; ++i) {
+      now_ = history_[i].ev.t;
+      history_[i].ev.fn(*this, history_[i].ev.ctx, history_[i].ev.payload);
+      ++stats_.replayed;
+    }
+    replaying_ = false;
+  }
+
+  // Retract the suffix's local schedules: re-execution will re-create
+  // them, so keeping the originals would run each child twice.  A pending
+  // child is cancelled in the queue; an executed child sits later in the
+  // suffix (it ran after its parent) and is simply not re-queued below.
+  std::vector<std::uint64_t> retracted;
+  std::vector<std::uint64_t> suffix_seqs;
+  for (std::size_t i = idx; i < history_.size(); ++i) {
+    const SpecRecord& rec = history_[i];
+    retracted.insert(retracted.end(), rec.scheduled.begin(),
+                     rec.scheduled.end());
+    suffix_seqs.push_back(rec.ev.seq);
+  }
+  std::sort(retracted.begin(), retracted.end());
+  std::sort(suffix_seqs.begin(), suffix_seqs.end());
+  for (const std::uint64_t seq : retracted) {
+    if (!std::binary_search(suffix_seqs.begin(), suffix_seqs.end(), seq)) {
+      queue_->cancel(seq);  // pending child, never executed
+    }
+  }
+
+  // Undo the rolled-back suffix: chase every recorded send with an
+  // anti-message, re-queue the events under their ORIGINAL seqs (so the
+  // re-execution order — and any pending annihilation targeting them — is
+  // unchanged), and drop their speculative trace.  Children created by the
+  // suffix itself are retracted instead of re-queued (see above).
+  for (std::size_t i = idx; i < history_.size(); ++i) {
+    SpecRecord& rec = history_[i];
+    for (const SentMsg& s : rec.sends) {
+      LinkMsg anti;
+      anti.t = s.t;
+      anti.src = id_;
+      anti.uid = s.uid;
+      anti.anti = true;
+      engine_->spec_route(id_, s.dst, anti);
+      ++stats_.antis_sent;
+    }
+    if (!std::binary_search(retracted.begin(), retracted.end(),
+                            rec.ev.seq)) {
+      queue_->push(rec.ev);
+      if (rec.uid != 0) {
+        pending_by_seq_[rec.ev.seq] = PendingMsg{rec.uid, rec.src};
+        pending_by_uid_[rec.uid] = rec.ev.seq;
+      }
+    }
+    snap_pool_.recycle(rec.before);
+  }
+  spec_trace_.truncate(history_[idx].trace_begin);
+  now_ = history_[idx].prev_now;
+  history_.erase(history_.begin() + static_cast<std::ptrdiff_t>(idx),
+                 history_.end());
+}
+
+VT_PURE void OptLp::deliver(const LinkMsg& m) {
+  if (m.anti) {
+    if (pending_by_uid_.count(m.uid) != 0) {
+      annihilate_pending(m.uid);
+      return;
+    }
+    // Not pending: the positive may already have executed speculatively.
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if (history_[i].uid != m.uid) continue;
+      if (history_[i].committed) {
+        fail_or_fatal(audit::Invariant::kCommittedTime,
+                      "anti-message uid=" + std::to_string(m.uid) +
+                          " targets a committed event at t=" +
+                          std::to_string(history_[i].ev.t) + " on LP " +
+                          std::to_string(id_),
+                      m.t);
+        return;
+      }
+      rollback_from(i, "anti-message");
+      annihilate_pending(m.uid);  // rollback re-queued + re-registered it
+      return;
+    }
+    fail_or_fatal(audit::Invariant::kAntiPairing,
+                  "anti-message uid=" + std::to_string(m.uid) + " from LP " +
+                      std::to_string(m.src) +
+                      " matches no positive on LP " + std::to_string(id_),
+                  m.t);
+    return;
+  }
+
+  if (m.t < committed_through_) {
+    fail_or_fatal(audit::Invariant::kCommittedTime,
+                  "message from LP " + std::to_string(m.src) + " at t=" +
+                      std::to_string(m.t) +
+                      " arrives below the commit horizon " +
+                      std::to_string(committed_through_) + " on LP " +
+                      std::to_string(id_),
+                  m.t);
+    return;
+  }
+  if (m.t < now_) {
+    // Straggler: undo every speculated event strictly later than the
+    // message (equal-time events stand — the same commutativity contract
+    // the conservative boundary relies on).
+    ++stats_.stragglers;
+    std::size_t i = 0;
+    while (i < history_.size() && history_[i].ev.t <= m.t) ++i;
+    if (i < history_.size()) rollback_from(i, "straggler");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_->push(ScheduledEvent{m.t, seq, {}, m.fn, m.ctx, m.payload});
+  pending_by_seq_[seq] = PendingMsg{m.uid, m.src};
+  pending_by_uid_[m.uid] = seq;
+}
+
+std::size_t OptLp::speculative_events() const noexcept {
+  std::size_t n = 0;
+  for (const SpecRecord& rec : history_) {
+    if (!rec.committed) ++n;
+  }
+  return n;
+}
+
+VT_PURE void OptLp::commit(SimTime gvt, obs::TraceSink* committed_sink) {
+  if (gvt < committed_through_) {
+    fail_or_fatal(audit::Invariant::kCommittedTime,
+                  "commit horizon went backwards on LP " +
+                      std::to_string(id_) + ": gvt=" + std::to_string(gvt) +
+                      " below " + std::to_string(committed_through_),
+                  gvt);
+    return;
+  }
+  committed_through_ = gvt;
+
+  // history_ is ordered by execution, and execution times are non-decreasing
+  // (queue pops are time-ordered; rollbacks remove suffixes), so the
+  // committed region is the prefix with ev.t <= gvt.
+  std::size_t k = 0;
+  while (k < history_.size() && history_[k].ev.t <= gvt) ++k;
+
+  const std::size_t tend =
+      k < history_.size() ? history_[k].trace_begin : spec_trace_.size();
+  if (tend > 0) {
+    if (audit::enabled()) {
+      SimTime prev = -kNoEvent;
+      for (std::size_t i = 0; i < tend; ++i) {
+        const obs::TraceEvent& e = spec_trace_.events()[i];
+        if (e.t < prev) {
+          audit::fail(audit::Invariant::kLpMergedOrder,
+                      "LP " + std::to_string(id_) +
+                          " committed trace stream went backwards at t=" +
+                          std::to_string(e.t),
+                      e.t);
+        }
+        prev = e.t;
+      }
+    }
+    if (committed_sink != nullptr) {
+      spec_trace_.flush_prefix(tend, *committed_sink);
+    } else {
+      spec_trace_.flush_prefix(tend, replay_sink_);
+    }
+    for (SpecRecord& rec : history_) {
+      rec.trace_begin = rec.trace_begin > tend ? rec.trace_begin - tend : 0;
+    }
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    SpecRecord& rec = history_[i];
+    if (!rec.committed) {
+      rec.committed = true;
+      ++committed_;
+      rec.sends.clear();  // committed events never roll back
+      rec.sends.shrink_to_fit();
+      rec.scheduled.clear();
+      rec.scheduled.shrink_to_fit();
+    }
+  }
+  stats_.committed = committed_;
+
+  // Fossil collection: everything before the coast-forward floor — the
+  // newest snapshot at or before the horizon — can never be needed again.
+  std::size_t floor = k;
+  if (k < history_.size()) {
+    while (floor > 0 && !history_[floor].before.valid()) --floor;
+    if (!history_[floor].before.valid()) return;  // keep all (defensive)
+  }
+  for (std::size_t i = 0; i < floor; ++i) {
+    snap_pool_.recycle(history_[i].before);
+  }
+  stats_.fossils += floor;
+  history_.erase(history_.begin(),
+                 history_.begin() + static_cast<std::ptrdiff_t>(floor));
+}
+
+// ---------------------------------------------------------------------------
+// OptimisticEngine
+
+OptimisticEngine::OptimisticEngine(std::uint32_t lps,
+                                   EventQueueKind queue_kind)
+    : Engine(queue_kind),
+      nlps_(std::max<std::uint32_t>(1, std::min(lps, kMaxLps))) {
+  long period = util::env_long("OPALSIM_GVT_PERIOD", 128);
+  if (period < 1) period = 1;
+  gvt_period_ = static_cast<std::uint32_t>(period);
+  long interval = util::env_long("OPALSIM_CKPT_INTERVAL_EVENTS", 8);
+  if (interval < 1) interval = 1;
+  save_interval_ = static_cast<std::uint32_t>(interval);
+
+  lps_.reserve(nlps_ > 0 ? nlps_ - 1 : 0);
+  for (LpId k = 1; k < nlps_; ++k) {
+    lps_.push_back(std::make_unique<OptLp>(k, nlps_, queue_kind, this));
+    lps_.back()->set_save_interval(save_interval_);
+  }
+  if (nlps_ > 1) {
+    links_.resize(static_cast<std::size_t>(nlps_) * nlps_);
+    for (LpId src = 0; src < nlps_; ++src) {
+      for (LpId dst = 0; dst < nlps_; ++dst) {
+        if (src == dst) continue;
+        links_[static_cast<std::size_t>(src) * nlps_ + dst] =
+            std::make_unique<InterLpLink>();
+      }
+    }
+  }
+}
+
+OptimisticEngine::~OptimisticEngine() = default;
+
+OptLp& OptimisticEngine::lp_ref(LpId k) {
+  if (k == 0 || k >= nlps_) {
+    util::fatal("sim", "lp_ref: LP " + std::to_string(k) +
+                           " out of range [1, " + std::to_string(nlps_) + ")");
+  }
+  return *lps_[k - 1];
+}
+
+void OptimisticEngine::set_state_saver(LpId lp, StateSaver* saver) {
+  lp_ref(lp).set_state_saver(saver);
+}
+
+void OptimisticEngine::set_gvt_period(std::uint32_t events) noexcept {
+  gvt_period_ = events < 1 ? 1 : events;
+}
+
+void OptimisticEngine::set_save_interval(std::uint32_t events) noexcept {
+  save_interval_ = events < 1 ? 1 : events;
+  for (auto& lp : lps_) lp->set_save_interval(save_interval_);
+}
+
+std::uint64_t OptimisticEngine::link_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) {
+    if (l) n += l->pushed();
+  }
+  return n;
+}
+
+OptimisticStats OptimisticEngine::stats() const {
+  OptimisticStats s;
+  s.rounds = rounds_;
+  s.gvt_rounds = gvt_rounds_;
+  s.gvt = gvt_;
+  s.annihilations = lp0_annihilations_;
+  for (const auto& lp : lps_) {
+    const OptLpStats& l = lp->stats();
+    s.stragglers += l.stragglers;
+    s.rollbacks += l.rollbacks;
+    s.rolled_back += l.rolled_back;
+    s.antis_sent += l.antis_sent;
+    s.annihilations += l.annihilations;
+    s.replayed += l.replayed;
+    s.speculated += l.speculated;
+    s.committed += l.committed;
+    s.state_saves += l.state_saves;
+    s.state_bytes += l.state_bytes;
+    s.fossils += l.fossils;
+  }
+  return s;
+}
+
+void OptimisticEngine::spec_route(LpId src, LpId dst, LinkMsg m) {
+  if (src >= nlps_ || dst >= nlps_ || src == dst) {
+    util::fatal("sim", "spec_route: bad LP pair " + std::to_string(src) +
+                           "->" + std::to_string(dst));
+  }
+  links_[static_cast<std::size_t>(src) * nlps_ + dst]->push(m);
+  remote_posted_.store(true, std::memory_order_relaxed);
+}
+
+VT_PURE void OptimisticEngine::post_handler(LpId lp, SimTime t, LpHandler fn,
+                                            void* ctx,
+                                            std::uint64_t payload) {
+  if (lp == 0) {
+    schedule_handler(t, fn, ctx, payload);
+    return;
+  }
+  if (lp >= nlps_) {
+    util::fatal("sim", "post_handler: LP " + std::to_string(lp) +
+                           " out of range [0, " + std::to_string(nlps_) + ")");
+  }
+  lps_[lp - 1]->ingest(t, fn, ctx, payload);
+}
+
+std::uint64_t OptimisticEngine::total_events_processed() const noexcept {
+  // Committed counts only: an optimistic run that has fully committed (every
+  // run() returns that way) reports exactly the serial event count —
+  // speculative re-executions are bookkept in stats().speculated.
+  std::uint64_t n = events_processed();
+  for (const auto& lp : lps_) n += lp->committed_events();
+  return n;
+}
+
+std::vector<LpClock> OptimisticEngine::lp_clock_snaps() const {
+  std::vector<LpClock> snaps;
+  for (const auto& lp : lps_) {
+    // Activity-gated, like the conservative engine: idle LPs contribute
+    // nothing, so pure-coroutine programs snapshot byte-identically.
+    if (lp->committed_events() == 0 && lp->next_local_seq() == 0 &&
+        lp->now() == 0.0) {
+      continue;
+    }
+    snaps.push_back(LpClock{lp->lp(), lp->now(), lp->next_local_seq(),
+                            lp->committed_events()});
+  }
+  return snaps;
+}
+
+void OptimisticEngine::restore_lp_clocks(const std::vector<LpClock>& clocks) {
+  for (const LpClock& c : clocks) {
+    if (c.lp == 0 || c.lp >= nlps_) {
+      util::fatal("sim", "restore_lp_clocks: snapshot LP " +
+                             std::to_string(c.lp) + " not in this engine (" +
+                             std::to_string(nlps_) + " LPs)");
+    }
+    OptLp& lp = *lps_[c.lp - 1];
+    lp.restore_clock(c.now);
+    lp.restore_counters(c.next_seq, c.processed);
+  }
+}
+
+bool OptimisticEngine::fully_committed() const noexcept {
+  if (!staged_lp0_.empty()) return false;
+  for (const auto& lp : lps_) {
+    if (lp->speculative_events() != 0) return false;
+  }
+  return true;
+}
+
+void OptimisticEngine::ensure_pool() {
+  if (pool_) return;
+  const unsigned hw = util::ThreadPool::default_threads();
+  const unsigned width = std::max(
+      1u, std::min(nlps_ - 1, hw > 1 ? hw - 1 : 1u));
+  pool_ = std::make_unique<util::ThreadPool>(width);
+}
+
+VT_PURE std::uint64_t OptimisticEngine::drain_lp0(SimTime cap,
+                                                  bool stop_on_remote_post) {
+  BaseOptRuntime rt(this);
+  std::uint64_t ran = 0;
+  while (!queue_->empty() && queue_->next_time() <= cap) {
+    ScheduledEvent ev = queue_->pop();
+    if (audit::enabled()) audit_pop(ev.t);
+    now_ = ev.t;
+    ++processed_;
+    ++ran;
+    if (obs::enabled()) {
+      obs::instant(obs::Cat::kEngine, "pop", ev.t, -1,
+                   {"eseq", static_cast<double>(ev.seq)});
+    }
+    if (ev.fn != nullptr) {
+      ev.fn(rt, ev.ctx, ev.payload);
+    } else {
+      ev.handle.resume();
+    }
+    if (stop_on_remote_post &&
+        remote_posted_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return ran;
+}
+
+std::size_t OptimisticEngine::drain_and_deliver() {
+  if (nlps_ <= 1) return 0;
+  std::size_t total = 0;
+  for (LpId dst = 0; dst < nlps_; ++dst) {
+    drain_scratch_.clear();
+    for (LpId src = 0; src < nlps_; ++src) {
+      if (src == dst) continue;
+      links_[static_cast<std::size_t>(src) * nlps_ + dst]->drain(
+          drain_scratch_);
+    }
+    if (drain_scratch_.empty()) continue;
+    // Deterministic delivery order.  Per-link FIFO plus this stable key
+    // guarantee a positive precedes its own anti (same t and src, lower
+    // src_seq) within a batch and across batches.
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+              [](const LinkMsg& a, const LinkMsg& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.src != b.src) return a.src < b.src;
+                return a.src_seq < b.src_seq;
+              });
+    if (audit::enabled()) {
+      for (std::size_t i = 1; i < drain_scratch_.size(); ++i) {
+        const LinkMsg& a = drain_scratch_[i - 1];
+        const LinkMsg& b = drain_scratch_[i];
+        if (a.t == b.t && a.src == b.src && a.src_seq == b.src_seq) {
+          audit::fail(audit::Invariant::kLpMergedOrder,
+                      "duplicate (t, lp, seq) key in link merge: t=" +
+                          std::to_string(b.t) + " src=" +
+                          std::to_string(b.src),
+                      b.t);
+        }
+      }
+    }
+    for (const LinkMsg& m : drain_scratch_) {
+      if (dst != 0) {
+        lps_[dst - 1]->deliver(m);
+        continue;
+      }
+      // LP 0 cannot roll back, so its inbound messages are STAGED until
+      // the commit horizon passes them.  An anti can only target a staged
+      // positive: rolled-back sends have t > GVT (post enforces t >= the
+      // sender's clock, and committed events never roll back), and only
+      // t <= GVT messages are ever released into the base queue.
+      if (m.anti) {
+        bool matched = false;
+        for (std::size_t i = 0; i < staged_lp0_.size(); ++i) {
+          if (staged_lp0_[i].uid == m.uid) {
+            staged_lp0_.erase(staged_lp0_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            ++lp0_annihilations_;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          if (audit::enabled()) {
+            audit::fail(audit::Invariant::kAntiPairing,
+                        "anti-message uid=" + std::to_string(m.uid) +
+                            " from LP " + std::to_string(m.src) +
+                            " matches no staged positive on LP 0",
+                        m.t);
+          } else {
+            util::fatal("sim", "anti-pairing: unmatched anti-message for "
+                               "LP 0 (uid=" + std::to_string(m.uid) + ")");
+          }
+        }
+      } else {
+        staged_lp0_.push_back(m);
+      }
+    }
+    total += drain_scratch_.size();
+  }
+  return total;
+}
+
+void OptimisticEngine::release_staged(SimTime gvt) {
+  if (staged_lp0_.empty()) return;
+  std::vector<LinkMsg> ready;
+  std::vector<LinkMsg> rest;
+  for (const LinkMsg& m : staged_lp0_) {
+    (m.t <= gvt ? ready : rest).push_back(m);
+  }
+  if (ready.empty()) return;
+  std::sort(ready.begin(), ready.end(),
+            [](const LinkMsg& a, const LinkMsg& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.src != b.src) return a.src < b.src;
+              return a.src_seq < b.src_seq;
+            });
+  for (const LinkMsg& m : ready) {
+    schedule_handler(m.t, m.fn, m.ctx, m.payload);
+  }
+  staged_lp0_ = std::move(rest);
+}
+
+SimTime OptimisticEngine::unprocessed_min() {
+  SimTime t_min = kNoEvent;
+  if (!queue_->empty()) t_min = queue_->next_time();
+  for (const LinkMsg& m : staged_lp0_) {
+    if (m.t < t_min) t_min = m.t;
+  }
+  for (auto& lp : lps_) {
+    if (!lp->has_events()) continue;
+    const SimTime t = lp->next_time();
+    if (t < t_min) t_min = t;
+  }
+  return t_min;
+}
+
+void OptimisticEngine::run_rounds(bool bounded, SimTime t_end) {
+  obs::TraceSink* caller_sink = obs::current();
+  const bool traced = caller_sink != nullptr;
+  const std::uint64_t owner_tag = audit_run_tag_;
+
+  const auto commit_all = [&](SimTime horizon) {
+    // Never move the horizon backwards (re-entrant run_until with an
+    // earlier t_end is legal and a no-op for commitment).
+    if (horizon < gvt_) horizon = gvt_;
+    for (auto& lp : lps_) lp->commit(horizon, caller_sink);
+    gvt_ = horizon;
+    release_staged(horizon);
+  };
+
+  for (;;) {
+    // Stabilize: drain links until no message moves.  Deliveries can
+    // trigger rollbacks which emit anti-messages back onto the links, so
+    // iterate to quiescence — only then is "minimum unprocessed" the GVT.
+    while (drain_and_deliver() > 0) {
+    }
+
+    SimTime t_min = kNoEvent;
+    std::uint32_t active = 0;
+    const bool lp0_active = !queue_->empty() || !staged_lp0_.empty();
+    if (lp0_active) {
+      t_min = unprocessed_min();  // includes the staged buffer
+      ++active;
+    }
+    bool any_spec = false;
+    for (LpId k = 1; k < nlps_; ++k) {
+      OptLp& lp = *lps_[k - 1];
+      if (lp.speculative_events() != 0) any_spec = true;
+      if (!lp.has_events()) continue;
+      ++active;
+      const SimTime t = lp.next_time();
+      if (t < t_min) t_min = t;
+    }
+    if (active == 0) {
+      // Quiescent: all queues and links empty.  Commit every remaining
+      // speculative event — nothing is left that could invalidate it.
+      SimTime horizon = bounded ? t_end : now_;
+      if (!bounded) {
+        for (auto& lp : lps_) {
+          if (lp->now() > horizon) horizon = lp->now();
+        }
+      }
+      commit_all(horizon);
+      break;
+    }
+    if (bounded && t_min > t_end) {
+      commit_all(t_end);
+      break;
+    }
+    ++rounds_;
+
+    if (active == 1 && lp0_active && staged_lp0_.empty() && !any_spec) {
+      // Solo fast path: LP 0 owns every pending event and nothing is
+      // speculative anywhere, so the serial run loop applies unchanged —
+      // byte-identity for pure-coroutine programs.  Falls back to full
+      // rounds on the first cross-LP post.
+      remote_posted_.store(false, std::memory_order_relaxed);
+      drain_lp0(bounded ? t_end : kNoEvent, /*stop_on_remote_post=*/true);
+      continue;
+    }
+
+    // GVT: with the links quiescent, the minimum unprocessed time is the
+    // commit horizon — no unprocessed event can cause a send into its own
+    // past (posts satisfy t >= sender clock).
+    const SimTime gvt = t_min;
+    ++gvt_rounds_;
+    commit_all(gvt);
+
+    // Speculation: LPs >= 1 run ahead on pool workers (budgeted per round
+    // so GVT keeps pace); LP 0 advances inclusively to GVT inline — its
+    // events commit the moment they run.
+    const SimTime horizon = bounded ? t_end : kNoEvent;
+    bool any_jobs = false;
+    for (LpId k = 1; k < nlps_; ++k) {
+      if (lps_[k - 1]->has_events()) {
+        any_jobs = true;
+        break;
+      }
+    }
+    if (any_jobs) {
+      ensure_pool();
+      RoundLatch latch;
+      int jobs = 0;
+      for (LpId k = 1; k < nlps_; ++k) {
+        if (lps_[k - 1]->has_events()) ++jobs;
+      }
+      latch.arm(jobs);
+      const std::uint32_t budget = gvt_period_;
+      for (LpId k = 1; k < nlps_; ++k) {
+        OptLp* lp = lps_[k - 1].get();
+        if (!lp->has_events()) continue;
+        pool_->submit([lp, horizon, budget, traced, owner_tag, &latch] {
+          std::exception_ptr err;
+          try {
+            util::RunTagAdopt adopt(owner_tag);
+            lp->speculate(horizon, budget, traced);
+          } catch (...) {
+            err = std::current_exception();
+          }
+          latch.count_down(err);
+        });
+      }
+      if (!queue_->empty()) {
+        drain_lp0(bounded ? std::min(gvt, t_end) : gvt,
+                  /*stop_on_remote_post=*/false);
+      }
+      latch.wait_and_rethrow();
+    } else if (!queue_->empty()) {
+      drain_lp0(bounded ? std::min(gvt, t_end) : gvt,
+                /*stop_on_remote_post=*/false);
+    }
+  }
+}
+
+VT_PURE void OptimisticEngine::run() {
+  run_rounds(/*bounded=*/false, 0.0);
+  rethrow_pending_failure();
+}
+
+VT_PURE void OptimisticEngine::run_until(SimTime t_end) {
+  run_rounds(/*bounded=*/true, t_end);
+  if (now_ < t_end) now_ = t_end;
+  if (gvt_ < t_end) gvt_ = t_end;
+  for (auto& lp : lps_) lp->advance_clock_to(t_end);
+  rethrow_pending_failure();
+}
+
+}  // namespace opalsim::sim

@@ -1,0 +1,370 @@
+// Optimistic (Time Warp) LP-sharded parallel DES engine.
+//
+// OptimisticEngine is the third engine behind make_engine
+// (OPALSIM_ENGINE=optimistic, OPALSIM_LPS=N).  Like ParallelEngine it
+// derives from Engine — the base members ARE logical process 0, which hosts
+// every coroutine process, never speculates, and always executes on the
+// caller thread, so pure-coroutine programs (the whole ParallelOpal / PVM /
+// sciddle stack) produce byte-identical traces, sweep CSVs, metrics and
+// checkpoint images on any engine kind.  LPs 1..N-1 host handler events and
+// execute them OPTIMISTICALLY: past the horizon conservative windows would
+// allow, without any lookahead contract on cross-LP posts.
+//
+// Execution model — synchronous rounds around a GVT ring:
+//   deliver   (caller thread) drain every inter-LP link in sorted
+//             (t, src LP, per-link seq) order and deliver to the
+//             destination: a positive message behind the LP's clock is a
+//             STRAGGLER (roll the LP back, re-queue the undone events with
+//             their original seqs, emit anti-messages for their sends); an
+//             anti-message annihilates its positive wherever it is —
+//             pending in the queue (EventQueue::cancel), already executed
+//             (rollback, then cancel), or staged for LP 0.  Antis chase
+//             positives down the same FIFO link, so a positive is always
+//             seen first.  Repeat until no link moves: the system is then
+//             message-quiescent.
+//   GVT       with no messages in flight, GVT = min time over every
+//             unprocessed event (LP 0's queue, each LP's queue, and the
+//             LP 0 staging buffer).  Everything executed at t <= GVT can
+//             never be invalidated — no unprocessed event can cause a send
+//             into its past — so GVT is the commit horizon (audited:
+//             committed-time; GVT is monotonically non-decreasing).
+//   commit    fossil-collect history up to GVT: flush speculative trace
+//             prefixes to the caller's sink in LP order, fold committed
+//             event counts, recycle snapshots (keeping the newest
+//             at-or-before the horizon as the coast-forward floor), and
+//             release staged LP 0 messages with t <= GVT.
+//   speculate LP 0 advances inclusively to GVT inline on the caller thread
+//             (its events are committed the moment they run — coroutine
+//             frames cannot be snapshotted, so LP 0 never speculates);
+//             LPs >= 1 run as thread-pool jobs, each executing up to
+//             OPALSIM_GVT_PERIOD events (sparse state snapshots every
+//             OPALSIM_CKPT_INTERVAL_EVENTS events via the registered
+//             StateSaver), then all jobs barrier on the shared RoundLatch.
+//
+// State saving: an LP with a registered StateSaver (set_state_saver)
+// speculates freely; rollback restores the newest snapshot at or before
+// the target and coast-forward replays the kept suffix with sends, traces
+// and scheduling suppressed (handlers must be deterministic functions of
+// registered state + event, the same contract the serial/parallel
+// equivalence already demands).  An LP without a saver never runs past the
+// commit horizon — always correct, just conservative-lockstep slow.
+//
+// Determinism: every phase is a deterministic function of queue/link
+// state — the deliver phase is single-threaded over sorted batches, and
+// each LP's speculation is a deterministic prefix of its own (t, local
+// seq) order.  Thread scheduling affects wall-clock only; rollback
+// patterns, commit order and all observables are identical run to run.
+// Observation is committed-order: nothing reaches the caller's sink until
+// it is at or below the commit horizon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/lp.hpp"
+#include "sim/state_save.hpp"
+#include "util/domains.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opalsim::sim {
+
+class OptimisticEngine;
+
+/// One cross-LP send recorded by a speculatively executed event, so a
+/// rollback can chase it with an anti-message carrying the same uid.
+struct SentMsg {
+  OPALSIM_SPECULATIVE;
+  LpId dst = 0;
+  SimTime t = 0.0;
+  std::uint64_t uid = 0;
+};
+
+/// One speculatively executed event in an OptLp's history: everything
+/// rollback needs to undo it (pre-state snapshot when sparse saving took
+/// one, pre-execution clock, recorded sends) and commit needs to finalize
+/// it (trace extent, link identity for anti-message pairing).
+struct SpecRecord {
+  OPALSIM_SPECULATIVE;
+  ScheduledEvent ev;            ///< as popped — original local seq preserved
+  SimTime prev_now = 0.0;       ///< LP clock before execution
+  Snapshot before;              ///< state image before execution (sparse)
+  std::uint64_t uid = 0;        ///< link uid when cross-LP delivered (0 = local)
+  LpId src = 0;                 ///< source LP of a link-delivered event
+  bool committed = false;       ///< flushed/counted; retained as replay floor
+  std::size_t trace_begin = 0;  ///< speculative trace offset at execution
+  std::vector<SentMsg> sends;   ///< cross-LP messages this event emitted
+  /// Local seqs this event created via schedule()/self-post.  Rollback must
+  /// retract them — re-execution re-creates them — by cancelling pending
+  /// ones and not re-queueing executed ones (they sit later in the undone
+  /// suffix, since a child always runs after its parent).
+  std::vector<std::uint64_t> scheduled;
+};
+
+/// Rollback/commit counters of one OptLp (aggregated by the engine).
+struct OptLpStats {
+  std::uint64_t speculated = 0;       ///< events executed (incl. re-runs)
+  std::uint64_t committed = 0;        ///< events committed (== serial count)
+  std::uint64_t stragglers = 0;       ///< past-time positives received
+  std::uint64_t rollbacks = 0;        ///< rollback operations
+  std::uint64_t rolled_back = 0;      ///< events undone by rollbacks
+  std::uint64_t antis_sent = 0;       ///< anti-messages emitted
+  std::uint64_t annihilations = 0;    ///< positive/anti pairs cancelled
+  std::uint64_t replayed = 0;         ///< coast-forward re-executions
+  std::uint64_t state_saves = 0;      ///< snapshots taken
+  std::uint64_t state_bytes = 0;      ///< snapshot bytes copied
+  std::uint64_t fossils = 0;          ///< history entries fossil-collected
+};
+
+/// One optimistic logical process (index >= 1): private queue, clock, seq
+/// counter, frame arena, speculative trace buffer, executed-event history
+/// and snapshot pool.  Exactly one thread touches an OptLp at a time: a
+/// pool worker during the speculate phase, the caller thread during
+/// deliver/commit — the RoundLatch barrier orders the handoffs.
+class OptLp final : public LpRuntime {
+ public:
+  OPALSIM_LP_CONFINED;
+
+  OptLp(LpId id, std::uint32_t nlps, EventQueueKind queue_kind,
+        OptimisticEngine* engine);
+  ~OptLp() override;
+
+  // -- LpRuntime -------------------------------------------------------------
+  SimTime now() const noexcept override { return now_; }
+  LpId lp() const noexcept override { return id_; }
+  std::uint32_t lps() const noexcept override { return nlps_; }
+  /// Optimistic synchronization has no lookahead contract.
+  SimTime lookahead() const noexcept override { return 0.0; }
+  VT_PURE void schedule(SimTime t, LpHandler fn, void* ctx,
+                        std::uint64_t payload) override;
+  VT_PURE void post(LpId dst, SimTime t, LpHandler fn, void* ctx,
+                    std::uint64_t payload) override;
+
+  // -- engine side -----------------------------------------------------------
+  bool has_events() const noexcept { return !queue_->empty(); }
+  /// Time of the next pending event.  Precondition: has_events().
+  SimTime next_time() { return queue_->next_time(); }
+
+  /// Registers the LP's state saver; without one the LP never speculates
+  /// past the commit horizon.  Call before run().
+  void set_state_saver(StateSaver* saver) noexcept { saver_ = saver; }
+  /// Events between sparse snapshots (clamped to >= 1).
+  void set_save_interval(std::uint32_t n) noexcept {
+    save_interval_ = n < 1 ? 1 : n;
+  }
+
+  /// Inserts a pre-run seed event, assigning the next local seq.
+  VT_PURE void ingest(SimTime t, LpHandler fn, void* ctx,
+                      std::uint64_t payload);
+
+  /// Delivers one drained link message (positive or anti) on the caller
+  /// thread.  May roll the LP back (straggler / anti for an executed
+  /// event); audits committed-time and anti-pairing.
+  VT_PURE void deliver(const LinkMsg& m);
+
+  /// Speculatively executes up to `max_events` events with t <= horizon
+  /// (LPs without a saver cap at the commit horizon instead).  Installs the
+  /// speculative trace buffer as the thread's sink when `traced`.  Returns
+  /// events executed.
+  VT_PURE std::uint64_t speculate(SimTime horizon, std::uint32_t max_events,
+                                  bool traced);
+
+  /// Commits everything at or below `gvt`: flushes the committed trace
+  /// prefix into `committed_sink` (may be null), folds counts, and
+  /// fossil-collects history down to the coast-forward floor.  `gvt` must
+  /// be non-decreasing across calls (audited: committed-time).
+  VT_PURE void commit(SimTime gvt, obs::TraceSink* committed_sink);
+
+  // -- introspection ---------------------------------------------------------
+  std::uint64_t committed_events() const noexcept { return committed_; }
+  std::uint64_t next_local_seq() const noexcept { return next_seq_; }
+  /// Uncommitted (speculative) history entries.
+  std::size_t speculative_events() const noexcept;
+  SimTime committed_through() const noexcept { return committed_through_; }
+  const OptLpStats& stats() const noexcept { return stats_; }
+  const EventQueue& queue() const noexcept { return *queue_; }
+  FramePool& arena() noexcept { return arena_; }
+
+  // -- checkpoint hooks (mirror Lp) ------------------------------------------
+  void restore_clock(SimTime t) noexcept { now_ = t; }
+  void restore_counters(std::uint64_t next_seq,
+                        std::uint64_t processed) noexcept {
+    next_seq_ = next_seq;
+    committed_ = processed;
+  }
+  /// Clamps the clock forward to t (run_until semantics; never backwards).
+  void advance_clock_to(SimTime t) noexcept {
+    if (now_ < t) now_ = t;
+    if (committed_through_ < t) committed_through_ = t;
+  }
+
+ private:
+  struct PendingMsg {
+    std::uint64_t uid = 0;
+    LpId src = 0;
+  };
+
+  std::uint64_t next_uid() noexcept {
+    return (static_cast<std::uint64_t>(id_) << 48) | ++uid_counter_;
+  }
+  /// True when the newest snapshot is >= save_interval_ entries back.
+  bool need_snapshot() const;
+  /// Rolls back history entries [idx, end): restores state (snapshot +
+  /// coast-forward replay), re-queues the undone events with their original
+  /// seqs, emits anti-messages for their recorded sends, truncates the
+  /// speculative trace.
+  void rollback_from(std::size_t idx, const char* why);
+  /// Annihilates the pending positive with this uid (queue cancel).
+  /// Precondition: pending_by_uid_ contains uid.
+  void annihilate_pending(std::uint64_t uid);
+  [[gnu::cold]] void fail_or_fatal(audit::Invariant inv,
+                                   const std::string& detail, SimTime t);
+
+  const LpId id_;
+  const std::uint32_t nlps_;
+  OptimisticEngine* const engine_;
+  SimTime now_ = 0.0;
+  SimTime committed_through_ = 0.0;  ///< commit horizon last applied
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t uid_counter_ = 0;
+  std::uint32_t save_interval_ = 8;
+  bool replaying_ = false;        ///< coast-forward: suppress sends/schedules
+  StateSaver* saver_ = nullptr;
+  SpecRecord* cur_ = nullptr;     ///< event being executed (sends recording)
+  std::unique_ptr<EventQueue> queue_;
+  FramePool arena_;
+  SnapshotPool snap_pool_;
+  std::deque<SpecRecord> history_;
+  obs::SpecBuffer spec_trace_;
+  obs::NullSink replay_sink_;     ///< installed during coast-forward replay
+  std::vector<std::byte> save_scratch_;
+  /// Link-delivered events still pending in the queue, by local seq and by
+  /// link uid — the two directions anti-message pairing needs.  Point
+  /// lookups/erases only, never iterated, so hash order is unobservable.
+  // lint:allow(unordered-container): key lookup only, never iterated
+  std::unordered_map<std::uint64_t, PendingMsg> pending_by_seq_;
+  // lint:allow(unordered-container): key lookup only, never iterated
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_by_uid_;
+  OptLpStats stats_;
+};
+
+/// Aggregated optimistic-engine statistics (bench/metrics introspection).
+struct OptimisticStats {
+  std::uint64_t rounds = 0;         ///< synchronous rounds executed
+  std::uint64_t gvt_rounds = 0;     ///< rounds that computed a GVT
+  double gvt = 0.0;                 ///< last commit horizon
+  std::uint64_t stragglers = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t antis_sent = 0;
+  std::uint64_t annihilations = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t speculated = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t state_saves = 0;
+  std::uint64_t state_bytes = 0;
+  std::uint64_t fossils = 0;
+};
+
+class OptimisticEngine final : public Engine {
+ public:
+  /// `lps` is clamped to [1, kMaxLps].  With lps == 1 the engine IS the
+  /// serial engine (base run loop, no pool, no links).
+  explicit OptimisticEngine(std::uint32_t lps)
+      : OptimisticEngine(lps, default_event_queue()) {}
+  OptimisticEngine(std::uint32_t lps, EventQueueKind queue_kind);
+  ~OptimisticEngine() override;
+
+  static constexpr std::uint32_t kMaxLps = 64;
+
+  std::uint32_t lps() const noexcept override { return nlps_; }
+
+  VT_PURE void run() override;
+  VT_PURE void run_until(SimTime t_end) override;
+
+  VT_PURE void post_handler(LpId lp, SimTime t, LpHandler fn, void* ctx,
+                            std::uint64_t payload) override;
+
+  std::uint64_t total_events_processed() const noexcept override;
+  std::vector<LpClock> lp_clock_snaps() const override;
+  void restore_lp_clocks(const std::vector<LpClock>& clocks) override;
+
+  /// True when no speculative history and no staged message is pending —
+  /// the commit-horizon gate the checkpoint layer requires.
+  bool fully_committed() const noexcept override;
+
+  // -- configuration ---------------------------------------------------------
+  /// Registers LP `lp`'s state saver (lp in [1, lps())); call before run().
+  void set_state_saver(LpId lp, StateSaver* saver);
+  /// Per-round speculation budget per LP (OPALSIM_GVT_PERIOD).
+  void set_gvt_period(std::uint32_t events) noexcept;
+  /// Sparse-snapshot interval in events (OPALSIM_CKPT_INTERVAL_EVENTS).
+  void set_save_interval(std::uint32_t events) noexcept;
+
+  // -- introspection (bench/tests) -------------------------------------------
+  /// Last commit horizon (0 before the first GVT round).
+  SimTime gvt() const noexcept { return gvt_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Aggregated rollback/GVT counters across all LPs.
+  OptimisticStats stats() const;
+  std::uint64_t link_messages() const noexcept;
+  /// Direct access to LP k (k in [1, lps())) for tests.
+  OptLp& lp_ref(LpId k);
+
+  // -- OptLp backend ---------------------------------------------------------
+  /// Pushes a (positive or anti) message onto the (src, dst) link.  Called
+  /// by OptLp::post / rollback and by the base-LP adapter.
+  void spec_route(LpId src, LpId dst, LinkMsg m);
+  /// Sender-unique uid for LP 0 sends (LP 0 never rolls back, so its
+  /// messages never meet an anti — the uid only feeds receiver bookkeeping).
+  std::uint64_t next_lp0_uid() noexcept { return ++lp0_uid_counter_; }
+
+ private:
+  friend class BaseOptRuntime;
+
+  /// Round loop.  Deliberately untagged: the seam where virtual-time work
+  /// (deliver/commit/LP advance — all VT_PURE) meets the HOST_ONLY
+  /// thread-pool dispatch that carries it.
+  void run_rounds(bool bounded, SimTime t_end);
+  /// Runs base-queue (LP 0) events with t <= cap on the caller thread.
+  VT_PURE std::uint64_t drain_lp0(SimTime cap, bool stop_on_remote_post);
+  /// One drain-and-deliver pass over every link (sorted per destination);
+  /// returns messages moved.  LP-0-bound positives go to the staging
+  /// buffer; antis annihilate staged positives.
+  std::size_t drain_and_deliver();
+  /// Moves staged LP 0 messages with t <= gvt into the base queue in
+  /// sorted (t, src, src_seq) order.
+  void release_staged(SimTime gvt);
+  /// Minimum time over every unprocessed event; kNoEvent when none.
+  SimTime unprocessed_min();
+  void ensure_pool();
+
+  const std::uint32_t nlps_;
+  /// LPs 1..nlps_-1 (index k-1); LP 0 is the base Engine.  Built at
+  /// construction, never resized; each OptLp is LP-confined.
+  std::vector<std::unique_ptr<OptLp>> lps_;
+  /// links_[src * nlps_ + dst], src != dst; cross-LP-safe by design.
+  std::vector<std::unique_ptr<InterLpLink>> links_;
+  /// Created on the first multi-LP round; internally synchronized.
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Set by spec_route from any LP's round thread; the solo fast path
+  /// polls it to fall back to full rounds.
+  std::atomic<bool> remote_posted_{false};
+  std::uint32_t gvt_period_;               // lint:allow(lp-shared-state): set before run, read by caller thread
+  std::uint32_t save_interval_;            // lint:allow(lp-shared-state): set before run, pushed to LPs
+  // Caller-thread-only round bookkeeping (never touched by LP jobs).
+  std::uint64_t lp0_uid_counter_ = 0;      // lint:allow(lp-shared-state): caller-thread only
+  SimTime gvt_ = 0.0;                      // lint:allow(lp-shared-state): caller-thread only
+  std::uint64_t rounds_ = 0;               // lint:allow(lp-shared-state): caller-thread only
+  std::uint64_t gvt_rounds_ = 0;           // lint:allow(lp-shared-state): caller-thread only
+  std::vector<LinkMsg> drain_scratch_;     // lint:allow(lp-shared-state): caller-thread only
+  std::vector<LinkMsg> staged_lp0_;        // lint:allow(lp-shared-state): caller-thread only
+  std::uint64_t lp0_annihilations_ = 0;    // lint:allow(lp-shared-state): caller-thread only
+};
+
+}  // namespace opalsim::sim

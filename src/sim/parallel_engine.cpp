@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "sim/optimistic_engine.hpp"
 #include "util/env.hpp"
 #include "util/fatal.hpp"
 #include "util/run_tag.hpp"
@@ -62,38 +63,6 @@ class BaseLpRuntime final : public LpRuntime {
 
  private:
   ParallelEngine* const e_;
-};
-
-/// Completion latch for one round's LP jobs; also carries the first
-/// exception a handler threw on a pool worker back to the caller.
-struct RoundLatch {
-  util::Mutex m;
-  util::CondVar cv;
-  int remaining GUARDED_BY(m) = 0;
-  std::exception_ptr first_error GUARDED_BY(m);
-
-  void arm(int n) {
-    util::ScopedLock lk(m);
-    remaining = n;
-  }
-  void count_down(std::exception_ptr err) {
-    util::ScopedLock lk(m);
-    if (err && !first_error) first_error = err;
-    if (--remaining == 0) cv.notify_all();
-  }
-  void wait_and_rethrow() {
-    std::exception_ptr err;
-    {
-      util::ScopedLock lk(m);
-      cv.wait(m, [this] {
-        m.assert_held();
-        return remaining == 0;
-      });
-      err = first_error;
-      first_error = nullptr;
-    }
-    if (err) std::rethrow_exception(err);
-  }
 };
 
 }  // namespace
@@ -419,9 +388,12 @@ HOST_ONLY EngineKind latch_engine_kind() {
   const auto v = util::env_string("OPALSIM_ENGINE");
   if (v && *v == "parallel") {
     kind = EngineKind::kParallel;
+  } else if (v && *v == "optimistic") {
+    kind = EngineKind::kOptimistic;
   } else if (v && !v->empty() && *v != "serial") {
-    util::fatal("sim", "OPALSIM_ENGINE must be serial or parallel, got '" +
-                           *v + "'");
+    util::fatal("sim",
+                "OPALSIM_ENGINE must be serial, parallel or optimistic, "
+                "got '" + *v + "'");
   }
   g_default_engine.store(static_cast<int>(kind), std::memory_order_relaxed);
   return kind;
@@ -459,6 +431,9 @@ void set_default_lps(std::uint32_t lps) noexcept {
 std::unique_ptr<Engine> make_engine(EngineKind kind, std::uint32_t lps) {
   if (kind == EngineKind::kParallel) {
     return std::make_unique<ParallelEngine>(lps);
+  }
+  if (kind == EngineKind::kOptimistic) {
+    return std::make_unique<OptimisticEngine>(lps);
   }
   return std::make_unique<Engine>();
 }

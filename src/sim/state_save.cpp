@@ -1,0 +1,61 @@
+#include "sim/state_save.hpp"
+
+#include <cstring>
+
+#include "util/fatal.hpp"
+
+namespace opalsim::sim {
+
+void RegionSaver::add_region(void* data, std::size_t size) {
+  if (data == nullptr && size != 0) {
+    util::fatal("sim", "RegionSaver: null region of nonzero size");
+  }
+  regions_.push_back(Region{static_cast<std::byte*>(data), size});
+  total_ += size;
+}
+
+void RegionSaver::save(std::vector<std::byte>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + total_);
+  std::size_t off = base;
+  for (const Region& r : regions_) {
+    if (r.size > 0) std::memcpy(out.data() + off, r.data, r.size);
+    off += r.size;
+  }
+}
+
+void RegionSaver::restore(const std::byte* data, std::size_t size) {
+  if (size != total_) {
+    util::fatal("sim", "RegionSaver: image size " + std::to_string(size) +
+                           " does not match registered regions (" +
+                           std::to_string(total_) + " bytes)");
+  }
+  std::size_t off = 0;
+  for (const Region& r : regions_) {
+    if (r.size > 0) std::memcpy(r.data, data + off, r.size);
+    off += r.size;
+  }
+}
+
+Snapshot SnapshotPool::make(const std::vector<std::byte>& bytes) {
+  Snapshot s;
+  s.size = bytes.size();
+  // Zero-size images still need a distinct valid pointer so Snapshot::valid
+  // can distinguish "saved empty state" from "no snapshot here".
+  s.data = static_cast<std::byte*>(
+      arena_->allocate(bytes.empty() ? 1 : bytes.size()));
+  if (!bytes.empty()) std::memcpy(s.data, bytes.data(), bytes.size());
+  ++saves_;
+  bytes_saved_ += bytes.size();
+  return s;
+}
+
+void SnapshotPool::recycle(Snapshot& snap) noexcept {
+  if (snap.data == nullptr) return;
+  FramePool::deallocate(snap.data);
+  snap.data = nullptr;
+  snap.size = 0;
+  ++recycled_;
+}
+
+}  // namespace opalsim::sim

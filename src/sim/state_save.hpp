@@ -1,0 +1,126 @@
+// Incremental per-LP state saving for the optimistic (Time Warp) engine.
+//
+// Optimistic execution runs events past the commit horizon and must be able
+// to restore an LP's workload state exactly when a straggler or an
+// anti-message invalidates the speculation (sim/optimistic_engine.hpp).
+// The pieces here are the state-saving substrate:
+//
+//   StateSaver    the workload's contract: produce a self-contained byte
+//                 image of the LP's mutable state and restore from one.
+//                 Registered per LP via OptimisticEngine::set_state_saver.
+//   RegionSaver   the common implementation — a fixed list of raw POD
+//                 memory regions (e.g. a partition's node-state slice),
+//                 saved by concatenation and restored by memcpy.
+//   SnapshotPool  snapshot buffers carved from the owning LP's FramePool
+//                 arena (header-routed deallocation, so commit-time frees
+//                 from the caller thread are safe across round barriers)
+//                 — steady-state speculation performs no heap allocation.
+//
+// Restore must be the exact inverse of save (the rollback property tests
+// enforce restore(save(s)) == s byte-for-byte), and handlers must keep all
+// mutable state they touch inside the registered image: anything outside it
+// survives rollback and would diverge from the serial oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/pool.hpp"
+
+namespace opalsim::sim {
+
+/// Marker: speculative state saved/restored by the optimistic engine's
+/// rollback machinery; instances are owned by exactly one LP.  The
+/// lp-shared-state lint rule keys off this token.
+#define OPALSIM_SPECULATIVE                                                \
+  static_assert(true,                                                      \
+                "speculative-state: saved/restored by the optimistic"      \
+                " engine's rollback machinery; owned by exactly one LP")
+
+/// Per-LP state-saving contract of the optimistic engine.
+class StateSaver {
+ public:
+  virtual ~StateSaver() = default;
+
+  /// Appends a complete, self-contained image of the LP's mutable workload
+  /// state to `out` (does not clear `out`).
+  virtual void save(std::vector<std::byte>& out) = 0;
+
+  /// Restores the state from an image produced by save().  Must be the
+  /// exact inverse: after restore, a re-run of the same events yields the
+  /// same state and the same sends.
+  virtual void restore(const std::byte* data, std::size_t size) = 0;
+};
+
+/// StateSaver over a fixed list of raw memory regions — the right tool when
+/// an LP's workload state is a contiguous POD slice (bench_pdes registers
+/// each LP's node-array block).  Regions are saved by concatenation in
+/// registration order and restored by memcpy in the same order.
+class RegionSaver final : public StateSaver {
+ public:
+  OPALSIM_SPECULATIVE;
+
+  RegionSaver() = default;
+
+  /// Registers a region.  The pointer must stay valid for the saver's
+  /// lifetime; regions must not overlap.
+  void add_region(void* data, std::size_t size);
+
+  /// Total image size in bytes (sum of the registered regions).
+  std::size_t image_size() const noexcept { return total_; }
+
+  void save(std::vector<std::byte>& out) override;
+  void restore(const std::byte* data, std::size_t size) override;
+
+ private:
+  struct Region {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+  };
+  std::vector<Region> regions_;
+  std::size_t total_ = 0;
+};
+
+/// One saved state image.  The bytes live in the owning LP's FramePool
+/// arena; SnapshotPool::recycle returns them.
+struct Snapshot {
+  OPALSIM_SPECULATIVE;
+  std::byte* data = nullptr;
+  std::size_t size = 0;
+
+  bool valid() const noexcept { return data != nullptr; }
+};
+
+/// Allocates snapshot images from an LP's FramePool arena and recycles
+/// them on commit/rollback.  The pool's block header routes deallocation
+/// back to the arena even when the freeing thread differs from the
+/// allocating one — the round barrier orders the accesses, same as the
+/// Lp arena contract (sim/lp.hpp).
+class SnapshotPool {
+ public:
+  OPALSIM_SPECULATIVE;
+
+  explicit SnapshotPool(FramePool& arena) noexcept : arena_(&arena) {}
+  SnapshotPool(const SnapshotPool&) = delete;
+  SnapshotPool& operator=(const SnapshotPool&) = delete;
+
+  /// Copies `bytes` into a fresh arena block.
+  Snapshot make(const std::vector<std::byte>& bytes);
+
+  /// Frees a snapshot's bytes and invalidates it.  Safe on an already
+  /// recycled (invalid) snapshot.
+  void recycle(Snapshot& snap) noexcept;
+
+  std::uint64_t saves() const noexcept { return saves_; }
+  std::uint64_t bytes_saved() const noexcept { return bytes_saved_; }
+  std::uint64_t recycled() const noexcept { return recycled_; }
+
+ private:
+  FramePool* const arena_;
+  std::uint64_t saves_ = 0;
+  std::uint64_t bytes_saved_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+}  // namespace opalsim::sim

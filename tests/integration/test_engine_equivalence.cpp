@@ -174,13 +174,17 @@ TEST(EngineEquivalence, CsvBytesIdenticalAcrossEngineKindsAndLpCounts) {
   EngineGuard eguard;
   sim::set_default_engine(sim::EngineKind::kSerial);
   const std::string serial_csv = sweep_csv();
-  sim::set_default_engine(sim::EngineKind::kParallel);
-  for (std::uint32_t lps : {1u, 2u, 4u}) {
-    sim::set_default_lps(lps);
-    for (sim::EventQueueKind kind :
-         {sim::EventQueueKind::kLadder, sim::EventQueueKind::kHeap}) {
-      sim::set_default_event_queue(kind);
-      EXPECT_EQ(sweep_csv(), serial_csv) << "lps=" << lps;
+  for (sim::EngineKind ekind :
+       {sim::EngineKind::kParallel, sim::EngineKind::kOptimistic}) {
+    sim::set_default_engine(ekind);
+    for (std::uint32_t lps : {1u, 2u, 4u}) {
+      sim::set_default_lps(lps);
+      for (sim::EventQueueKind kind :
+           {sim::EventQueueKind::kLadder, sim::EventQueueKind::kHeap}) {
+        sim::set_default_event_queue(kind);
+        EXPECT_EQ(sweep_csv(), serial_csv)
+            << "engine=" << static_cast<int>(ekind) << " lps=" << lps;
+      }
     }
   }
 }
@@ -198,6 +202,9 @@ TEST(TracingEquivalence, TraceBytesIdenticalAcrossEngineKinds) {
   sim::set_default_lps(4);
   run_case_traced(3, 8.0, dir + "equiv-engine-parallel.json");
   EXPECT_EQ(read_file(dir + "equiv-engine-parallel.json"), serial_trace);
+  sim::set_default_engine(sim::EngineKind::kOptimistic);
+  run_case_traced(3, 8.0, dir + "equiv-engine-optimistic.json");
+  EXPECT_EQ(read_file(dir + "equiv-engine-optimistic.json"), serial_trace);
 }
 
 // And for the checkpoint layer: a mid-run image taken under the parallel
@@ -224,6 +231,12 @@ TEST(EngineEquivalence, CheckpointImageBytesIdenticalAcrossEngineKinds) {
   sim::set_default_lps(4);
   run_ckpt(dir + "equiv-parallel.ckpt");
   EXPECT_EQ(read_file(dir + "equiv-parallel.ckpt"), serial_image);
+  // The optimistic engine routes pure-coroutine programs through the solo
+  // base-LP path (nothing ever speculates), and the commit-horizon gate in
+  // make_snapshot passes because run_until boundaries are fully committed.
+  sim::set_default_engine(sim::EngineKind::kOptimistic);
+  run_ckpt(dir + "equiv-optimistic.ckpt");
+  EXPECT_EQ(read_file(dir + "equiv-optimistic.ckpt"), serial_image);
 }
 
 TEST(EngineEquivalence, SeedConfigurationMatchesNewDefault) {

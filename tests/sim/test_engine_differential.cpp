@@ -1,0 +1,317 @@
+// Randomized differential harness: the serial engine is the oracle, and
+// every engine kind (conservative parallel, optimistic lockstep, optimistic
+// with state savers) must reproduce its observables exactly over hundreds
+// of seeded workloads — PHOLD-style handler storms across LP counts
+// {1, 2, 4, 8} and both queue kinds, plus PVM coroutine exchanges under
+// fault-injection profiles whose traces must be byte-identical.  Every
+// assertion prints the workload seed so a failure replays with one line.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mach/platform.hpp"
+#include "obs/trace.hpp"
+#include "pvm/pvm_system.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
+#include "sim/lp.hpp"
+#include "sim/optimistic_engine.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/state_save.hpp"
+
+namespace {
+
+using opalsim::mach::Machine;
+using opalsim::mach::NetSpec;
+using opalsim::mach::PlatformSpec;
+using opalsim::pvm::Message;
+using opalsim::pvm::PackBuffer;
+using opalsim::pvm::PvmSystem;
+using opalsim::pvm::PvmTask;
+using opalsim::sim::Engine;
+using opalsim::sim::EventQueueKind;
+using opalsim::sim::FaultSpec;
+using opalsim::sim::LpId;
+using opalsim::sim::LpRuntime;
+using opalsim::sim::OptimisticEngine;
+using opalsim::sim::OwnerPartition;
+using opalsim::sim::ParallelEngine;
+using opalsim::sim::RegionSaver;
+using opalsim::sim::SimTime;
+using opalsim::sim::Task;
+namespace obs = opalsim::obs;
+
+// ---------------------------------------------------------------------------
+// PHOLD workload (the shared machinery of the engine test suites).
+
+constexpr SimTime kStep = 1e-3;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct NodeState {
+  double sum = 0.0;
+  std::uint64_t hash = 0;
+  std::uint64_t visits = 0;
+};
+
+struct PholdCtx {
+  std::vector<NodeState> nodes;
+  OwnerPartition part;
+};
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+  double sum = 0.0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+// payload layout: [hops:16][rng:32][node:16]
+void phold_handler(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  auto& pc = *static_cast<PholdCtx*>(ctx);
+  const auto node = static_cast<std::uint32_t>(payload & 0xFFFFu);
+  const auto rng = static_cast<std::uint64_t>((payload >> 16) & 0xFFFFFFFFu);
+  const auto hops = static_cast<std::uint32_t>(payload >> 48);
+  const std::uint64_t r = splitmix64(rng ^ (node * 0x9E37ull));
+  NodeState& st = pc.nodes[node];
+  st.sum += rt.now();
+  st.hash ^= r;
+  ++st.visits;
+  if (hops == 0) return;
+  const auto n = static_cast<std::uint32_t>(pc.nodes.size());
+  const auto dst = (node + 1 + static_cast<std::uint32_t>(r % (n - 1))) % n;
+  const SimTime delay = kStep * (1.0 + static_cast<double>((r >> 32) & 3));
+  const std::uint64_t next = (static_cast<std::uint64_t>(hops - 1) << 48) |
+                             ((r & 0xFFFFFFFFull) << 16) | dst;
+  rt.post(pc.part.owner(dst), rt.now() + delay, &phold_handler, &pc, next);
+}
+
+/// One seeded workload's shape, derived deterministically from the seed.
+struct Workload {
+  std::uint32_t nodes = 0;
+  std::uint32_t seeds = 0;
+  std::uint32_t hops = 0;
+  EventQueueKind queue = EventQueueKind::kLadder;
+  std::uint32_t gvt_period = 0;
+  std::uint32_t save_interval = 0;
+};
+
+Workload derive_workload(std::uint64_t seed) {
+  const std::uint64_t r = splitmix64(seed ^ 0xD1FFull);
+  Workload w;
+  w.nodes = 5 + static_cast<std::uint32_t>(r % 16);
+  w.seeds = 2 + static_cast<std::uint32_t>((r >> 8) % 6);
+  w.hops = 8 + static_cast<std::uint32_t>((r >> 16) % 20);
+  w.queue = (r >> 24) % 2 == 0 ? EventQueueKind::kLadder
+                               : EventQueueKind::kHeap;
+  w.gvt_period = 1 + static_cast<std::uint32_t>((r >> 32) % 12);
+  w.save_interval = 1 + static_cast<std::uint32_t>((r >> 40) % 8);
+  return w;
+}
+
+struct RunResult {
+  Fingerprint fp;
+  std::uint64_t events = 0;  // total_events_processed()
+};
+
+RunResult run_workload(Engine& eng, const Workload& w, std::uint32_t lps,
+                       std::uint64_t seed, bool with_savers) {
+  PholdCtx ctx;
+  ctx.nodes.resize(w.nodes);
+  ctx.part = OwnerPartition(w.nodes, lps);
+  std::vector<std::unique_ptr<RegionSaver>> savers;
+  if (with_savers) {
+    auto& opt = dynamic_cast<OptimisticEngine&>(eng);
+    for (LpId k = 1; k < lps; ++k) {
+      const std::uint32_t count = ctx.part.count(k);
+      if (count == 0) continue;
+      auto saver = std::make_unique<RegionSaver>();
+      saver->add_region(&ctx.nodes[ctx.part.first(k)],
+                        count * sizeof(NodeState));
+      opt.set_state_saver(k, saver.get());
+      savers.push_back(std::move(saver));
+    }
+  }
+  for (std::uint32_t i = 0; i < w.seeds; ++i) {
+    const std::uint32_t node = i % w.nodes;
+    const std::uint64_t r = splitmix64(seed ^ i);
+    const std::uint64_t payload = (static_cast<std::uint64_t>(w.hops) << 48) |
+                                  ((r & 0xFFFFFFFFull) << 16) | node;
+    eng.post_handler(ctx.part.owner(node), kStep * (1.0 + i * 0.25),
+                     &phold_handler, &ctx, payload);
+  }
+  eng.run();
+  RunResult res;
+  for (const NodeState& st : ctx.nodes) {
+    res.fp.events += st.visits;
+    res.fp.hash ^= st.hash;
+    res.fp.sum += st.sum;
+  }
+  res.events = eng.total_events_processed();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// The harness: >= 200 seeded workload runs diffed against the serial oracle.
+
+TEST(EngineDifferential, SeededPholdWorkloadsMatchSerialOracle) {
+  constexpr std::uint64_t kSeeds = 30;
+  std::uint64_t runs = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Workload w = derive_workload(seed);
+    const std::string tag = "seed=" + std::to_string(seed) +
+                            " nodes=" + std::to_string(w.nodes) +
+                            " hops=" + std::to_string(w.hops);
+
+    Engine serial(w.queue);
+    const RunResult oracle = run_workload(serial, w, 1, seed, false);
+    ASSERT_GT(oracle.fp.events, 0u) << tag;
+
+    // Conservative parallel cross-check.
+    for (std::uint32_t lps : {2u, 4u}) {
+      ParallelEngine par(lps, w.queue);
+      par.set_lookahead_hint(kStep);
+      const RunResult got = run_workload(par, w, lps, seed, false);
+      EXPECT_EQ(got.fp, oracle.fp) << tag << " engine=parallel lps=" << lps;
+      EXPECT_EQ(got.events, oracle.events)
+          << tag << " engine=parallel lps=" << lps;
+      ++runs;
+    }
+    // Optimistic lockstep (no savers): conservative degradation mode.
+    {
+      OptimisticEngine opt(2, w.queue);
+      opt.set_gvt_period(w.gvt_period);
+      const RunResult got = run_workload(opt, w, 2, seed, false);
+      EXPECT_EQ(got.fp, oracle.fp) << tag << " engine=optimistic-lockstep";
+      EXPECT_EQ(got.events, oracle.events)
+          << tag << " engine=optimistic-lockstep";
+      ++runs;
+    }
+    // Optimistic with per-LP state savers: full speculation.
+    for (std::uint32_t lps : {1u, 2u, 4u, 8u}) {
+      OptimisticEngine opt(lps, w.queue);
+      opt.set_gvt_period(w.gvt_period);
+      opt.set_save_interval(w.save_interval);
+      const RunResult got = run_workload(opt, w, lps, seed, true);
+      EXPECT_EQ(got.fp, oracle.fp)
+          << tag << " engine=optimistic lps=" << lps
+          << " gvt_period=" << w.gvt_period
+          << " save_interval=" << w.save_interval;
+      EXPECT_EQ(got.events, oracle.events)
+          << tag << " engine=optimistic lps=" << lps;
+      ++runs;
+    }
+  }
+  EXPECT_GE(runs, 200u);  // the harness's contract: >= 200 differential runs
+}
+
+// ---------------------------------------------------------------------------
+// Coroutine (RPC-style) workloads under fault profiles: a PVM master/worker
+// exchange on a fault-injecting machine must trace byte-identically on
+// every engine kind — the optimistic engine routes it down the solo base-LP
+// path, and fault-model RNG streams are part of the determinism contract.
+
+PlatformSpec faulty_platform(const FaultSpec& fault) {
+  PlatformSpec p;
+  p.name = "diff";
+  p.cpu.name = "diff-cpu";
+  p.cpu.clock_mhz = 100;
+  p.cpu.adjusted_mflops = 100;
+  p.net.kind = NetSpec::Kind::Switched;
+  p.net.observed_MBps = 1.0;
+  p.net.hw_peak_MBps = 2.0;
+  p.net.latency_s = 1e-3;
+  p.sync_time_s = 5e-4;
+  p.fault = fault;
+  return p;
+}
+
+/// Master scatters one round of work to each worker and gathers echoes,
+/// twice; workers double the payload.  Duplicates/stalls from the fault
+/// model perturb timing and mailbox contents deterministically.
+std::string run_pvm_exchange(Engine& eng, const FaultSpec& fault,
+                             int workers) {
+  Machine machine(eng, faulty_platform(fault), workers + 1);
+  PvmSystem pvm(machine);
+  obs::MemorySink sink;
+  {
+    obs::ScopedSink scoped(sink);
+    for (int wkr = 0; wkr < workers; ++wkr) {
+      pvm.spawn(wkr + 1, [](PvmTask& t) -> Task<void> {
+        for (int round = 0; round < 2; ++round) {
+          Message m = co_await t.recv(0, 10 + round);
+          PackBuffer reply;
+          reply.pack_f64(2.0 * m.body.unpack_f64());
+          co_await t.send(0, 20 + round, std::move(reply));
+        }
+      });
+    }
+    double total = 0.0;
+    pvm.spawn(0, [&](PvmTask& t) -> Task<void> {
+      for (int round = 0; round < 2; ++round) {
+        for (int wkr = 0; wkr < workers; ++wkr) {
+          PackBuffer b;
+          b.pack_f64(1.0 + wkr + 10.0 * round);
+          co_await t.send(wkr + 1, 10 + round, std::move(b));
+        }
+        for (int wkr = 0; wkr < workers; ++wkr) {
+          Message m = co_await t.recv(wkr + 1, 20 + round);
+          total += m.body.unpack_f64();
+        }
+      }
+      obs::instant(obs::Cat::kPvm, "gathered", t.engine().now(), 0,
+                   {"total", total});
+    });
+    eng.run();
+  }
+  return sink.to_csv();
+}
+
+TEST(EngineDifferential, FaultProfilePvmTracesByteIdenticalAcrossEngines) {
+  struct Profile {
+    const char* name;
+    double duplicate_rate;
+    double stall_rate;
+  };
+  const Profile profiles[] = {
+      {"clean", 0.0, 0.0},
+      {"duplicates", 0.35, 0.0},
+      {"stalls", 0.0, 0.4},
+      {"both", 0.25, 0.25},
+  };
+  for (const Profile& prof : profiles) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      FaultSpec fault;
+      fault.seed = seed;
+      fault.duplicate_rate = prof.duplicate_rate;
+      fault.daemon_stall_rate = prof.stall_rate;
+      fault.daemon_stall_s = 2e-3;
+      const std::string tag =
+          std::string("profile=") + prof.name + " seed=" +
+          std::to_string(seed);
+
+      Engine serial;
+      const std::string oracle = run_pvm_exchange(serial, fault, 3);
+      ASSERT_FALSE(oracle.empty()) << tag;
+
+      ParallelEngine par(4);
+      EXPECT_EQ(run_pvm_exchange(par, fault, 3), oracle)
+          << tag << " engine=parallel";
+      OptimisticEngine opt(4);
+      EXPECT_EQ(run_pvm_exchange(opt, fault, 3), oracle)
+          << tag << " engine=optimistic";
+      EXPECT_EQ(opt.link_messages(), 0u);  // solo path, never widened
+    }
+  }
+}
+
+}  // namespace

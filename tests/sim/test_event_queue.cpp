@@ -157,6 +157,102 @@ TEST(EventQueueProperty, MultipleSeeds) {
   }
 }
 
+// Rollback-churn profile: bursts of speculative pushes followed by bursts
+// of annihilating cancels (the optimistic engine's rollback pattern), with
+// only occasional pops — so tombstones cannot ride out on the pop-side
+// purge and must outgrow the live count.  Compaction must actually fire,
+// keep the tombstone count bounded by max(threshold, live), and never
+// perturb the pop order — ~10k ops checked against the heap oracle with
+// the invariant asserted after every step.
+TEST(EventQueueProperty, CancelChurnCompactsAndStaysExact) {
+  constexpr std::size_t kCompactMinTombstones = 64;  // mirrors event_queue.hpp
+  for (std::uint64_t seed = 21; seed < 24; ++seed) {
+    auto ladder = make_event_queue(EventQueueKind::kLadder);
+    auto heap = make_event_queue(EventQueueKind::kHeap);
+    util::Xoshiro256 rng(seed);
+
+    std::uint64_t next_seq = 0;
+    SimTime now = 0.0;
+    std::vector<std::uint64_t> pending;
+    int ops = 0;
+
+    const auto check_bound = [&] {
+      // The bound: compaction fires once tombstones exceed both the
+      // threshold and the live count, so the store never holds more than
+      // max(threshold, live) cancelled entries.
+      for (const auto* q : {ladder.get(), heap.get()}) {
+        ASSERT_LE(q->tombstones(),
+                  std::max(kCompactMinTombstones, q->size()))
+            << q->name() << " seed " << seed << " op " << ops;
+      }
+      ASSERT_EQ(ladder->size(), heap->size());
+    };
+
+    for (int cycle = 0; cycle < 26; ++cycle) {
+      // Speculation burst: 200 pushes across near-future ties and far
+      // outliers (so cancelled entries are NOT all at the top of the order,
+      // where pops would purge them lazily).
+      for (int i = 0; i < 200; ++i) {
+        const double pat = rng.uniform();
+        const SimTime t = pat < 0.5 ? now + std::floor(rng.uniform() * 4.0)
+                                    : now + 50.0 + rng.uniform() * 500.0;
+        const ScheduledEvent e = ev(t, next_seq++);
+        ladder->push(e);
+        heap->push(e);
+        pending.push_back(e.seq);
+        ++ops;
+        check_bound();
+      }
+      // Rollback burst: annihilate ~65% of everything pending.
+      const std::size_t victims = (pending.size() * 13) / 20;
+      for (std::size_t i = 0; i < victims; ++i) {
+        const std::size_t victim =
+            static_cast<std::size_t>(rng.uniform() * pending.size());
+        const std::uint64_t seq = pending[victim];
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(victim));
+        ladder->cancel(seq);
+        heap->cancel(seq);
+        ++ops;
+        check_bound();
+      }
+      // A few committed pops: order must agree exactly.
+      for (int i = 0; i < 40 && !heap->empty(); ++i) {
+        ASSERT_DOUBLE_EQ(ladder->next_time(), heap->next_time());
+        const ScheduledEvent a = ladder->pop();
+        const ScheduledEvent b = heap->pop();
+        ASSERT_EQ(a.seq, b.seq) << "seed " << seed << " op " << ops;
+        ASSERT_DOUBLE_EQ(a.t, b.t);
+        ASSERT_GE(a.t, now);
+        now = a.t;
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          if (pending[j] == a.seq) {
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(j));
+            break;
+          }
+        }
+        ++ops;
+        check_bound();
+      }
+    }
+    ASSERT_GE(ops, 10000);
+    EXPECT_GT(ladder->compactions(), 0u) << "seed " << seed;
+    EXPECT_GT(heap->compactions(), 0u) << "seed " << seed;
+
+    while (!heap->empty()) {
+      ASSERT_FALSE(ladder->empty());
+      const ScheduledEvent a = ladder->pop();
+      const ScheduledEvent b = heap->pop();
+      ASSERT_EQ(a.seq, b.seq);
+      ASSERT_DOUBLE_EQ(a.t, b.t);
+    }
+    ASSERT_TRUE(ladder->empty());
+    // Post-drain only sub-threshold tombstones may linger (pops purge from
+    // the top; compaction reclaims the rest once the threshold is crossed).
+    EXPECT_LE(ladder->tombstones(), kCompactMinTombstones);
+    EXPECT_LE(heap->tombstones(), kCompactMinTombstones);
+  }
+}
+
 // End-to-end: an engine workload produces identical virtual-time traces
 // under both queue kinds.
 Task<void> ping(Engine* engine, std::vector<double>* trace, double period,

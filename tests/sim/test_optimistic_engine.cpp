@@ -1,0 +1,592 @@
+// Tests for the optimistic (Time Warp) engine
+// (sim/optimistic_engine.hpp): serial/optimistic fingerprint equivalence
+// over PHOLD workloads with and without state savers, a deterministic
+// straggler/rollback/anti-message cascade, rollback mechanics properties
+// (restore is the exact inverse of save, fossil collection never frees
+// uncommitted history, GVT is monotone), committed-order trace bytes on the
+// solo path, run_until re-entrancy, the checkpoint commit-horizon gate, the
+// deliberate-violation audits (committed-time, anti-pairing,
+// mailbox-unconsume) and the OPALSIM_ENGINE factory.
+#include "sim/optimistic_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/lp.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/state_save.hpp"
+#include "util/fatal.hpp"
+
+namespace {
+
+using opalsim::sim::Engine;
+using opalsim::sim::EngineKind;
+using opalsim::sim::EventQueueKind;
+using opalsim::sim::LinkMsg;
+using opalsim::sim::LpId;
+using opalsim::sim::LpRuntime;
+using opalsim::sim::Mailbox;
+using opalsim::sim::OptimisticEngine;
+using opalsim::sim::OptimisticStats;
+using opalsim::sim::OwnerPartition;
+using opalsim::sim::RegionSaver;
+using opalsim::sim::SimTime;
+using opalsim::sim::Task;
+namespace audit = opalsim::sim::audit;
+namespace obs = opalsim::obs;
+
+// ---------------------------------------------------------------------------
+// PHOLD handler workload (same machinery as the conservative-engine tests):
+// messages hop between partitioned nodes, each hop applying commutative
+// mutations to owner-LP-confined node state.  Every mutable byte a
+// speculative LP touches lives in its partition slice, so a RegionSaver
+// over the slice satisfies the state-saving contract.
+
+constexpr SimTime kStep = 1e-3;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct NodeState {
+  double sum = 0.0;
+  std::uint64_t hash = 0;
+  std::uint64_t visits = 0;
+};
+
+struct PholdCtx {
+  std::vector<NodeState> nodes;
+  OwnerPartition part;
+};
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+  double sum = 0.0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+// payload layout: [hops:16][rng:32][node:16]
+void phold_handler(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  auto& pc = *static_cast<PholdCtx*>(ctx);
+  const auto node = static_cast<std::uint32_t>(payload & 0xFFFFu);
+  const auto rng = static_cast<std::uint64_t>((payload >> 16) & 0xFFFFFFFFu);
+  const auto hops = static_cast<std::uint32_t>(payload >> 48);
+  const std::uint64_t r = splitmix64(rng ^ (node * 0x9E37ull));
+  NodeState& st = pc.nodes[node];
+  st.sum += rt.now();
+  st.hash ^= r;
+  ++st.visits;
+  if (hops == 0) return;
+  const auto n = static_cast<std::uint32_t>(pc.nodes.size());
+  const auto dst = (node + 1 + static_cast<std::uint32_t>(r % (n - 1))) % n;
+  const SimTime delay = kStep * (1.0 + static_cast<double>((r >> 32) & 3));
+  const std::uint64_t next = (static_cast<std::uint64_t>(hops - 1) << 48) |
+                             ((r & 0xFFFFFFFFull) << 16) | dst;
+  rt.post(pc.part.owner(dst), rt.now() + delay, &phold_handler, &pc, next);
+}
+
+void seed_phold(Engine& eng, PholdCtx& ctx, std::uint32_t lps,
+                std::uint32_t nodes, std::uint32_t seeds, std::uint32_t hops,
+                std::uint64_t seed0 = 0xC0FFEEull) {
+  ctx.nodes.resize(nodes);
+  ctx.part = OwnerPartition(nodes, lps);
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    const std::uint32_t node = i % nodes;
+    const std::uint64_t r = splitmix64(seed0 ^ i);
+    const std::uint64_t payload = (static_cast<std::uint64_t>(hops) << 48) |
+                                  ((r & 0xFFFFFFFFull) << 16) | node;
+    eng.post_handler(ctx.part.owner(node), kStep * (1.0 + i * 0.25),
+                     &phold_handler, &ctx, payload);
+  }
+}
+
+Fingerprint fingerprint_of(const PholdCtx& ctx) {
+  Fingerprint fp;
+  for (const NodeState& st : ctx.nodes) {
+    fp.events += st.visits;
+    fp.hash ^= st.hash;
+    fp.sum += st.sum;
+  }
+  return fp;
+}
+
+Fingerprint run_phold(Engine& eng, std::uint32_t lps, std::uint32_t nodes,
+                      std::uint32_t seeds, std::uint32_t hops,
+                      std::uint64_t seed0 = 0xC0FFEEull) {
+  PholdCtx ctx;
+  seed_phold(eng, ctx, lps, nodes, seeds, hops, seed0);
+  eng.run();
+  return fingerprint_of(ctx);
+}
+
+/// Registers a RegionSaver per speculative LP over its contiguous node
+/// slice (LP 0 commits in place and needs none).  The savers must outlive
+/// the run, so the caller owns the returned vector.
+std::vector<std::unique_ptr<RegionSaver>> attach_savers(
+    OptimisticEngine& eng, PholdCtx& ctx, std::uint32_t lps) {
+  std::vector<std::unique_ptr<RegionSaver>> savers;
+  for (LpId k = 1; k < lps; ++k) {
+    const std::uint32_t count = ctx.part.count(k);
+    if (count == 0) continue;
+    auto saver = std::make_unique<RegionSaver>();
+    saver->add_region(&ctx.nodes[ctx.part.first(k)],
+                      count * sizeof(NodeState));
+    eng.set_state_saver(k, saver.get());
+    savers.push_back(std::move(saver));
+  }
+  return savers;
+}
+
+Fingerprint run_phold_speculative(OptimisticEngine& eng, std::uint32_t lps,
+                                  std::uint32_t nodes, std::uint32_t seeds,
+                                  std::uint32_t hops,
+                                  std::uint64_t seed0 = 0xC0FFEEull) {
+  PholdCtx ctx;
+  seed_phold(eng, ctx, lps, nodes, seeds, hops, seed0);
+  const auto savers = attach_savers(eng, ctx, lps);
+  eng.run();
+  return fingerprint_of(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: the serial engine is the oracle.
+
+// Without state savers every LP runs in conservative lockstep with the
+// commit horizon — always correct, never a rollback.
+TEST(OptimisticEngine, LockstepPholdMatchesSerialAcrossLpsAndQueues) {
+  for (EventQueueKind qk : {EventQueueKind::kLadder, EventQueueKind::kHeap}) {
+    Engine serial(qk);
+    const Fingerprint oracle = run_phold(serial, 1, 12, 6, 24);
+    EXPECT_GT(oracle.events, 6u * 24u);
+    for (std::uint32_t lps : {1u, 2u, 4u}) {
+      OptimisticEngine opt(lps, qk);
+      const Fingerprint fp = run_phold(opt, lps, 12, 6, 24);
+      EXPECT_EQ(fp, oracle) << "lps=" << lps;
+      EXPECT_EQ(opt.total_events_processed(), serial.total_events_processed())
+          << "lps=" << lps;
+      EXPECT_EQ(opt.stats().rollbacks, 0u) << "lps=" << lps;
+    }
+  }
+}
+
+// With a RegionSaver per LP the engine speculates past the horizon; the
+// final state must still match the serial oracle exactly.
+TEST(OptimisticEngine, SpeculativePholdMatchesSerialAcrossGvtPeriods) {
+  Engine serial;
+  const Fingerprint oracle = run_phold(serial, 1, 12, 6, 24);
+  for (std::uint32_t period : {1u, 2u, 5u, 128u}) {
+    for (std::uint32_t lps : {2u, 4u}) {
+      OptimisticEngine opt(lps);
+      opt.set_gvt_period(period);
+      const Fingerprint fp = run_phold_speculative(opt, lps, 12, 6, 24);
+      EXPECT_EQ(fp, oracle) << "lps=" << lps << " period=" << period;
+      EXPECT_EQ(opt.total_events_processed(), serial.total_events_processed())
+          << "lps=" << lps << " period=" << period;
+      const OptimisticStats st = opt.stats();
+      EXPECT_GT(st.speculated, 0u);
+      EXPECT_GT(st.state_saves, 0u);  // sparse snapshots actually taken
+      EXPECT_GT(st.gvt_rounds, 0u);
+    }
+  }
+}
+
+TEST(OptimisticEngine, SaveIntervalSweepPreservesEquivalence) {
+  Engine serial;
+  const Fingerprint oracle = run_phold(serial, 1, 10, 5, 20);
+  for (std::uint32_t interval : {1u, 3u, 16u}) {
+    OptimisticEngine opt(4);
+    opt.set_save_interval(interval);
+    const Fingerprint fp = run_phold_speculative(opt, 4, 10, 5, 20);
+    EXPECT_EQ(fp, oracle) << "interval=" << interval;
+  }
+}
+
+// A clean speculative run raises zero audit violations: committed-time and
+// GVT monotonicity are audited inside commit(), merged-order inside the
+// drain, so a green run IS the GVT-monotone property test.
+TEST(OptimisticEngine, CleanSpeculativeRunRaisesNoAuditViolations) {
+  audit::RunScope scope;
+  audit::ViolationCapture capture;
+  OptimisticEngine opt(4);
+  run_phold_speculative(opt, 4, 12, 6, 24);
+  EXPECT_EQ(capture.count(), 0) << capture.last_report();
+  EXPECT_GT(opt.link_messages(), 0u);  // the run really crossed LPs
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic straggler/rollback/anti-message cascade.
+//
+// LP 1 runs a 20-event chain (one per kStep), each link posting a touch to
+// LP 2 half a step later.  LP 3 wakes mid-chain and posts a touch into
+// LP 1's past: LP 1 (which speculated the whole chain in round one) must
+// roll back, chase its undone sends to LP 2 with anti-messages, and
+// re-execute — landing on exactly the serial state.
+
+struct CascadeCtx {
+  std::vector<NodeState> slots;  // index = target slot (one per LP)
+};
+
+void cascade_touch(LpRuntime& rt, void* ctx, std::uint64_t slot) {
+  auto& cc = *static_cast<CascadeCtx*>(ctx);
+  NodeState& st = cc.slots[slot];
+  st.sum += rt.now();
+  st.hash ^= splitmix64(static_cast<std::uint64_t>(rt.now() * 1e6) ^ slot);
+  ++st.visits;
+}
+
+// payload layout: [slot:32][remaining:32]
+void cascade_chain(LpRuntime& rt, void* ctx, std::uint64_t payload) {
+  const std::uint64_t slot = payload >> 32;
+  const std::uint64_t remaining = payload & 0xFFFFFFFFull;
+  cascade_touch(rt, ctx, slot);
+  rt.post(2, rt.now() + 0.5 * kStep, &cascade_touch, ctx, 2);
+  if (remaining > 1) {
+    rt.schedule(rt.now() + kStep, &cascade_chain, ctx,
+                (slot << 32) | (remaining - 1));
+  }
+}
+
+void cascade_seed(LpRuntime& rt, void* ctx, std::uint64_t) {
+  cascade_touch(rt, ctx, 3);
+  rt.post(1, rt.now() + 0.5 * kStep, &cascade_touch, ctx, 1);
+}
+
+Fingerprint run_cascade(Engine& eng,
+                        std::vector<std::unique_ptr<RegionSaver>>* savers) {
+  CascadeCtx ctx;
+  ctx.slots.resize(4);
+  if (savers != nullptr) {
+    auto* opt = dynamic_cast<OptimisticEngine*>(&eng);
+    for (LpId k = 1; k < 4; ++k) {
+      auto saver = std::make_unique<RegionSaver>();
+      saver->add_region(&ctx.slots[k], sizeof(NodeState));
+      opt->set_state_saver(k, saver.get());
+      savers->push_back(std::move(saver));
+    }
+  }
+  eng.post_handler(1, kStep, &cascade_chain, &ctx, (1ull << 32) | 20);
+  eng.post_handler(3, 10 * kStep, &cascade_seed, &ctx, 0);
+  eng.run();
+  Fingerprint fp;
+  for (const NodeState& st : ctx.slots) {
+    fp.events += st.visits;
+    fp.hash ^= st.hash;
+    fp.sum += st.sum;
+  }
+  return fp;
+}
+
+TEST(OptimisticEngine, StragglerRollbackCascadeMatchesSerial) {
+  Engine serial;
+  const Fingerprint oracle = run_cascade(serial, nullptr);
+  EXPECT_EQ(oracle.events, 42u);  // 20 chain + 20 touches + seed + straggler
+
+  OptimisticEngine opt(4);
+  std::vector<std::unique_ptr<RegionSaver>> savers;
+  const Fingerprint fp = run_cascade(opt, &savers);
+  EXPECT_EQ(fp, oracle);
+  EXPECT_EQ(opt.total_events_processed(), serial.total_events_processed());
+
+  const OptimisticStats st = opt.stats();
+  EXPECT_GE(st.stragglers, 1u);
+  EXPECT_GE(st.rollbacks, 1u);
+  EXPECT_GT(st.rolled_back, 0u);
+  EXPECT_GT(st.antis_sent, 0u);
+  // Every anti-message found its positive (pending, executed, or staged).
+  EXPECT_EQ(st.annihilations, st.antis_sent);
+  // Speculation re-executed the undone work on top of the committed count.
+  EXPECT_GT(st.speculated, st.committed);
+}
+
+// The cascade is phase-deterministic: every run produces identical rollback
+// counters, not just identical state.
+TEST(OptimisticEngine, RollbackPatternIsDeterministicRunToRun) {
+  auto run_once = [] {
+    OptimisticEngine opt(4);
+    std::vector<std::unique_ptr<RegionSaver>> savers;
+    run_cascade(opt, &savers);
+    return opt.stats();
+  };
+  const OptimisticStats a = run_once();
+  const OptimisticStats b = run_once();
+  EXPECT_EQ(a.stragglers, b.stragglers);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.rolled_back, b.rolled_back);
+  EXPECT_EQ(a.antis_sent, b.antis_sent);
+  EXPECT_EQ(a.annihilations, b.annihilations);
+  EXPECT_EQ(a.replayed, b.replayed);
+  EXPECT_EQ(a.speculated, b.speculated);
+  EXPECT_EQ(a.committed, b.committed);
+}
+
+// ---------------------------------------------------------------------------
+// Rollback mechanics properties.
+
+// restore() is the exact inverse of save(): a saved image re-applied after
+// arbitrary further mutation restores every byte.
+TEST(StateSaving, RegionSaverRestoreIsExactInverseOfSave) {
+  std::vector<NodeState> nodes(5);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].sum = 0.25 * static_cast<double>(i);
+    nodes[i].hash = splitmix64(i);
+    nodes[i].visits = i;
+  }
+  RegionSaver saver;
+  saver.add_region(nodes.data(), 2 * sizeof(NodeState));
+  saver.add_region(&nodes[2], 3 * sizeof(NodeState));
+  EXPECT_EQ(saver.image_size(), 5 * sizeof(NodeState));
+
+  std::vector<NodeState> golden = nodes;
+  std::vector<std::byte> image;
+  saver.save(image);
+  ASSERT_EQ(image.size(), saver.image_size());
+
+  for (NodeState& st : nodes) {  // arbitrary speculative damage
+    st.sum = -1.0;
+    st.hash = ~st.hash;
+    st.visits += 99;
+  }
+  saver.restore(image.data(), image.size());
+  EXPECT_EQ(std::memcmp(nodes.data(), golden.data(),
+                        nodes.size() * sizeof(NodeState)),
+            0);
+}
+
+// Fossil collection only ever frees committed history: at every point the
+// fossil count is bounded by the committed count, and after a completed run
+// nothing speculative remains.
+TEST(OptimisticEngine, FossilCollectionNeverFreesUncommittedHistory) {
+  OptimisticEngine opt(4);
+  opt.set_gvt_period(3);  // many small rounds → many fossil passes
+  run_phold_speculative(opt, 4, 12, 6, 24);
+  const OptimisticStats st = opt.stats();
+  EXPECT_GT(st.fossils, 0u);
+  EXPECT_LE(st.fossils, st.committed);
+  EXPECT_TRUE(opt.fully_committed());
+  for (LpId k = 1; k < 4; ++k) {
+    EXPECT_EQ(opt.lp_ref(k).speculative_events(), 0u) << "lp=" << k;
+  }
+}
+
+// GVT never moves backwards: a re-entrant run_until with an earlier bound
+// is legal and leaves the horizon where it was.
+TEST(OptimisticEngine, GvtIsMonotoneAcrossRunUntilCalls) {
+  OptimisticEngine opt(4);
+  PholdCtx ctx;
+  seed_phold(opt, ctx, 4, 12, 6, 24);
+  const auto savers = attach_savers(opt, ctx, 4);
+  opt.run_until(8 * kStep);
+  EXPECT_DOUBLE_EQ(opt.gvt(), 8 * kStep);
+  opt.run_until(3 * kStep);  // earlier bound: no-op for commitment
+  EXPECT_DOUBLE_EQ(opt.gvt(), 8 * kStep);
+  opt.run();  // drain the rest
+  Engine serial;
+  const Fingerprint oracle = run_phold(serial, 1, 12, 6, 24);
+  EXPECT_EQ(fingerprint_of(ctx), oracle);
+}
+
+TEST(OptimisticEngine, RunUntilClampsEveryLpClock) {
+  OptimisticEngine opt(3);
+  PholdCtx ctx;
+  seed_phold(opt, ctx, 3, 9, 4, 16);
+  const auto savers = attach_savers(opt, ctx, 3);
+  const SimTime t_end = 4 * kStep;
+  opt.run_until(t_end);
+  EXPECT_DOUBLE_EQ(opt.now(), t_end);
+  for (LpId k = 1; k < 3; ++k) {
+    EXPECT_GE(opt.lp_ref(k).now(), t_end);
+    EXPECT_GE(opt.lp_ref(k).committed_through(), t_end);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Committed-order observation: pure-coroutine programs take the solo base-LP
+// path and produce byte-identical traces.
+
+Task<void> traced_app(Engine& eng, int id, std::vector<double>& out) {
+  for (int i = 0; i < 3; ++i) {
+    co_await eng.delay(0.5 + 0.25 * id);
+    out.push_back(eng.now());
+    obs::instant(obs::Cat::kEngine, "app", eng.now(), id);
+  }
+}
+
+std::string run_traced_app(Engine& eng) {
+  obs::MemorySink sink;
+  std::vector<double> times;
+  {
+    obs::ScopedSink scoped(sink);
+    eng.spawn(traced_app(eng, 1, times));
+    eng.spawn(traced_app(eng, 2, times));
+    eng.spawn(traced_app(eng, 3, times));
+    eng.run();
+  }
+  EXPECT_EQ(times.size(), 9u);
+  return sink.to_csv();
+}
+
+TEST(OptimisticEngine, CoroutineProgramTraceBytesMatchSerial) {
+  Engine serial;
+  const std::string serial_csv = run_traced_app(serial);
+  ASSERT_FALSE(serial_csv.empty());
+  for (std::uint32_t lps : {1u, 4u}) {
+    OptimisticEngine opt(lps);
+    EXPECT_EQ(run_traced_app(opt), serial_csv) << "lps=" << lps;
+    EXPECT_DOUBLE_EQ(opt.now(), serial.now());
+    EXPECT_EQ(opt.link_messages(), 0u);
+  }
+}
+
+// Speculatively traced handler events reach the caller's sink only after
+// commitment, in non-decreasing time order.
+TEST(OptimisticEngine, SpeculativeTraceFlushesInCommittedOrder) {
+  OptimisticEngine opt(4);
+  obs::MemorySink sink;
+  {
+    obs::ScopedSink scoped(sink);
+    run_phold_speculative(opt, 4, 12, 6, 24);
+  }
+  ASSERT_FALSE(sink.events().empty());
+  const auto sorted = sink.sorted_events();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i].t, sorted[i - 1].t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deliberate violations: each audited invariant fires exactly as specified.
+
+void noop_handler(LpRuntime&, void*, std::uint64_t) {}
+
+TEST(OptimisticAudit, PositiveBelowCommitHorizonFailsCommittedTime) {
+  OptimisticEngine opt(2);
+  opt.post_handler(1, 1.0, &noop_handler, nullptr, 0);
+  opt.run();
+  ASSERT_GE(opt.lp_ref(1).committed_through(), 1.0);
+  audit::ViolationCapture capture;
+  LinkMsg m;
+  m.t = 0.5;  // below the commit horizon
+  m.fn = &noop_handler;
+  m.src = 0;
+  m.uid = 1;
+  opt.lp_ref(1).deliver(m);
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kCommittedTime);
+}
+
+TEST(OptimisticAudit, UnmatchedAntiMessageFailsAntiPairing) {
+  OptimisticEngine opt(2);
+  opt.post_handler(1, 1.0, &noop_handler, nullptr, 0);
+  opt.run();
+  audit::ViolationCapture capture;
+  LinkMsg anti;
+  anti.t = 2.0;
+  anti.src = 0;
+  anti.uid = 0xDEADull;  // never issued
+  anti.anti = true;
+  opt.lp_ref(1).deliver(anti);
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kAntiPairing);
+}
+
+struct MbMsg {
+  int tag = 0;
+};
+
+TEST(OptimisticAudit, UnconsumeWithoutConsumeFailsMailboxUnconsume) {
+  Engine eng;
+  Mailbox<MbMsg> mb(eng);
+  audit::ViolationCapture capture;
+  mb.unconsume(MbMsg{7}, /*consumer_id=*/0);  // nothing was ever consumed
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kMailboxUnconsume);
+}
+
+TEST(OptimisticAudit, UnconsumeByWrongOwnerFailsMailboxUnconsume) {
+  Engine eng;
+  Mailbox<MbMsg> mb(eng);
+  audit::ViolationCapture capture;
+  mb.audit_discipline().note_consume(/*id=*/3, 0.0);  // task 3 owns it
+  mb.unconsume(MbMsg{7}, /*consumer_id=*/5);          // rollback by task 5
+  EXPECT_EQ(capture.count(), 1);
+  EXPECT_EQ(capture.last_invariant(), audit::Invariant::kMailboxUnconsume);
+}
+
+// The legal path: a consume followed by the owner's unconsume returns the
+// message to the FRONT, so a re-executed receive matches it again first.
+TEST(OptimisticAudit, OwnerUnconsumeRestoresMessageToFront) {
+  Engine eng;
+  Mailbox<MbMsg> mb(eng);
+  audit::ViolationCapture capture;
+  mb.put(MbMsg{2});
+  auto taken = mb.try_get([](const MbMsg& m) { return m.tag == 2; });
+  ASSERT_TRUE(taken.has_value());
+  mb.audit_discipline().note_consume(/*id=*/3, 0.0);
+  mb.put(MbMsg{9});
+  mb.unconsume(*taken, /*consumer_id=*/3);
+  EXPECT_EQ(capture.count(), 0) << capture.last_report();
+  ASSERT_EQ(mb.size(), 2u);
+  EXPECT_EQ(mb.items().front().tag, 2);  // head, not tail
+}
+
+// ---------------------------------------------------------------------------
+// Engine surface: factory, limits, misuse.
+
+TEST(OptimisticEngine, FactoryMakesOptimisticKind) {
+  const std::unique_ptr<Engine> eng =
+      opalsim::sim::make_engine(EngineKind::kOptimistic, 4);
+  EXPECT_EQ(eng->lps(), 4u);
+  EXPECT_NE(dynamic_cast<OptimisticEngine*>(eng.get()), nullptr);
+  EXPECT_TRUE(eng->fully_committed());
+}
+
+TEST(OptimisticEngine, LpCountClampsToValidRange) {
+  EXPECT_EQ(OptimisticEngine(0).lps(), 1u);
+  EXPECT_EQ(OptimisticEngine(3).lps(), 3u);
+  EXPECT_EQ(OptimisticEngine(1000).lps(), OptimisticEngine::kMaxLps);
+}
+
+TEST(OptimisticEngine, LpRefAndPostRejectOutOfRangeLps) {
+  OptimisticEngine opt(2);
+  EXPECT_THROW(opt.lp_ref(0), opalsim::util::FatalError);
+  EXPECT_THROW(opt.lp_ref(2), opalsim::util::FatalError);
+  EXPECT_THROW(opt.post_handler(2, 1.0, &noop_handler, nullptr, 0),
+               opalsim::util::FatalError);
+}
+
+TEST(OptimisticEngine, LpClockSnapsEmptyForCoroutineOnlyRun) {
+  OptimisticEngine opt(4);
+  std::vector<double> times;
+  opt.spawn(traced_app(opt, 1, times));
+  opt.run();
+  EXPECT_TRUE(opt.lp_clock_snaps().empty());  // idle LPs are omitted
+}
+
+TEST(OptimisticEngine, LpClockSnapsRoundTripThroughRestore) {
+  OptimisticEngine opt(3);
+  run_phold_speculative(opt, 3, 9, 4, 12);
+  const auto snaps = opt.lp_clock_snaps();
+  ASSERT_FALSE(snaps.empty());
+  OptimisticEngine fresh(3);
+  fresh.restore_lp_clocks(snaps);
+  for (const auto& c : snaps) {
+    EXPECT_DOUBLE_EQ(fresh.lp_ref(c.lp).now(), c.now);
+    EXPECT_EQ(fresh.lp_ref(c.lp).next_local_seq(), c.next_seq);
+    EXPECT_EQ(fresh.lp_ref(c.lp).committed_events(), c.processed);
+  }
+}
+
+}  // namespace

@@ -1,13 +1,15 @@
 // lp-shared-state clean fixture: every shape the rule must accept — a
-// marked LP-confined class, a marked cross-LP-safe class, and an unmarked
-// class whose members are all const/atomic/guarded/owned-confined or carry
-// a justified lint:allow.
+// marked LP-confined class, a marked cross-LP-safe class, a marked
+// speculative-state class (rollback-managed, owned by exactly one LP),
+// and an unmarked class whose members are all const/atomic/guarded/
+// owned-confined or carry a justified lint:allow.
 #include <atomic>
 #include <cstdint>
 #include <memory>
 
 #define OPALSIM_LP_CONFINED static_assert(true, "lp-confined")
 #define OPALSIM_CROSS_LP_SAFE static_assert(true, "cross-lp-safe")
+#define OPALSIM_SPECULATIVE static_assert(true, "speculative-state")
 #define GUARDED_BY(m)
 
 namespace util {
@@ -15,6 +17,7 @@ class Mutex {};
 class ThreadPool {};
 }  // namespace util
 class Lp {};
+class OptLp {};
 
 class ConfinedState {
  public:
@@ -33,6 +36,14 @@ class ReviewedLink {
   std::uint64_t next_seq_ = 0;
 };
 
+class SnapshotStore {
+ public:
+  OPALSIM_SPECULATIVE;
+
+ private:
+  std::uint64_t saves_ = 0;  // covered by the speculative-state marker
+};
+
 class Dispatcher {
  private:
   const std::uint32_t width_ = 4;
@@ -40,6 +51,7 @@ class Dispatcher {
   util::Mutex mutex_;
   std::uint64_t pending_ GUARDED_BY(mutex_) = 0;
   std::unique_ptr<Lp> lp_;
+  std::unique_ptr<OptLp> opt_lp_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::uint64_t rounds_ = 0;  // lint:allow(lp-shared-state): caller-thread only
 };

@@ -29,15 +29,18 @@ DESIGN.md, "Static analysis layer"):
       mutable state invisible to both the thread-safety analysis and the
       run-isolation audit.
   lp-shared-state
-      In the LP sharding layer (src/sim/lp.*, src/sim/parallel_engine.*),
-      every private (trailing-underscore) member of a class that does not
-      declare an ownership marker — OPALSIM_LP_CONFINED (single-owner,
-      handed between threads at round barriers) or OPALSIM_CROSS_LP_SAFE
-      (reviewed internally synchronized link type) — must be const,
+      In the LP sharding layer (src/sim/lp.*, src/sim/parallel_engine.*,
+      src/sim/optimistic_engine.*, src/sim/state_save.*), every private
+      (trailing-underscore) member of a class that does not declare an
+      ownership marker — OPALSIM_LP_CONFINED (single-owner, handed between
+      threads at round barriers), OPALSIM_CROSS_LP_SAFE (reviewed
+      internally synchronized link type) or OPALSIM_SPECULATIVE
+      (rollback-managed state owned by exactly one LP) — must be const,
       std::atomic, GUARDED_BY an annotated mutex, or one of the owned
-      confined types (unique_ptr<Lp / InterLpLink / util::ThreadPool>).
-      These files run on pool workers; an unmarked plain member is a data
-      race waiting for the round protocol to shift under it.
+      confined types (unique_ptr<Lp / OptLp / InterLpLink /
+      util::ThreadPool>).  These files run on pool workers; an unmarked
+      plain member is a data race waiting for the round protocol to shift
+      under it.
 
 Backends: these checks are implemented textually (comment/string-stripped
 scanning with brace tracking) so they run on any Python; each rule also
@@ -218,7 +221,8 @@ def check_no_mutable_statics(stripped: str, raw: list[str], rel: str,
 # ---------------------------------------------------------------------------
 # lp-shared-state
 
-LP_MARKER = re.compile(r"\bOPALSIM_LP_CONFINED\b|\bOPALSIM_CROSS_LP_SAFE\b")
+LP_MARKER = re.compile(r"\bOPALSIM_LP_CONFINED\b|\bOPALSIM_CROSS_LP_SAFE\b|"
+                       r"\bOPALSIM_SPECULATIVE\b")
 # A private member declaration by this codebase's trailing-underscore
 # convention: type tokens, then `name_`, then an optional initializer.
 LP_MEMBER_DECL = re.compile(
@@ -227,7 +231,7 @@ LP_MEMBER_DECL = re.compile(
 LP_SAFE_MEMBER = re.compile(
     r"\bconst\b|\bconstexpr\b|\batomic\b|\bGUARDED_BY\b|\bMutex\b|"
     r"\bCondVar\b|\bthread_local\b|"
-    r"unique_ptr<\s*(?:Lp\b|InterLpLink\b|util::ThreadPool\b)")
+    r"unique_ptr<\s*(?:Lp\b|OptLp\b|InterLpLink\b|util::ThreadPool\b)")
 LP_STATEMENT = re.compile(r"^\s*(?:return|if|for|while|throw|delete)\b")
 
 
@@ -296,7 +300,9 @@ RULES = {
         lambda rel: rel.startswith(("src/sim/", "src/opal/")),
         check_no_mutable_statics),
     "lp-shared-state": (
-        lambda rel: rel.startswith(("src/sim/lp", "src/sim/parallel_engine")),
+        lambda rel: rel.startswith(("src/sim/lp", "src/sim/parallel_engine",
+                                    "src/sim/optimistic_engine",
+                                    "src/sim/state_save")),
         check_lp_shared_state),
 }
 

@@ -14,13 +14,18 @@ Gates:
     when the *current* run's host_threads >= --min-threads (default 4):
     LP rounds cannot beat the serial loop without hardware parallelism, so
     a 1-core container runs the equivalence grid but skips the speedup bar.
+  * speedup_optimistic_low_la below --min-opt-speedup (default 1.5) — the
+    Time Warp engine at 4 LPs must beat the conservative engine handicapped
+    to a lookahead/8 hint; same host_threads guard, and skipped entirely
+    for JSON emitted by a bench predating the optimistic leg.
   * a relative drop of more than --tolerance below the committed baseline's
-    speedup — compared only when the baseline itself was recorded with
+    speedups — compared only when the baseline itself was recorded with
     enough threads (a 1-thread baseline records overhead, not scaling).
 
 Usage:
   check_bench_pdes.py CURRENT_JSON [--baseline PATH] [--min-speedup 1.8]
-                      [--min-threads 4] [--tolerance 0.20]
+                      [--min-opt-speedup 1.5] [--min-threads 4]
+                      [--tolerance 0.20]
 """
 
 from __future__ import annotations
@@ -57,6 +62,9 @@ def main() -> None:
                         default=DEFAULT_BASELINE)
     parser.add_argument("--min-speedup", type=float, default=1.8,
                         help="absolute 4-LP-vs-serial floor (large scenario)")
+    parser.add_argument("--min-opt-speedup", type=float, default=1.5,
+                        help="optimistic-vs-conservative floor under the "
+                             "pessimistic lookahead hint")
     parser.add_argument("--min-threads", type=int, default=4,
                         help="host threads required to enforce the speedup")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -90,6 +98,20 @@ def main() -> None:
         print(f"speedup_4lp_large: {speedup:.3f} "
               f"(floor {args.min_speedup:.2f}) — ok")
 
+    if "speedup_optimistic_low_la" in current:
+        opt = float(current["speedup_optimistic_low_la"])
+        if opt < args.min_opt_speedup:
+            ok = False
+            print(f"speedup_optimistic_low_la {opt:.3f} below absolute "
+                  f"floor {args.min_opt_speedup:.2f} — REGRESSION")
+        else:
+            print(f"speedup_optimistic_low_la: {opt:.3f} "
+                  f"(floor {args.min_opt_speedup:.2f}) — ok")
+    else:
+        opt = None
+        print("optimistic gate skipped: no speedup_optimistic_low_la in "
+              "current JSON (bench predates the optimistic leg)")
+
     base_threads = int(baseline.get("host_threads", 0))
     if base_threads >= args.min_threads:
         base = float(baseline.get("speedup_4lp_large", 0.0))
@@ -99,6 +121,14 @@ def main() -> None:
             ok = False
         print(f"vs baseline: current {speedup:.3f} vs baseline "
               f"{base:.3f} (floor {floor:.3f}) — {status}")
+        if opt is not None and "speedup_optimistic_low_la" in baseline:
+            base_opt = float(baseline["speedup_optimistic_low_la"])
+            opt_floor = base_opt * (1.0 - args.tolerance)
+            opt_status = "ok" if opt >= opt_floor else "REGRESSION"
+            if opt < opt_floor:
+                ok = False
+            print(f"optimistic vs baseline: current {opt:.3f} vs baseline "
+                  f"{base_opt:.3f} (floor {opt_floor:.3f}) — {opt_status}")
     else:
         print(f"baseline comparison skipped: baseline recorded with "
               f"host_threads={base_threads} < {args.min_threads}")
